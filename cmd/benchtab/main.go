@@ -1,0 +1,100 @@
+// Command benchtab regenerates the paper's evaluation tables and
+// figures (§5) at a configurable budget and prints them as text.
+//
+// Usage:
+//
+//	benchtab -exp table1
+//	benchtab -exp table2 -budget 60000 -runs 4
+//	benchtab -exp fig4 -budget 20000
+//	benchtab -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|all")
+		budget = flag.Uint64("budget", 0, "vector budget per IP run (0 = defaults)")
+		soc    = flag.Uint64("soc-budget", 0, "vector budget for SoC curves")
+		runs   = flag.Int("runs", 0, "runs averaged (figure 4, table 2)")
+		seed   = flag.Int64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	c := eval.Config{
+		BudgetIP:  *budget,
+		BudgetSoC: *soc,
+		Runs:      *runs,
+		Seed:      *seed,
+		Interval:  100,
+		Threshold: 2,
+	}
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		rows, err := eval.RunTable1(c)
+		if err != nil {
+			return err
+		}
+		eval.WriteTable1(os.Stdout, rows)
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := eval.RunTable2(c)
+		if err != nil {
+			return err
+		}
+		eval.WriteTable2(os.Stdout, rows)
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := eval.RunTable3(c)
+		if err != nil {
+			return err
+		}
+		eval.WriteTable3(os.Stdout, rows)
+		return nil
+	})
+	run("fig4", func() error {
+		fig, err := eval.RunFigure4(c)
+		if err != nil {
+			return err
+		}
+		eval.WriteFigure4a(os.Stdout, fig)
+		fmt.Println()
+		eval.WriteFigure4b(os.Stdout, fig)
+		fmt.Println(eval.Summary(fig))
+		return nil
+	})
+	run("sec54", func() error {
+		rows, err := eval.RunSection54(c)
+		if err != nil {
+			return err
+		}
+		eval.WriteSection54(os.Stdout, rows)
+		return nil
+	})
+	run("scalability", func() error {
+		s, err := eval.RunScalability(c)
+		if err != nil {
+			return err
+		}
+		eval.WriteScalability(os.Stdout, s)
+		return nil
+	})
+}

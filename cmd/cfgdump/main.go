@@ -1,0 +1,164 @@
+// Command cfgdump performs SymbFuzz's static analyses on a design and
+// prints the control registers, the dependency equations (§4.4.2), the
+// control-flow graph with checkpoint marking (§4.5), and Table 3-style
+// statistics.
+//
+// Usage:
+//
+//	cfgdump -bench lc_ctrl
+//	cfgdump -src design.sv -top mymodule -equations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	symbfuzz "repro"
+	"repro/internal/cfg"
+	"repro/internal/designs"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "", "built-in benchmark name")
+		srcF   = flag.String("src", "", "HDL source file")
+		top    = flag.String("top", "", "top module (with -src)")
+		eqns   = flag.Bool("equations", false, "print the dependency equations")
+		nodes  = flag.Bool("nodes", false, "print every CFG node")
+		dotOut = flag.String("dot", "", "write the clustered CFG as Graphviz to this file")
+		maxN   = flag.Int("max-nodes", 4096, "node exploration bound")
+		maxS   = flag.Int("max-succ", 32, "per-node successor bound")
+	)
+	flag.Parse()
+
+	var (
+		b   *symbfuzz.Benchmark
+		err error
+	)
+	if *srcF != "" {
+		data, rerr := os.ReadFile(*srcF)
+		if rerr != nil {
+			fail(rerr)
+		}
+		if *top == "" {
+			fail(fmt.Errorf("-top is required with -src"))
+		}
+		b = &symbfuzz.Benchmark{Name: *top, Top: *top, Source: string(data)}
+	} else {
+		b, err = builtin(*bench)
+		if err != nil {
+			fail(err)
+		}
+	}
+	d, err := b.Elaborate()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("design %s: %d signals, %d processes, %d branches\n",
+		b.Name, len(d.Signals), len(d.Procs), d.Branches)
+
+	regs := cfg.ControlRegisters(d)
+	fmt.Printf("\ncontrol registers (%d):\n", len(regs))
+	for _, cr := range regs {
+		kind := "comb"
+		if cr.Sig.IsReg {
+			kind = "flop"
+		}
+		fmt.Printf("  %-32s width=%-3d domain=%-6d %s\n", cr.Sig.Name, cr.Sig.Width, cr.Domain, kind)
+	}
+	fmt.Printf("node space (Eqn. 3): %d\n", cfg.NodeSpace(regs))
+
+	tr, err := cfg.BuildTransition(d)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("dependency equations generated: %d\n", tr.EqCount)
+	if *eqns {
+		fmt.Println("\nnext-state dependency equations:")
+		for _, r := range tr.Regs {
+			if next, ok := tr.Next[r.Index]; ok {
+				fmt.Printf("  next(%s) = %s\n", r.Name, next)
+			}
+		}
+	}
+
+	s, err := sim.New(d)
+	if err != nil {
+		fail(err)
+	}
+	info := sim.DetectClockReset(d)
+	if err := s.ApplyReset(info, 2); err != nil {
+		fail(err)
+	}
+	reset := map[int]logic.BV{}
+	for _, cr := range regs {
+		reset[cr.Sig.Index] = s.Get(cr.Sig.Index)
+	}
+	pin := map[string]logic.BV{}
+	if info.Reset >= 0 {
+		v := logic.Ones(1)
+		if !info.ActiveLow {
+			v = logic.Zero(1)
+		}
+		pin[d.Signals[info.Reset].Name] = v
+	}
+	g, err := cfg.BuildPartition(d, tr, reset, cfg.Options{
+		MaxNodes: *maxN, MaxSuccessors: *maxS, Pin: pin,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(g.Dot(b.Name)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote Graphviz CFG to %s\n", *dotOut)
+	}
+	st := g.Stats()
+	fmt.Printf("\nCFG: %d clusters, %d nodes, %d edges, %d checkpoints (fan-out >= 3)\n",
+		len(g.Graphs), st.Nodes, st.Edges, st.Checkpoints)
+	if *nodes {
+		for gi, gg := range g.Graphs {
+			fmt.Printf("cluster %d:\n", gi)
+			for _, n := range gg.Nodes {
+				mark := " "
+				if gg.Checkpoints[n.ID] {
+					mark = "*"
+				}
+				fmt.Printf("%s node %-4d out=%-3d in=%-3d key=%s\n",
+					mark, n.ID, len(n.Out), len(n.In), n.Key)
+			}
+		}
+	}
+}
+
+func builtin(name string) (*symbfuzz.Benchmark, error) {
+	switch name {
+	case "alu":
+		return symbfuzz.ALU(), nil
+	case "opentitan_mini":
+		return symbfuzz.OpenTitanMini(nil), nil
+	case "cva6_mini":
+		return symbfuzz.CVA6Mini(true), nil
+	case "rocket_mini":
+		return symbfuzz.RocketMini(true), nil
+	case "mor1kx_mini":
+		return symbfuzz.Mor1kxMini(true), nil
+	case "":
+		return nil, fmt.Errorf("one of -bench or -src is required")
+	}
+	for _, ip := range designs.AllIPs() {
+		if ip.Name == name {
+			return designs.IPBenchmark(ip, true), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown benchmark %q", name)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cfgdump:", err)
+	os.Exit(1)
+}

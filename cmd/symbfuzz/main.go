@@ -1,0 +1,136 @@
+// Command symbfuzz fuzzes a hardware design with the SymbFuzz engine
+// and prints the bug report and coverage summary.
+//
+// Usage:
+//
+//	symbfuzz -bench opentitan_mini -vectors 20000
+//	symbfuzz -src design.sv -top mymodule -vectors 50000
+//
+// Built-in benchmarks: alu, opentitan_mini, opentitan_mini_fixed,
+// cva6_mini, rocket_mini, mor1kx_mini, and each SoC IP by module name
+// (scmi_mailbox, lc_ctrl, aes, otbn_mac, rom_ctrl, pwr_mgr, uart_rx,
+// csrng, sysrst_ctrl, otp_ctrl_dai).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	symbfuzz "repro"
+	"repro/internal/designs"
+)
+
+// propFlags collects repeated -prop name=expr[;disable] flags.
+type propFlags []*symbfuzz.Property
+
+func (p *propFlags) String() string { return fmt.Sprintf("%d properties", len(*p)) }
+
+func (p *propFlags) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("use -prop name=expr[;disable-iff-expr]")
+	}
+	exprSrc, disableSrc, _ := strings.Cut(rest, ";")
+	prop, err := symbfuzz.ParseProperty(strings.TrimSpace(name),
+		strings.TrimSpace(exprSrc), strings.TrimSpace(disableSrc))
+	if err != nil {
+		return err
+	}
+	*p = append(*p, prop)
+	return nil
+}
+
+func main() {
+	var extraProps propFlags
+	var (
+		bench     = flag.String("bench", "", "built-in benchmark name")
+		srcFile   = flag.String("src", "", "HDL source file (alternative to -bench)")
+		top       = flag.String("top", "", "top module (with -src)")
+		vectors   = flag.Uint64("vectors", 20000, "input vector budget")
+		interval  = flag.Int("interval", 300, "Algorithm 1 interval I (cycles)")
+		threshold = flag.Int("threshold", 3, "Algorithm 1 stagnation threshold Th")
+		seed      = flag.Int64("seed", 1, "random seed")
+		fixed     = flag.Bool("fixed", false, "use the bug-free design variant")
+		replay    = flag.Bool("replay", false, "use reset+replay instead of snapshots")
+		keepGoing = flag.Bool("keep-going", true, "continue after full CFG coverage")
+	)
+	flag.Var(&extraProps, "prop",
+		`extra security property, repeatable: -prop 'name=err |-> en;!rst_ni'`)
+	flag.Parse()
+
+	b, err := resolveBenchmark(*bench, *srcFile, *top, *fixed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "symbfuzz:", err)
+		os.Exit(1)
+	}
+	b.Properties = append(b.Properties, extraProps...)
+	rep, err := symbfuzz.Fuzz(b, symbfuzz.Config{
+		Interval:              *interval,
+		Threshold:             *threshold,
+		MaxVectors:            *vectors,
+		Seed:                  *seed,
+		UseSnapshots:          !*replay,
+		ContinueAfterCoverage: *keepGoing,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "symbfuzz:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark: %s (%d LoC)\n", b.Name, b.LoC)
+	fmt.Printf("CFG: %d nodes, %d edges, %d checkpoints, %d dependency equations\n",
+		rep.GraphStats.Nodes, rep.GraphStats.Edges, rep.GraphStats.Checkpoints, rep.GraphStats.DepEqns)
+	fmt.Printf("vectors applied: %d (cycles: %d)\n", rep.Vectors, rep.Cycles)
+	fmt.Printf("coverage: %d points; nodes %d/%d; edges %d/%d\n",
+		rep.FinalPoints, rep.NodesCovered, rep.NodesTotal, rep.EdgesCovered, rep.EdgesTotal)
+	fmt.Printf("guidance: %d symbolic invocations, %d solved plans, %d rollbacks\n",
+		rep.SymbolicInvocations, rep.SolvedPlans, rep.Rollbacks)
+	if len(rep.Bugs) == 0 {
+		fmt.Println("no property violations detected")
+		return
+	}
+	fmt.Printf("\n%-36s %-12s %10s %8s\n", "property", "CWE", "vectors", "cycle")
+	for _, bug := range rep.Bugs {
+		fmt.Printf("%-36s %-12s %10d %8d\n", bug.Property, bug.CWE, bug.Vectors, bug.Cycle)
+	}
+}
+
+// resolveBenchmark maps CLI flags to a benchmark.
+func resolveBenchmark(bench, srcFile, top string, fixed bool) (*symbfuzz.Benchmark, error) {
+	if srcFile != "" {
+		data, err := os.ReadFile(srcFile)
+		if err != nil {
+			return nil, err
+		}
+		if top == "" {
+			return nil, fmt.Errorf("-top is required with -src")
+		}
+		return &symbfuzz.Benchmark{Name: top, Top: top, Source: string(data)}, nil
+	}
+	buggy := !fixed
+	switch bench {
+	case "alu":
+		return symbfuzz.ALU(), nil
+	case "opentitan_mini":
+		if fixed {
+			return symbfuzz.OpenTitanMini(map[string]bool{}), nil
+		}
+		return symbfuzz.OpenTitanMini(nil), nil
+	case "cva6_mini":
+		return symbfuzz.CVA6Mini(buggy), nil
+	case "rocket_mini":
+		return symbfuzz.RocketMini(buggy), nil
+	case "mor1kx_mini":
+		return symbfuzz.Mor1kxMini(buggy), nil
+	case "":
+		return nil, fmt.Errorf("one of -bench or -src is required")
+	}
+	for _, ip := range designs.AllIPs() {
+		if ip.Name == bench {
+			return designs.IPBenchmark(ip, buggy), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown benchmark %q", bench)
+}

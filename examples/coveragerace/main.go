@@ -1,0 +1,95 @@
+// Coverage race: the Figure 4a experiment in miniature. All five tools
+// (SymbFuzz, RFuzz, DifuzzRTL, HWFP, UVM random testing) fuzz the same
+// buggy SoC under the same budget, measured on the same coverage points,
+// and the resulting curves are printed side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	symbfuzz "repro"
+)
+
+func main() {
+	const budget = 8000
+	bench := symbfuzz.OpenTitanMini(nil)
+	fmt.Printf("racing 5 fuzzers on %s (%d LoC), %d vectors each\n\n",
+		bench.Name, bench.LoC, budget)
+
+	tools := []string{"symbfuzz", "rfuzz", "difuzzrtl", "hwfp", "uvm-random"}
+	curves := map[string][]int{}
+	finals := map[string]int{}
+	var grid []uint64
+
+	for _, tool := range tools {
+		var (
+			res *symbfuzz.FuzzerResult
+			err error
+		)
+		if tool == "symbfuzz" {
+			// The engine measures itself on its own CFG coverage.
+			rep, ferr := symbfuzz.Fuzz(bench, symbfuzz.Config{
+				Interval: 100, Threshold: 2, MaxVectors: budget, Seed: 7,
+				UseSnapshots: true, ContinueAfterCoverage: true,
+				CurveStride: budget / 20,
+			})
+			if ferr != nil {
+				log.Fatal(ferr)
+			}
+			res = &symbfuzz.FuzzerResult{Name: tool, FinalPoints: rep.FinalPoints}
+			for _, p := range rep.Curve {
+				res.Curve = append(res.Curve, p)
+			}
+			err = nil
+		} else {
+			res, err = symbfuzz.RunBaseline(tool, bench, symbfuzz.BaselineConfig{
+				MaxVectors: budget, Seed: 7, CurveStride: budget / 20,
+			})
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		finals[tool] = res.FinalPoints
+		var pts []int
+		grid = grid[:0]
+		for _, p := range res.Curve {
+			grid = append(grid, p.Vectors)
+			pts = append(pts, p.Points)
+		}
+		curves[tool] = pts
+	}
+
+	// Print aligned columns (step sampling onto the last tool's grid).
+	fmt.Printf("%10s", "vectors")
+	for _, tool := range tools {
+		fmt.Printf(" %11s", tool)
+	}
+	fmt.Println()
+	rows := 0
+	for _, c := range curves {
+		if len(c) > rows {
+			rows = len(c)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		if i < len(grid) {
+			fmt.Printf("%10d", grid[i])
+		} else {
+			fmt.Printf("%10s", "")
+		}
+		for _, tool := range tools {
+			c := curves[tool]
+			if i < len(c) {
+				fmt.Printf(" %11d", c[i])
+			} else {
+				fmt.Printf(" %11d", finals[tool])
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nfinal coverage points (same reference metric for all):")
+	for _, tool := range tools {
+		fmt.Printf("  %-11s %6d\n", tool, finals[tool])
+	}
+}

@@ -1,0 +1,213 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// Two independent FSMs plus a counter coupled to the second FSM: the
+// clustering must separate fsm_a from {fsm_b, cnt}.
+const twoFSMSrc = `
+module two (input clk_i, input rst_ni, input [1:0] ca, input [1:0] cb,
+            output reg [1:0] fsm_a, output reg [1:0] fsm_b, output reg [2:0] cnt);
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) fsm_a <= 2'd0;
+    else begin
+      case (fsm_a)
+        2'd0: if (ca == 2'd1) fsm_a <= 2'd1;
+        2'd1: fsm_a <= 2'd2;
+        2'd2: fsm_a <= 2'd0;
+        default: fsm_a <= 2'd0;
+      endcase
+    end
+  end
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      fsm_b <= 2'd0;
+      cnt <= 3'd0;
+    end else begin
+      case (fsm_b)
+        2'd0: if (cb == 2'd2) fsm_b <= 2'd1;
+        2'd1: begin
+          cnt <= cnt + 3'd1;
+          if (cnt == 3'd5) fsm_b <= 2'd2;
+        end
+        2'd2: begin
+          fsm_b <= 2'd0;
+          cnt <= 3'd0;
+        end
+        default: fsm_b <= 2'd0;
+      endcase
+    end
+  end
+endmodule`
+
+func TestClustersSeparateIndependentFSMs(t *testing.T) {
+	d := elaborate(t, twoFSMSrc, "two")
+	tr, err := BuildTransition(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := Clusters(d, tr)
+	if len(clusters) != 2 {
+		names := [][]string{}
+		for _, c := range clusters {
+			var ns []string
+			for _, r := range c {
+				ns = append(ns, r.Sig.Name)
+			}
+			names = append(names, ns)
+		}
+		t.Fatalf("clusters = %d (%v), want 2", len(clusters), names)
+	}
+	byName := map[string]int{}
+	for ci, c := range clusters {
+		for _, r := range c {
+			byName[r.Sig.Name] = ci
+		}
+	}
+	if byName["fsm_b"] != byName["cnt"] {
+		t.Error("fsm_b and cnt interact (shared branch/next-state) and must share a cluster")
+	}
+	if byName["fsm_a"] == byName["fsm_b"] {
+		t.Error("independent FSMs must be in different clusters")
+	}
+}
+
+func TestPartitionSums(t *testing.T) {
+	d := elaborate(t, twoFSMSrc, "two")
+	tr, err := BuildTransition(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := sim.DetectClockReset(d)
+	if err := s.ApplyReset(info, 2); err != nil {
+		t.Fatal(err)
+	}
+	reset := map[int]logic.BV{}
+	for _, cr := range ControlRegisters(d) {
+		reset[cr.Sig.Index] = s.Get(cr.Sig.Index)
+	}
+	p, err := BuildPartition(d, tr, reset, Options{
+		Pin: map[string]logic.BV{"rst_ni": logic.Ones(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Graphs) != 2 {
+		t.Fatalf("partition graphs = %d", len(p.Graphs))
+	}
+	st := p.Stats()
+	sumN, sumE := 0, 0
+	for _, g := range p.Graphs {
+		sumN += len(g.Nodes)
+		sumE += len(g.Edges)
+	}
+	if st.Nodes != sumN || st.Edges != sumE {
+		t.Errorf("stats not summed: %+v vs %d/%d", st, sumN, sumE)
+	}
+	if p.TotalEdges() != sumE {
+		t.Error("TotalEdges mismatch")
+	}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+	// The summed node population must be far below the joint product:
+	// 4 (fsm_a) + 4*8 (fsm_b x cnt) reachable subset vs 4*4*8 joint.
+	if st.Nodes > 20 {
+		t.Errorf("clustered nodes = %d, expected a small sum of local spaces", st.Nodes)
+	}
+}
+
+func TestSolveStepWithContext(t *testing.T) {
+	d := elaborate(t, twoFSMSrc, "two")
+	tr, err := BuildTransition(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := sim.DetectClockReset(d)
+	if err := s.ApplyReset(info, 2); err != nil {
+		t.Fatal(err)
+	}
+	reset := map[int]logic.BV{}
+	for _, cr := range ControlRegisters(d) {
+		reset[cr.Sig.Index] = s.Get(cr.Sig.Index)
+	}
+	p, err := BuildPartition(d, tr, reset, Options{
+		Pin: map[string]logic.BV{"rst_ni": logic.Ones(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the fsm_b/cnt cluster and solve cnt 0 -> 1 (requires
+	// fsm_b == 1, which is a cluster-internal current value).
+	bIdx := d.ByName["fsm_b"].Index
+	cntIdx := d.ByName["cnt"].Index
+	var g *Graph
+	for _, gg := range p.Graphs {
+		for _, cr := range gg.Regs {
+			if cr.Sig.Index == cntIdx {
+				g = gg
+			}
+		}
+	}
+	if g == nil {
+		t.Fatal("cnt cluster not found")
+	}
+	plan := g.SolveStep(
+		map[int]logic.BV{bIdx: logic.FromUint64(2, 1), cntIdx: logic.FromUint64(3, 0)},
+		map[int]logic.BV{cntIdx: logic.FromUint64(3, 1)},
+		map[int]logic.BV{d.ByName["fsm_a"].Index: logic.FromUint64(2, 0)},
+		0)
+	if plan == nil {
+		t.Fatal("no plan for cnt increment")
+	}
+	// And an impossible jump stays unsat.
+	if p2 := g.SolveStep(
+		map[int]logic.BV{bIdx: logic.FromUint64(2, 0), cntIdx: logic.FromUint64(3, 0)},
+		map[int]logic.BV{cntIdx: logic.FromUint64(3, 5)},
+		nil, 0); p2 != nil {
+		t.Error("cnt 0 -> 5 in one step should be unsat")
+	}
+}
+
+func TestDotExport(t *testing.T) {
+	d := elaborate(t, twoFSMSrc, "two")
+	tr, err := BuildTransition(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := sim.DetectClockReset(d)
+	_ = s.ApplyReset(info, 2)
+	reset := map[int]logic.BV{}
+	for _, cr := range ControlRegisters(d) {
+		reset[cr.Sig.Index] = s.Get(cr.Sig.Index)
+	}
+	p, err := BuildPartition(d, tr, reset, Options{
+		Pin: map[string]logic.BV{"rst_ni": logic.Ones(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := p.Dot("two")
+	for _, frag := range []string{"digraph", "subgraph cluster_0", "subgraph cluster_1", "->", "fsm_a"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("dot output missing %q:\n%s", frag, dot)
+		}
+	}
+}

@@ -1,0 +1,619 @@
+// Package core implements the SymbFuzz engine: Algorithm 1 of the
+// paper. A UVM environment drives the DUV with constrained-random
+// stimulus in intervals of I cycles; a CFG coverage monitor tracks
+// control-register interaction tuples; when coverage stagnates for Th
+// intervals, the engine identifies the last covered state, rolls back to
+// the nearest checkpoint with unexplored out-edges (backtracking the CFG
+// when necessary), solves the dependency equations for an unexplored
+// transition with the SMT solver, and pins the solved stimulus into the
+// UVM sequencer (§4.5–§4.8). Property violations are logged with their
+// input-vector counts into the bug report (§4.9).
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/cov"
+	"repro/internal/elab"
+	"repro/internal/logic"
+	"repro/internal/props"
+	"repro/internal/sim"
+	"repro/internal/uvm"
+	"repro/internal/vcd"
+)
+
+// Config are the user-facing fuzzing parameters of Algorithm 1.
+type Config struct {
+	// Interval is I: clock cycles simulated per round before coverage
+	// is logged (paper default 300).
+	Interval int
+	// Threshold is Th: stagnant rounds before symbolic execution.
+	Threshold int
+	// MaxVectors bounds the total input vectors applied.
+	MaxVectors uint64
+	// Seed drives all randomness; equal seeds give equal runs.
+	Seed int64
+	// ResetCycles for the reset sequence (default 2).
+	ResetCycles int
+	// CFG options for static graph construction.
+	CFG cfg.Options
+	// UseSnapshots selects fast snapshot rollback; when false the
+	// engine resets and replays the recorded input prefix (§4.5's
+	// sequence replay; the ablation's slow path).
+	UseSnapshots bool
+	// DisableSymbolic turns off the guidance stage (pure fuzzing
+	// ablation).
+	DisableSymbolic bool
+	// DumpVCD routes each interval's trace through a VCD write+read
+	// round trip, mirroring Algorithm 1's dump-file scan.
+	DumpVCD bool
+	// CurveStride samples the coverage curve every N vectors
+	// (default: Interval).
+	CurveStride uint64
+	// ContinueAfterCoverage keeps fuzzing until the vector budget even
+	// once every static CFG edge is covered (Algorithm 1 stops at full
+	// coverage; bug-hunting campaigns keep going).
+	ContinueAfterCoverage bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval == 0 {
+		c.Interval = 300
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 3
+	}
+	if c.ResetCycles == 0 {
+		c.ResetCycles = 2
+	}
+	if c.MaxVectors == 0 {
+		c.MaxVectors = 100_000
+	}
+	if c.CurveStride == 0 {
+		c.CurveStride = uint64(c.Interval)
+	}
+	return c
+}
+
+// checkpoint is a revisitable CFG node of one cluster graph (§4.5).
+type checkpoint struct {
+	graph  int
+	node   int
+	snap   *sim.Snapshot
+	prefix []*uvm.Item
+}
+
+// CurvePoint is one sample of the coverage curve (Figure 4a).
+type CurvePoint struct {
+	Vectors uint64
+	Points  int
+}
+
+// BugRecord is one detected property violation with the number of input
+// vectors applied when it fired (Table 1, column 6).
+type BugRecord struct {
+	props.Violation
+	Vectors uint64
+}
+
+// Report is Algorithm 1's output R plus run statistics.
+type Report struct {
+	Bugs        []BugRecord
+	Curve       []CurvePoint
+	FinalPoints int
+	Vectors     uint64
+	Cycles      uint64
+
+	NodesCovered, NodesTotal int
+	EdgesCovered, EdgesTotal int
+	TupleCount               int
+
+	SymbolicInvocations int
+	SolvedPlans         int
+	Rollbacks           int
+	Replays             int
+	CheckpointsTaken    int
+	VCDBytes            int
+
+	GraphStats cfg.Stats
+}
+
+// Engine runs SymbFuzz on one design.
+type Engine struct {
+	cfgc  Config
+	env   *uvm.Env
+	part  *cfg.Partition
+	cover *cov.CFGCov
+	extra []cov.Monitor
+
+	// checkpoints are keyed by (cluster graph index, node ID).
+	checkpoints map[[2]int]*checkpoint
+	prefix      []*uvm.Item
+	report      *Report
+	rng         *rand.Rand
+	vcdBuf      bytes.Buffer
+	vcdWriter   *vcd.Writer
+}
+
+// New builds the engine: UVM environment, reset, transition relation,
+// static CFG and coverage monitor (Algorithm 1 lines 1–6).
+func New(d *elab.Design, properties []*props.Property, c Config) (*Engine, error) {
+	c = c.withDefaults()
+	env, err := uvm.NewEnv(d, uvm.EnvConfig{
+		Seed:        c.Seed,
+		Properties:  properties,
+		ResetCycles: c.ResetCycles,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Reset(); err != nil {
+		return nil, err
+	}
+	tr, err := cfg.BuildTransition(d)
+	if err != nil {
+		return nil, err
+	}
+	// Pin the reset input deasserted during CFG construction so the
+	// graph describes post-reset behaviour.
+	opts := c.CFG
+	if opts.Pin == nil {
+		opts.Pin = map[string]logic.BV{}
+	}
+	if env.ClockInfo.Reset >= 0 {
+		name := d.Signals[env.ClockInfo.Reset].Name
+		if _, set := opts.Pin[name]; !set {
+			v := logic.Ones(1)
+			if !env.ClockInfo.ActiveLow {
+				v = logic.Zero(1)
+			}
+			opts.Pin[name] = v
+		}
+	}
+	resetVals := map[int]logic.BV{}
+	for _, cr := range cfg.ControlRegisters(d) {
+		resetVals[cr.Sig.Index] = env.Sim.Get(cr.Sig.Index)
+	}
+	part, err := cfg.BuildPartition(d, tr, resetVals, opts)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfgc:        c,
+		env:         env,
+		part:        part,
+		cover:       cov.NewCFGCov(part),
+		checkpoints: map[[2]int]*checkpoint{},
+		report:      &Report{GraphStats: part.Stats()},
+		rng:         rand.New(rand.NewSource(c.Seed ^ 0x51bb)),
+	}
+	mon := cov.Monitor(e.cover)
+	if len(e.extra) > 0 {
+		mon = cov.NewMulti(append([]cov.Monitor{e.cover}, e.extra...)...)
+	}
+	cov.Attach(env.Sim, mon)
+	// Cycles are counted monotonically: snapshot restores rewind the
+	// simulator's own clock but not the amount of simulation performed.
+	env.Sim.OnCycle(func(*sim.Simulator) { e.report.Cycles++ })
+	if c.DumpVCD {
+		e.vcdWriter = vcd.NewWriter(&e.vcdBuf)
+		for _, g := range part.Graphs {
+			for _, cr := range g.Regs {
+				e.vcdWriter.Declare(cr.Sig.Name, cr.Sig.Width)
+			}
+		}
+		env.Sim.OnCycle(func(s *sim.Simulator) {
+			_ = e.vcdWriter.Sample(s.Cycle(), func(name string) logic.BV {
+				idx := s.SignalIndex(name)
+				if idx < 0 {
+					return logic.X(1)
+				}
+				return s.Get(idx)
+			})
+		})
+	}
+	return e, nil
+}
+
+// AttachMonitor adds an extra coverage monitor observing the same run
+// (the evaluation harness uses this to apply one reference metric to
+// every fuzzer). Must be called before Run.
+func (e *Engine) AttachMonitor(m cov.Monitor) {
+	e.extra = append(e.extra, m)
+	mon := cov.NewMulti(append([]cov.Monitor{e.cover}, e.extra...)...)
+	cov.Attach(e.env.Sim, mon)
+}
+
+// Env exposes the UVM environment (examples and tests drive it).
+func (e *Engine) Env() *uvm.Env { return e.env }
+
+// Graph exposes the clustered static CFG.
+func (e *Engine) Graph() *cfg.Partition { return e.part }
+
+// Coverage exposes the live CFG coverage monitor.
+func (e *Engine) Coverage() *cov.CFGCov { return e.cover }
+
+// Run executes Algorithm 1's fuzzing loop until the vector budget is
+// exhausted or every static CFG edge has been exercised.
+func (e *Engine) Run() (*Report, error) {
+	c := e.cfgc
+	seq := e.env.Agent.Sequencer
+	lastPoints := -1
+	stagnant := 0
+	bugSeen := 0
+	var nextCurve uint64
+
+	for e.report.Vectors < c.MaxVectors &&
+		(c.ContinueAfterCoverage || !e.cover.AllEdgesCovered()) {
+		// --- one interval of I cycles (Alg. 1 line 8) ---
+		for i := 0; i < c.Interval && e.report.Vectors < c.MaxVectors; i++ {
+			it := seq.NextItem()
+			if err := e.env.Agent.Driver.Apply(it); err != nil {
+				return nil, err
+			}
+			e.prefix = append(e.prefix, it)
+			e.report.Vectors++
+			e.maybeCheckpoint()
+			if e.report.Vectors >= nextCurve {
+				e.report.Curve = append(e.report.Curve, CurvePoint{Vectors: e.report.Vectors, Points: e.cover.Points()})
+				nextCurve += c.CurveStride
+			}
+		}
+		if c.DumpVCD {
+			e.scanDump()
+		}
+		// --- record new bugs with their vector counts (lines 23–25) ---
+		vs := e.env.Violations()
+		for ; bugSeen < len(vs); bugSeen++ {
+			e.report.Bugs = append(e.report.Bugs, BugRecord{Violation: vs[bugSeen], Vectors: e.report.Vectors})
+		}
+		// --- stagnation bookkeeping (lines 13–22) ---
+		points := e.cover.Points()
+		if points > lastPoints {
+			lastPoints = points
+			stagnant = 0
+			continue
+		}
+		stagnant++
+		if c.DisableSymbolic || stagnant < c.Threshold {
+			continue
+		}
+		stagnant = 0
+		e.report.SymbolicInvocations++
+		e.guide()
+	}
+	// Collect violations raised after the last interval boundary.
+	vs := e.env.Violations()
+	for ; bugSeen < len(vs); bugSeen++ {
+		e.report.Bugs = append(e.report.Bugs, BugRecord{Violation: vs[bugSeen], Vectors: e.report.Vectors})
+	}
+	e.finishReport()
+	return e.report, nil
+}
+
+// maybeCheckpoint records the revisit state the first time each CFG
+// node is encountered: §4.5 updates the recorded input sequence on every
+// new node, and marks high-fanout nodes as checkpoints. Snapshot mode
+// additionally saves the architectural state for O(1) re-entry.
+func (e *Engine) maybeCheckpoint() {
+	var snap *sim.Snapshot
+	for gi, g := range e.part.Graphs {
+		node := e.cover.PrevNode(gi)
+		if node < 0 {
+			continue
+		}
+		key := [2]int{gi, node}
+		if _, ok := e.checkpoints[key]; ok {
+			continue
+		}
+		ck := &checkpoint{graph: gi, node: node, prefix: append([]*uvm.Item(nil), e.prefix...)}
+		if e.cfgc.UseSnapshots {
+			if snap == nil {
+				snap = e.env.Sim.Snapshot()
+			}
+			ck.snap = snap
+		}
+		e.checkpoints[key] = ck
+		if g.Checkpoints[node] {
+			e.report.CheckpointsTaken++
+		}
+	}
+}
+
+// guideSteps bounds the chained guided transitions per symbolic phase,
+// and guideTries bounds the alternative edges attempted per step.
+const (
+	guideSteps = 64
+	guideTries = 4
+)
+
+// guide is the symbolic stage: pick a cluster graph with unexplored
+// out-edges from its current node (or backtrack to the nearest
+// revisitable checkpoint that has them, lines 14–18), roll back when
+// needed (line 19), solve the dependency equations for an unexplored
+// transition (lines 20–21), and keep chaining guided steps while they
+// make progress — the paper's inner while-loop that walks the DUV along
+// unexplored paths.
+func (e *Engine) guide() {
+	for step := 0; step < guideSteps && e.report.Vectors < e.cfgc.MaxVectors; step++ {
+		progressed := false
+		// Solve in place: clusters whose current node has unexplored
+		// out-edges, most-unexplored first.
+		for _, cand := range e.inPlaceCandidates() {
+			if e.tryEdges(cand[0], cand[1]) {
+				progressed = true
+				break
+			}
+		}
+		// Backtrack: roll back to a recorded checkpoint with unexplored
+		// out-edges (lines 15–19).
+		if !progressed {
+			for gi := range e.part.Graphs {
+				ck := e.findTarget(gi, e.cover.PrevNode(gi))
+				if ck == nil {
+					continue
+				}
+				e.rollback(ck)
+				if e.tryEdges(ck.graph, ck.node) {
+					progressed = true
+					break
+				}
+			}
+		}
+		if !progressed {
+			// Every reachable static edge is exercised (or unsolvable):
+			// diversify the interaction tuples by re-entering a recorded
+			// checkpoint (§4.5 replays rather than rebooting), or
+			// hard-reset when nothing is recorded yet.
+			if len(e.checkpoints) > 0 {
+				keys := make([][2]int, 0, len(e.checkpoints))
+				for k := range e.checkpoints {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(i, j int) bool {
+					if keys[i][0] != keys[j][0] {
+						return keys[i][0] < keys[j][0]
+					}
+					return keys[i][1] < keys[j][1]
+				})
+				e.rollback(e.checkpoints[keys[e.rng.Intn(len(keys))]])
+			} else {
+				_ = e.env.Reset()
+				e.prefix = e.prefix[:0]
+				e.cover.ResetPosition()
+				e.resetCheckerHistory()
+				e.report.Rollbacks++
+			}
+			return
+		}
+	}
+}
+
+// inPlaceCandidates lists (cluster, node) pairs whose current node has
+// unexplored out-edges, sorted by unexplored count descending.
+func (e *Engine) inPlaceCandidates() [][2]int {
+	type cand struct {
+		gi, node, score int
+	}
+	var cands []cand
+	for gi, g := range e.part.Graphs {
+		cur := e.cover.PrevNode(gi)
+		if cur < 0 {
+			continue
+		}
+		if n := len(g.UncoveredFrom(cur, e.cover.EdgesSeen[gi])); n > 0 {
+			cands = append(cands, cand{gi, cur, n})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].gi < cands[j].gi
+	})
+	out := make([][2]int, len(cands))
+	for i, c := range cands {
+		out[i] = [2]int{c.gi, c.node}
+	}
+	return out
+}
+
+// tryEdges attempts up to guideTries unexplored out-edges of the node,
+// solving each with the full concrete register context and applying the
+// plan; reports whether any targeted edge got exercised.
+func (e *Engine) tryEdges(gi, node int) bool {
+	g := e.part.Graphs[gi]
+	edges := e.rankedEdges(gi, node)
+	for try := 0; try < len(edges) && try < guideTries; try++ {
+		edge := edges[try]
+		curVals := map[int]logic.BV{}
+		context := map[int]logic.BV{}
+		for _, cr := range g.Regs {
+			curVals[cr.Sig.Index] = e.env.Sim.Get(cr.Sig.Index)
+		}
+		for _, sig := range e.part.Design.Registers() {
+			context[sig.Index] = e.env.Sim.Get(sig.Index)
+		}
+		plan := g.SolveStep(curVals, g.Nodes[edge.To].Vals, context,
+			e.cfgc.Seed+int64(e.report.SymbolicInvocations))
+		if plan == nil {
+			continue
+		}
+		e.report.SolvedPlans++
+		if e.applyPlan(gi, plan, edge) {
+			return true
+		}
+	}
+	return false
+}
+
+// findTarget locates a checkpoint of cluster gi with uncovered
+// out-edges, walking CFG predecessors breadth-first from cur.
+func (e *Engine) findTarget(gi, cur int) *checkpoint {
+	g := e.part.Graphs[gi]
+	visited := map[int]bool{}
+	var queue []int
+	if cur >= 0 {
+		queue = append(queue, cur)
+		visited[cur] = true
+	} else {
+		for key := range e.checkpoints {
+			if key[0] == gi {
+				queue = append(queue, key[1])
+				visited[key[1]] = true
+			}
+		}
+		sort.Ints(queue)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if ck, ok := e.checkpoints[[2]int{gi, n}]; ok {
+			if len(g.UncoveredFrom(n, e.cover.EdgesSeen[gi])) > 0 {
+				return ck
+			}
+		}
+		for _, eid := range g.Nodes[n].In {
+			from := g.Edges[eid].From
+			if !visited[from] {
+				visited[from] = true
+				queue = append(queue, from)
+			}
+		}
+	}
+	// Fall back to any recorded checkpoint of this cluster with work left.
+	var keys [][2]int
+	for key := range e.checkpoints {
+		if key[0] == gi {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i][1] < keys[j][1] })
+	for _, key := range keys {
+		if len(g.UncoveredFrom(key[1], e.cover.EdgesSeen[gi])) > 0 {
+			return e.checkpoints[key]
+		}
+	}
+	return nil
+}
+
+// rollback re-enters a checkpoint: snapshot restore in the fast path, or
+// reset plus input-prefix replay (the recorded path of §4.5).
+func (e *Engine) rollback(ck *checkpoint) {
+	e.report.Rollbacks++
+	e.env.Agent.Sequencer.ClearPinned()
+	if e.cfgc.UseSnapshots && ck.snap != nil {
+		e.env.Sim.Restore(ck.snap)
+		e.prefix = append(e.prefix[:0], ck.prefix...)
+		e.cover.SyncPosition(e.env.Sim)
+		e.resetCheckerHistory()
+		return
+	}
+	_ = e.env.Reset()
+	e.cover.ResetPosition()
+	e.resetCheckerHistory()
+	e.report.Replays++
+	for _, it := range ck.prefix {
+		if err := e.env.Agent.Driver.Apply(it); err != nil {
+			return
+		}
+		e.report.Vectors++ // replay cost is paid in vectors
+	}
+	e.prefix = append(e.prefix[:0], ck.prefix...)
+	e.cover.SyncPosition(e.env.Sim)
+}
+
+// applyPlan drives the solved stimulus vector directly, reporting
+// whether the targeted edge was exercised.
+func (e *Engine) applyPlan(gi int, plan *cfg.StepPlan, edge cfg.Edge) bool {
+	seq := e.env.Agent.Sequencer
+	it := &uvm.Item{Fields: map[string]logic.BV{}, Hold: 1}
+	for _, f := range seq.Fields {
+		if v, ok := plan.Inputs[f.Name]; ok {
+			it.Fields[f.Name] = v.Resize(f.Width)
+		} else {
+			it.Fields[f.Name] = logic.Zero(f.Width)
+		}
+	}
+	if err := e.env.Agent.Driver.Apply(it); err != nil {
+		return false
+	}
+	e.prefix = append(e.prefix, it)
+	e.report.Vectors++
+	e.maybeCheckpoint()
+	return e.cover.EdgeSeen(gi, edge.ID)
+}
+
+// rankedEdges orders a cluster node's uncovered out-edges by descending
+// unlock count, ties broken by ascending Hamming distance (§4.7).
+func (e *Engine) rankedEdges(gi, node int) []cfg.Edge {
+	g := e.part.Graphs[gi]
+	uncovered := g.UncoveredFrom(node, e.cover.EdgesSeen[gi])
+	cur := g.Nodes[node]
+	sort.SliceStable(uncovered, func(i, j int) bool {
+		ui := len(g.UncoveredFrom(uncovered[i].To, e.cover.EdgesSeen[gi]))
+		uj := len(g.UncoveredFrom(uncovered[j].To, e.cover.EdgesSeen[gi]))
+		if ui != uj {
+			return ui > uj
+		}
+		return hamming(cur, g.Nodes[uncovered[i].To]) < hamming(cur, g.Nodes[uncovered[j].To])
+	})
+	return uncovered
+}
+
+func hamming(a, b *cfg.Node) int {
+	d := 0
+	for idx, av := range a.Vals {
+		bv, ok := b.Vals[idx]
+		if !ok {
+			continue
+		}
+		x := av.Xor(bv)
+		for i := 0; i < x.Width(); i++ {
+			if x.Bit(i) == logic.L1 {
+				d++
+			}
+		}
+	}
+	return d
+}
+
+func (e *Engine) resetCheckerHistory() {
+	if chk := e.env.Agent.Monitor.Checker; chk != nil {
+		chk.ResetHistory()
+	}
+}
+
+// scanDump parses the interval's VCD trace (Alg. 1 line 9's dump-file
+// read) and accounts its size; the parsed trace cross-checks the live
+// node bookkeeping.
+func (e *Engine) scanDump() {
+	if e.vcdWriter == nil {
+		return
+	}
+	_ = e.vcdWriter.Flush()
+	e.report.VCDBytes += e.vcdBuf.Len()
+	if e.vcdBuf.Len() > 0 {
+		_, _ = vcd.Read(bytes.NewReader(e.vcdBuf.Bytes()))
+	}
+	e.vcdBuf.Reset()
+}
+
+func (e *Engine) finishReport() {
+	e.report.FinalPoints = e.cover.Points()
+	e.report.NodesCovered, e.report.NodesTotal = e.cover.NodeCoverage()
+	e.report.EdgesCovered, e.report.EdgesTotal = e.cover.EdgeCoverage()
+	e.report.TupleCount = len(e.cover.Tuples)
+	e.report.Curve = append(e.report.Curve, CurvePoint{Vectors: e.report.Vectors, Points: e.cover.Points()})
+}
+
+// String renders a one-line summary of a report.
+func (r *Report) String() string {
+	return fmt.Sprintf("report{vectors=%d points=%d nodes=%d/%d edges=%d/%d bugs=%d symb=%d rollbacks=%d}",
+		r.Vectors, r.FinalPoints, r.NodesCovered, r.NodesTotal,
+		r.EdgesCovered, r.EdgesTotal, len(r.Bugs), r.SymbolicInvocations, r.Rollbacks)
+}

@@ -1,0 +1,405 @@
+// Package cov implements the coverage models the paper compares (§5.3):
+//
+//   - CFGCov — SymbFuzz's coverage (§4.6): CFG nodes (control-register
+//     valuations), edges (transitions), and ⟨edge ID, C(i1,i2)⟩
+//     interaction tuples.
+//   - MuxCov — RFuzz's mux-select (branch-arm) coverage.
+//   - RegCov — DifuzzRTL's hashed control-register-value coverage.
+//   - EdgeHashCov — HWFP's AFL-style hashed edge coverage over the
+//     instrumented branch stream.
+//
+// Each monitor plugs into the simulator as a branch tracer plus a
+// per-cycle sampler, and reports a monotonically growing point count.
+package cov
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/sim"
+)
+
+// Monitor is a pluggable coverage model.
+type Monitor interface {
+	// Branch receives branch-arm events (sim tracer).
+	Branch(id, arm int)
+	// Sample is called once per completed cycle.
+	Sample(s *sim.Simulator)
+	// Points is the current number of distinct coverage points.
+	Points() int
+	// Name identifies the model.
+	Name() string
+}
+
+// Attach wires a monitor to a simulator (tracer + cycle listener).
+func Attach(s *sim.Simulator, m Monitor) {
+	s.SetTracer(tracerFunc(m.Branch))
+	s.OnCycle(func(sm *sim.Simulator) { m.Sample(sm) })
+}
+
+type tracerFunc func(id, arm int)
+
+func (f tracerFunc) Branch(id, arm int) { f(id, arm) }
+
+// ---- SymbFuzz CFG coverage ----
+
+// CFGCov tracks node, edge and interaction-tuple coverage against the
+// clustered static CFG of a design.
+type CFGCov struct {
+	P *cfg.Partition
+	// NodesSeen / EdgesSeen are static hits, per cluster graph.
+	NodesSeen []map[int]bool
+	EdgesSeen []map[int]bool
+	// DynNodes / DynEdges are valuations and transitions observed at
+	// run time but absent from the (possibly truncated) static graphs;
+	// tracked for diagnostics but excluded from Points so the metric
+	// stays bounded on large designs.
+	DynNodes map[string]bool
+	DynEdges map[string]bool
+	// Tuples are the control-register interaction tuples of §4.6: each
+	// exercised branch arm paired with the valuations of the control
+	// registers that branch reads. The population is a sum of local
+	// products (per-branch register domains), which is what keeps the
+	// paper's coverage countable (~2x10^4 points) instead of the full
+	// Cartesian state space.
+	Tuples map[string]bool
+
+	// branchRegs[id] lists the control registers branch id reads.
+	branchRegs [][]int
+
+	prevKey  []string
+	prevNode []int
+	events   [][2]int
+	hasPrev  bool
+}
+
+// NewCFGCov builds the SymbFuzz coverage monitor over a clustered CFG.
+func NewCFGCov(p *cfg.Partition) *CFGCov {
+	c := &CFGCov{
+		P:          p,
+		NodesSeen:  make([]map[int]bool, len(p.Graphs)),
+		EdgesSeen:  make([]map[int]bool, len(p.Graphs)),
+		DynNodes:   map[string]bool{},
+		DynEdges:   map[string]bool{},
+		Tuples:     map[string]bool{},
+		branchRegs: make([][]int, p.Design.Branches),
+		prevKey:    make([]string, len(p.Graphs)),
+		prevNode:   make([]int, len(p.Graphs)),
+	}
+	for i := range p.Graphs {
+		c.NodesSeen[i] = map[int]bool{}
+		c.EdgesSeen[i] = map[int]bool{}
+		c.prevNode[i] = -1
+	}
+	ctrl := map[int]bool{}
+	for _, g := range p.Graphs {
+		for _, cr := range g.Regs {
+			ctrl[cr.Sig.Index] = true
+		}
+	}
+	for _, bi := range p.Design.BranchInfo {
+		var regs []int
+		for _, s := range bi.CondSignals {
+			if ctrl[s] {
+				regs = append(regs, s)
+			}
+		}
+		c.branchRegs[bi.ID] = regs
+	}
+	return c
+}
+
+// Name implements Monitor.
+func (c *CFGCov) Name() string { return "symbfuzz-cfg" }
+
+// Branch implements Monitor.
+func (c *CFGCov) Branch(id, arm int) { c.events = append(c.events, [2]int{id, arm}) }
+
+// nodeKeyOf renders a cluster's current control-register valuation.
+func nodeKeyOf(g *cfg.Graph, s *sim.Simulator) string {
+	key := ""
+	for _, cr := range g.Regs {
+		key += s.Get(cr.Sig.Index).BitString() + "|"
+	}
+	return key
+}
+
+// Sample implements Monitor: map the cycle onto every cluster graph
+// (Alg. 1 l.9) and record the interaction tuples.
+func (c *CFGCov) Sample(s *sim.Simulator) {
+	for gi, g := range c.P.Graphs {
+		key := nodeKeyOf(g, s)
+		nid := -1
+		if id, ok := g.ByKey[canonKey(key)]; ok {
+			nid = id
+			c.NodesSeen[gi][id] = true
+		} else {
+			c.DynNodes[fmt.Sprintf("g%d:%s", gi, key)] = true
+		}
+		if c.hasPrev {
+			covered := false
+			if c.prevNode[gi] >= 0 && nid >= 0 {
+				for _, eid := range g.Nodes[c.prevNode[gi]].Out {
+					if g.Edges[eid].To == nid {
+						c.EdgesSeen[gi][eid] = true
+						covered = true
+						break
+					}
+				}
+			}
+			if !covered && key != c.prevKey[gi] {
+				c.DynEdges[fmt.Sprintf("g%d:%s>%s", gi, c.prevKey[gi], key)] = true
+			}
+		}
+		c.prevKey[gi] = key
+		c.prevNode[gi] = nid
+	}
+	// Interaction tuples: each branch arm exercised this cycle paired
+	// with the valuations of the control registers the branch reads.
+	for _, ev := range c.events {
+		id, arm := ev[0], ev[1]
+		tuple := fmt.Sprintf("b%d.%d", id, arm)
+		if id < len(c.branchRegs) {
+			for _, ridx := range c.branchRegs[id] {
+				tuple += "|" + s.Get(ridx).BitString()
+			}
+		}
+		c.Tuples[tuple] = true
+	}
+	c.events = c.events[:0]
+	c.hasPrev = true
+}
+
+// canonKey maps a four-state key to the graph's canonical (X->0) key.
+func canonKey(k string) string {
+	out := []byte(k)
+	for i, ch := range out {
+		if ch == 'x' || ch == 'z' {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+// Points implements Monitor: interaction tuples plus covered static
+// structure. Dynamic (off-graph) observations are excluded to keep the
+// metric bounded on large designs.
+func (c *CFGCov) Points() int {
+	n := len(c.Tuples)
+	for i := range c.P.Graphs {
+		n += len(c.EdgesSeen[i]) + len(c.NodesSeen[i])
+	}
+	return n
+}
+
+// EdgeCoverage returns (covered, total) static edges across clusters.
+func (c *CFGCov) EdgeCoverage() (int, int) {
+	cov, tot := 0, 0
+	for i, g := range c.P.Graphs {
+		cov += len(c.EdgesSeen[i])
+		tot += len(g.Edges)
+	}
+	return cov, tot
+}
+
+// NodeCoverage returns (covered, total) static nodes across clusters.
+func (c *CFGCov) NodeCoverage() (int, int) {
+	cov, tot := 0, 0
+	for i, g := range c.P.Graphs {
+		cov += len(c.NodesSeen[i])
+		tot += len(g.Nodes)
+	}
+	return cov, tot
+}
+
+// AllEdgesCovered reports Algorithm 1's termination condition: every
+// static edge of every cluster exercised at least once.
+func (c *CFGCov) AllEdgesCovered() bool {
+	covered, total := c.EdgeCoverage()
+	return total > 0 && covered >= total
+}
+
+// PrevNode returns the last mapped node of cluster gi (-1 off-graph).
+func (c *CFGCov) PrevNode(gi int) int {
+	if gi < 0 || gi >= len(c.prevNode) {
+		return -1
+	}
+	return c.prevNode[gi]
+}
+
+// EdgeSeen reports whether cluster gi's edge eid has been exercised.
+func (c *CFGCov) EdgeSeen(gi, eid int) bool { return c.EdgesSeen[gi][eid] }
+
+// ResetPosition clears the previous-node tracking after a rollback so
+// the rollback jump is not recorded as a spurious edge.
+func (c *CFGCov) ResetPosition() {
+	c.hasPrev = false
+	for i := range c.prevNode {
+		c.prevNode[i] = -1
+		c.prevKey[i] = ""
+	}
+	c.events = c.events[:0]
+}
+
+// SyncPosition re-primes the position tracking to the simulator's
+// current state after a checkpoint restore, so the first transition out
+// of the restored state is credited as an edge without recording the
+// rollback jump itself.
+func (c *CFGCov) SyncPosition(s *sim.Simulator) {
+	for gi, g := range c.P.Graphs {
+		key := nodeKeyOf(g, s)
+		c.prevKey[gi] = key
+		c.prevNode[gi] = -1
+		if id, ok := g.ByKey[canonKey(key)]; ok {
+			c.prevNode[gi] = id
+		}
+	}
+	c.hasPrev = true
+	c.events = c.events[:0]
+}
+
+// ---- RFuzz mux coverage ----
+
+// MuxCov counts distinct (branch, arm) pairs: the FPGA mux-select
+// coverage of RFuzz.
+type MuxCov struct {
+	Seen  map[[2]int]bool
+	total int
+}
+
+// NewMuxCov builds the monitor; total arms come from the design's
+// branch metadata.
+func NewMuxCov(totalArms int) *MuxCov {
+	return &MuxCov{Seen: map[[2]int]bool{}, total: totalArms}
+}
+
+// Name implements Monitor.
+func (m *MuxCov) Name() string { return "rfuzz-mux" }
+
+// Branch implements Monitor.
+func (m *MuxCov) Branch(id, arm int) { m.Seen[[2]int{id, arm}] = true }
+
+// Sample implements Monitor (mux coverage needs no cycle sampling).
+func (m *MuxCov) Sample(*sim.Simulator) {}
+
+// Points implements Monitor.
+func (m *MuxCov) Points() int { return len(m.Seen) }
+
+// Total returns the total arm population.
+func (m *MuxCov) Total() int { return m.total }
+
+// ---- DifuzzRTL register coverage ----
+
+// RegCov tracks, per control register, the set of distinct values the
+// register has held — DifuzzRTL's per-register coverage maps. Keeping
+// the maps per register (instead of hashing the joint valuation) is
+// what gives the tool a usable gradient on multi-IP designs: progress
+// on one FSM's counter registers as new coverage regardless of what the
+// other IPs are doing.
+type RegCov struct {
+	Regs []int // signal indices
+	Seen []map[string]bool
+}
+
+// NewRegCov builds the monitor over the given control registers.
+func NewRegCov(regs []int) *RegCov {
+	seen := make([]map[string]bool, len(regs))
+	for i := range seen {
+		seen[i] = map[string]bool{}
+	}
+	return &RegCov{Regs: regs, Seen: seen}
+}
+
+// Name implements Monitor.
+func (r *RegCov) Name() string { return "difuzzrtl-reg" }
+
+// Branch implements Monitor (unused by this model).
+func (r *RegCov) Branch(int, int) {}
+
+// Sample implements Monitor.
+func (r *RegCov) Sample(s *sim.Simulator) {
+	for i, idx := range r.Regs {
+		r.Seen[i][s.Get(idx).Key()] = true
+	}
+}
+
+// Points implements Monitor: total distinct values across registers.
+func (r *RegCov) Points() int {
+	n := 0
+	for _, m := range r.Seen {
+		n += len(m)
+	}
+	return n
+}
+
+// ---- HWFP / AFL edge-hash coverage ----
+
+// EdgeHashCov hashes consecutive branch events AFL-style (prev XOR cur
+// into a bounded bitmap), the software-fuzzer feedback HWFP inherits.
+type EdgeHashCov struct {
+	Map  []bool
+	prev int
+	hits int
+}
+
+// NewEdgeHashCov builds a monitor with an AFL-style 64k bitmap.
+func NewEdgeHashCov() *EdgeHashCov {
+	return &EdgeHashCov{Map: make([]bool, 1<<16)}
+}
+
+// Name implements Monitor.
+func (e *EdgeHashCov) Name() string { return "hwfp-edgehash" }
+
+// Branch implements Monitor.
+func (e *EdgeHashCov) Branch(id, arm int) {
+	cur := (id*7 + arm) & 0xFFFF
+	slot := (e.prev ^ cur) & 0xFFFF
+	if !e.Map[slot] {
+		e.Map[slot] = true
+		e.hits++
+	}
+	e.prev = cur >> 1
+}
+
+// Sample implements Monitor.
+func (e *EdgeHashCov) Sample(*sim.Simulator) { e.prev = 0 }
+
+// Points implements Monitor.
+func (e *EdgeHashCov) Points() int { return e.hits }
+
+// ---- composite ----
+
+// Multi fans a single tracer/sampler out to several monitors, so a
+// fuzzer's own feedback model and the evaluation's reference metric can
+// observe the same run.
+type Multi struct {
+	Monitors []Monitor
+}
+
+// NewMulti bundles monitors.
+func NewMulti(ms ...Monitor) *Multi { return &Multi{Monitors: ms} }
+
+// Name implements Monitor.
+func (m *Multi) Name() string { return "multi" }
+
+// Branch implements Monitor.
+func (m *Multi) Branch(id, arm int) {
+	for _, mm := range m.Monitors {
+		mm.Branch(id, arm)
+	}
+}
+
+// Sample implements Monitor.
+func (m *Multi) Sample(s *sim.Simulator) {
+	for _, mm := range m.Monitors {
+		mm.Sample(s)
+	}
+}
+
+// Points implements Monitor: the first monitor is the primary feedback.
+func (m *Multi) Points() int {
+	if len(m.Monitors) == 0 {
+		return 0
+	}
+	return m.Monitors[0].Points()
+}

@@ -1,0 +1,227 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/props"
+)
+
+// aesSrc renders the AES block: a register front-end (aes_reg_top), a
+// toy cipher core with wipe logic (aes_core), and the masking PRNG
+// (aes_prng_masking).
+//
+// Bug B04 (Listing 10): a read of the key-share register returns the
+// stored key share on the bus instead of zero.
+//
+// Bug B05 (Listing 12): the wipe command reloads the data registers
+// from the input bus instead of from the pseudo-random source, so the
+// "cleared" registers still carry attacker-recoverable data.
+//
+// Bug B06 (Listing 14/15): the masking PRNG output is unconditionally
+// tied to zero, silently disabling masking.
+func aesSrc(buggy bool) string {
+	keyRead := pick(buggy,
+		// Buggy: key shares leak onto the read bus (addr_hit on the
+		// write-only key window returns reg2hw.key_share).
+		`if (addr_hit_key0) reg_rdata = key_share0_q;
+      if (addr_hit_key1) reg_rdata = key_share1_q;`,
+		// Fixed: the key window reads back as zero.
+		`if (addr_hit_key0) reg_rdata = 32'd0;
+      if (addr_hit_key1) reg_rdata = 32'd0;`)
+	wipe := pick(buggy,
+		// Buggy: "clearing" loads the live input data (Listing 12's
+		// hw2reg.data_in[i].de = data_in_we path).
+		`data_q <= data_in;`,
+		// Fixed: clearing loads the pseudo-random wipe value.
+		`data_q <= mask_o;`)
+	mask := pick(buggy,
+		// Buggy: both arms of the phase mux are '0 (Listing 15).
+		`assign mask_o = force_masks ? 32'd0 : (phase_q ? 32'd0 : 32'd0);`,
+		// Fixed: the PRNG permutation drives the mask in phase 1.
+		`assign mask_o = force_masks ? 32'd0 : (phase_q ? {perm_q[0], perm_q[31:1]} : lfsr_q);`)
+	return fmt.Sprintf(`
+module aes (input clk_i, input rst_ni, input reg_we, input reg_re,
+  input [7:0] reg_addr, input [31:0] reg_wdata,
+  input [31:0] data_in, input start, input wipe, input force_masks,
+  output reg [31:0] reg_rdata, output reg [31:0] data_q,
+  output [31:0] mask_o, output reg [1:0] aes_state, output reg busy);
+  typedef enum logic [1:0] {AesIdle = 0, AesLoad = 1, AesRounds = 2, AesDone = 3} aes_st_t;
+
+  reg [31:0] key_share0_q;
+  reg [31:0] key_share1_q;
+  reg [31:0] lfsr_q;
+  reg [31:0] perm_q;
+  reg phase_q;
+  reg [3:0] round_q;
+
+  wire addr_hit_key0;
+  wire addr_hit_key1;
+  wire addr_hit_ctrl;
+  wire addr_hit_data;
+  assign addr_hit_key0 = reg_addr == 8'h10;
+  assign addr_hit_key1 = reg_addr == 8'h14;
+  assign addr_hit_ctrl = reg_addr == 8'h00;
+  assign addr_hit_data = reg_addr == 8'h04;
+
+  // --- aes_reg_top: register writes and the (buggy) key-share read ---
+  always_ff @(posedge clk_i or negedge rst_ni) begin : regWrite
+    if (!rst_ni) begin
+      key_share0_q <= 32'd0;
+      key_share1_q <= 32'd0;
+    end else if (reg_we) begin
+      if (addr_hit_key0) key_share0_q <= reg_wdata;
+      if (addr_hit_key1) key_share1_q <= reg_wdata;
+    end
+  end
+
+  always_comb begin : regRead
+    reg_rdata = 32'd0;
+    if (reg_re) begin
+      if (addr_hit_ctrl) reg_rdata = {28'd0, round_q};
+      if (addr_hit_data) reg_rdata = data_q ^ key_share0_q ^ key_share1_q;
+      %s
+    end
+  end
+
+  // --- aes_prng_masking: LFSR + permutation (B06 lives here) ---
+  always_ff @(posedge clk_i or negedge rst_ni) begin : prng
+    if (!rst_ni) begin
+      lfsr_q <= 32'hACE1_0001;
+      perm_q <= 32'h1234_5678;
+      phase_q <= 1'b0;
+    end else begin
+      lfsr_q <= {lfsr_q[30:0], lfsr_q[31] ^ lfsr_q[21] ^ lfsr_q[1] ^ lfsr_q[0]};
+      perm_q <= {perm_q[15:0], perm_q[31:16] ^ lfsr_q[15:0]};
+      phase_q <= !phase_q;
+    end
+  end
+  %s
+
+  // --- aes_core / aes_cipher_core: datapath FSM with wipe (B05) ---
+  always_ff @(posedge clk_i or negedge rst_ni) begin : coreFsm
+    if (!rst_ni) begin
+      aes_state <= AesIdle;
+      data_q <= 32'd0;
+      round_q <= 4'd0;
+      busy <= 1'b0;
+    end else begin
+      if (wipe) begin
+        %s
+        aes_state <= AesIdle;
+        busy <= 1'b0;
+        round_q <= 4'd0;
+      end else begin
+        case (aes_state)
+          AesIdle: begin
+            busy <= 1'b0;
+            if (start) begin
+              aes_state <= AesLoad;
+              busy <= 1'b1;
+            end
+          end
+          AesLoad: begin
+            data_q <= data_in ^ key_share0_q ^ key_share1_q;
+            round_q <= 4'd0;
+            aes_state <= AesRounds;
+          end
+          AesRounds: begin
+            data_q <= {data_q[23:0], data_q[31:24]} ^ mask_o;
+            round_q <= round_q + 4'd1;
+            if (round_q == 4'd9) aes_state <= AesDone;
+          end
+          AesDone: begin
+            busy <= 1'b0;
+            if (!start) aes_state <= AesIdle;
+          end
+          default: aes_state <= AesIdle;
+        endcase
+      end
+    end
+  end
+endmodule
+`, keyRead, mask, wipe)
+}
+
+// AES is the AES IP carrying bugs B04, B05 and B06.
+func AES() IP {
+	return IP{
+		Name:   "aes",
+		Source: aesSrc,
+		Desc:   "AES register top, cipher core and masking PRNG",
+		Bugs: []Bug{
+			{
+				ID:          "B04",
+				Description: "Key shares are leaked into the bus using key share offset.",
+				SubModule:   "aes_reg_top",
+				CWE:         "CWE-1342",
+				// Listing 11: bus read data must never equal a stored
+				// key share. The leak is visible on the output bus but
+				// matches a golden model that faithfully reproduces
+				// the (buggy) register map, so only output-monitoring
+				// detection sees it (§5.2's Bug #4 discussion).
+				Property: func(prefix string) *props.Property {
+					rd := props.Sig(prefixed(prefix, "reg_rdata"))
+					k0 := props.Sig(prefixed(prefix, "key_share0_q"))
+					k1 := props.Sig(prefixed(prefix, "key_share1_q"))
+					return &props.Property{
+						Name: "B04_key_share_leak",
+						Expr: props.Implies(
+							props.And(props.Sig(prefixed(prefix, "reg_re")),
+								props.Ne(k0, props.U(32, 0))),
+							props.And(props.Ne(rd, k0), props.Ne(rd, k1))),
+						DisableIff: notReset(prefix),
+						CWE:        "CWE-1342",
+						Tags:       []string{"output-visible"},
+					}
+				},
+			},
+			{
+				ID:          "B05",
+				Description: "Not clearing pseudo-random data registers.",
+				SubModule:   "aes_core and aes_cipher_core",
+				CWE:         "CWE-459",
+				// Listing 13: after a wipe the data register must not
+				// equal the (attacker-controlled) input data. Invisible
+				// to every baseline detection model.
+				Property: func(prefix string) *props.Property {
+					return &props.Property{
+						Name: "B05_wipe_uses_prng",
+						// wipe and data_in are input pins (current-
+						// sample values are what the flop captured).
+						Expr: props.Implies(
+							props.And(
+								props.Sig(prefixed(prefix, "wipe")),
+								props.Ne(props.Sig(prefixed(prefix, "data_in")), props.U(32, 0))),
+							props.Ne(props.Sig(prefixed(prefix, "data_q")),
+								props.Sig(prefixed(prefix, "data_in")))),
+						DisableIff: notReset(prefix),
+						CWE:        "CWE-459",
+					}
+				},
+			},
+			{
+				ID:          "B06",
+				Description: "AES masking operation with pseudo-random number is always off.",
+				SubModule:   "aes_prng_masking",
+				CWE:         "CWE-1300",
+				// Listing 16: in phase 1 the mask output must be
+				// {perm[0], perm[31:1]}. A power-side-channel bug: no
+				// functional output differs, so no baseline sees it.
+				Property: func(prefix string) *props.Property {
+					perm := props.Sig(prefixed(prefix, "perm_q"))
+					return &props.Property{
+						Name: "B06_masking_enabled",
+						Expr: props.Implies(
+							props.And(props.Sig(prefixed(prefix, "phase_q")),
+								props.And(props.Ne(perm, props.U(32, 0)),
+									props.Not(props.Sig(prefixed(prefix, "force_masks"))))),
+							props.Eq(props.Sig(prefixed(prefix, "mask_o")),
+								props.Concat(props.Index(perm, 0), props.Slice(perm, 31, 1)))),
+						DisableIff: notReset(prefix),
+						CWE:        "CWE-1300",
+					}
+				},
+			},
+		},
+	}
+}

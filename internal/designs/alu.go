@@ -1,0 +1,54 @@
+package designs
+
+// ALUSource is the toy DUV of the paper's Listing 1, adapted to the
+// parser subset (enum member names avoid keyword collisions).
+const ALUSource = `
+module ALU (input nrst, input [15:0] A,
+  input [15:0] B, input [3:0] op, output reg [15:0] Out);
+  typedef enum logic [2:0] {INIT = 0, ADD = 1,
+      SUB = 2, AND_ = 3, OR_ = 4, XOR_ = 5} state_t;
+  state_t state;
+  logic OPmode;
+  always_comb begin : resetLogic
+      if (!nrst) state = 0;
+      else begin
+        state = op[2:0];
+        OPmode = op[3];
+      end
+  end
+  always_comb begin : FSM
+      if (OPmode) begin
+          Out[15:8] = 0;
+          case (state)
+              INIT: Out[7:0] = 0;
+              ADD:  Out[7:0] = A[7:0] + B[7:0];
+              SUB:  Out[7:0] = A[7:0] - B[7:0];
+              AND_: Out[7:0] = A[7:0] & B[7:0];
+              OR_:  Out[7:0] = A[7:0] | B[7:0];
+              XOR_: Out[7:0] = A[7:0] ^ B[7:0];
+              default: Out = 0;
+          endcase
+      end else begin
+          case (state)
+              INIT: Out = 0;
+              ADD:  Out = A + B;
+              SUB:  Out = A - B;
+              AND_: Out = A & B;
+              OR_:  Out = A | B;
+              XOR_: Out = A ^ B;
+              default: Out = 0;
+          endcase
+      end
+  end
+endmodule
+`
+
+// ALU returns the Listing 1 toy benchmark (no planted bugs).
+func ALU() *Benchmark {
+	return &Benchmark{
+		Name:   "alu",
+		Top:    "ALU",
+		Source: ALUSource,
+		LoC:    countLoC(ALUSource),
+	}
+}

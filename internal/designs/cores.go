@@ -1,0 +1,307 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/props"
+)
+
+// This file contains the three processor benchmarks of §5.4: small
+// multicycle cores with fetch/decode/execute FSMs, register files and a
+// CSR block, each in the flavour of its namesake (CVA6-mini issues from
+// a two-entry window out of order, Rocket-mini is a strict in-order
+// pipeline, Mor1kx-mini is an OpenRISC-style accumulator design). Each
+// carries the cross-paper bugs the other fuzzers reported:
+//
+//	V1 — no exception raised on invalid (out-of-range) memory access.
+//	V2 — multiplication instructions decode to the wrong unit.
+//	V3 — reads of unallocated CSRs return stale data instead of
+//	     raising an error.
+//
+// Instruction encoding (16-bit): [15:12] opcode, [11:8] rd, [7:4] rs1,
+// [3:0] rs2/imm. Opcodes: 0 NOP, 1 ADD, 2 SUB, 3 MUL, 4 LOAD, 5 STORE,
+// 6 CSRR, 7 CSRW, 8 BEQZ.
+func coreSrc(name string, buggy bool, flavor string) string {
+	memCheck := pick(buggy,
+		// V1: the address bound check is skipped entirely.
+		`mem_viol = 1'b0;`,
+		`mem_viol = (opcode == 4'd4 || opcode == 4'd5) & (addr_ea > 8'd15);`)
+	mulDecode := pick(buggy,
+		// V2: MUL mis-decodes into the adder path.
+		`4'd3: exec_unit = UnitAdd;`,
+		`4'd3: exec_unit = UnitMul;`)
+	csrCheck := pick(buggy,
+		// V3: unallocated CSR indices read back the stale csr_file
+		// word without raising the access error.
+		`csr_err = 1'b0;
+           csr_rdata = csr_file[csr_idx];`,
+		`csr_err = !csr_allocated;
+           csr_rdata = csr_allocated ? csr_file[csr_idx] : 16'd0;`)
+	// Flavour differences: issue policy in the execute stage.
+	issue := map[string]string{
+		// CVA6-mini: a second buffered instruction may issue first when
+		// its operands are ready (toy out-of-order window).
+		"cva6": `
+        if (win_valid && !raw_hazard) begin
+          instr_x <= win_instr;
+          win_valid <= 1'b0;
+        end else begin
+          instr_x <= instr_f;
+          win_instr <= instr_f;
+          win_valid <= 1'b1;
+        end`,
+		// Rocket-mini: strict in-order issue.
+		"rocket": `
+        instr_x <= instr_f;`,
+		// Mor1kx-mini: in-order with an accumulator forwarding path.
+		"mor1kx": `
+        instr_x <= instr_f;
+        acc_fwd <= result;`,
+	}[flavor]
+	return fmt.Sprintf(`
+module %s (input clk_i, input rst_ni, input [15:0] instr_i, input instr_valid,
+  input [15:0] mem_rdata, output reg [2:0] stage, output reg [15:0] result,
+  output reg exc_raised, output reg [15:0] csr_out, output reg csr_err_q,
+  output reg [7:0] mem_addr, output reg mem_we);
+  localparam StFetch  = 3'd0;
+  localparam StDecode = 3'd1;
+  localparam StExec   = 3'd2;
+  localparam StMem    = 3'd3;
+  localparam StWB     = 3'd4;
+  localparam StExc    = 3'd5;
+  localparam UnitAdd  = 2'd0;
+  localparam UnitMul  = 2'd1;
+  localparam UnitMem  = 2'd2;
+  localparam UnitCsr  = 2'd3;
+
+  reg [15:0] regs [0:15];
+  reg [15:0] csr_file [0:7];
+  reg [15:0] instr_f;
+  reg [15:0] instr_x;
+  reg [15:0] win_instr;
+  reg win_valid;
+  reg [15:0] acc_fwd;
+  reg [1:0] exec_unit;
+
+  wire [3:0] opcode;
+  wire [3:0] rd;
+  wire [3:0] rs1;
+  wire [3:0] rs2;
+  assign opcode = instr_x[15:12];
+  assign rd  = instr_x[11:8];
+  assign rs1 = instr_x[7:4];
+  assign rs2 = instr_x[3:0];
+
+  wire raw_hazard;
+  assign raw_hazard = win_valid & (win_instr[7:4] == instr_f[11:8]);
+
+  wire [7:0] addr_ea;
+  assign addr_ea = regs[rs1][7:0] + {4'd0, rs2};
+
+  wire [2:0] csr_idx;
+  wire csr_allocated;
+  assign csr_idx = rs1[2:0];
+  assign csr_allocated = csr_idx <= 3'd4;
+
+  reg mem_viol;
+  always_comb begin : memGuard
+    %s
+  end
+
+  always_comb begin : decoder
+    case (opcode)
+      4'd1: exec_unit = UnitAdd;
+      4'd2: exec_unit = UnitAdd;
+      %s
+      4'd4: exec_unit = UnitMem;
+      4'd5: exec_unit = UnitMem;
+      4'd6: exec_unit = UnitCsr;
+      4'd7: exec_unit = UnitCsr;
+      default: exec_unit = UnitAdd;
+    endcase
+  end
+
+  reg [15:0] csr_rdata;
+  reg csr_err;
+  always_comb begin : csrGuard
+    %s
+  end
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : pipeline
+    if (!rst_ni) begin
+      stage <= StFetch;
+      instr_f <= 16'd0;
+      instr_x <= 16'd0;
+      win_valid <= 1'b0;
+      win_instr <= 16'd0;
+      acc_fwd <= 16'd0;
+      result <= 16'd0;
+      exc_raised <= 1'b0;
+      csr_out <= 16'd0;
+      csr_err_q <= 1'b0;
+      mem_addr <= 8'd0;
+      mem_we <= 1'b0;
+    end else begin
+      case (stage)
+        StFetch: begin
+          exc_raised <= 1'b0;
+          mem_we <= 1'b0;
+          if (instr_valid) begin
+            instr_f <= instr_i;
+            stage <= StDecode;
+          end
+        end
+        StDecode: begin
+          %s
+          stage <= StExec;
+        end
+        StExec: begin
+          case (exec_unit)
+            UnitAdd: begin
+              if (opcode == 4'd2) result <= regs[rs1] - regs[rs2];
+              else result <= regs[rs1] + regs[rs2];
+              stage <= StWB;
+            end
+            UnitMul: begin
+              result <= regs[rs1] * regs[rs2];
+              stage <= StWB;
+            end
+            UnitMem: begin
+              if (mem_viol) stage <= StExc;
+              else begin
+                mem_addr <= addr_ea;
+                mem_we <= opcode == 4'd5;
+                stage <= StMem;
+              end
+            end
+            UnitCsr: begin
+              if (opcode == 4'd6) begin
+                csr_out <= csr_rdata;
+                csr_err_q <= csr_err;
+                if (csr_err) stage <= StExc;
+                else stage <= StWB;
+              end else begin
+                if (csr_allocated) csr_file[csr_idx] <= regs[rs1];
+                stage <= StWB;
+              end
+            end
+            default: stage <= StWB;
+          endcase
+        end
+        StMem: begin
+          if (opcode == 4'd4) result <= mem_rdata;
+          mem_we <= 1'b0;
+          stage <= StWB;
+        end
+        StWB: begin
+          if (rd != 4'd0) regs[rd] <= result;
+          stage <= StFetch;
+        end
+        StExc: begin
+          exc_raised <= 1'b1;
+          stage <= StFetch;
+        end
+        default: stage <= StFetch;
+      endcase
+    end
+  end
+endmodule
+`, name, memCheck, mulDecode, csrCheck, issue)
+}
+
+// coreBugs builds the V1–V3 bug descriptors for a core benchmark.
+func coreBugs(core string) []Bug {
+	return []Bug{
+		{
+			ID:          "V1",
+			Description: "No exception is raised on invalid memory access.",
+			SubModule:   core + " load/store unit",
+			CWE:         "CWE-1252",
+			// HypFuzz-class bug: a load/store with an out-of-range
+			// effective address must divert to the exception state.
+			Property: func(prefix string) *props.Property {
+				op := props.Slice(props.Sig(prefixed(prefix, "instr_x")), 15, 12)
+				isMem := props.Or(props.Eq(op, props.U(4, 4)), props.Eq(op, props.U(4, 5)))
+				return &props.Property{
+					Name: "V1_mem_bound_exception",
+					Expr: props.Implies(
+						props.And(
+							props.Eq(props.Past(prefixed(prefix, "stage"), 1), props.U(3, 2)),
+							props.And(isMem,
+								props.Lt(props.U(8, 15), props.Sig(prefixed(prefix, "addr_ea"))))),
+						props.Ne(props.Sig(prefixed(prefix, "stage")), props.U(3, 3))),
+					DisableIff: notReset(prefix),
+					CWE:        "CWE-1252",
+					Tags:       []string{"arch-diff"},
+				}
+			},
+		},
+		{
+			ID:          "V2",
+			Description: "Incorrect decoding of multiplication instructions.",
+			SubModule:   core + " decoder",
+			CWE:         "CWE-440",
+			Property: func(prefix string) *props.Property {
+				op := props.Slice(props.Sig(prefixed(prefix, "instr_x")), 15, 12)
+				return &props.Property{
+					Name: "V2_mul_decode",
+					Expr: props.Implies(
+						props.Eq(op, props.U(4, 3)),
+						props.Eq(props.Sig(prefixed(prefix, "exec_unit")), props.U(2, 1))),
+					DisableIff: notReset(prefix),
+					CWE:        "CWE-440",
+					Tags:       []string{"arch-diff", "output-visible"},
+				}
+			},
+		},
+		{
+			ID:          "V3",
+			Description: "Access to unallocated CSRs returns undefined values instead of errors.",
+			SubModule:   core + " CSR file",
+			CWE:         "CWE-1281",
+			Property: func(prefix string) *props.Property {
+				return &props.Property{
+					Name: "V3_csr_error",
+					Expr: props.Implies(
+						props.And(
+							props.Eq(props.Slice(props.Sig(prefixed(prefix, "instr_x")), 15, 12), props.U(4, 6)),
+							props.Lt(props.U(3, 4),
+								props.Slice(props.Sig(prefixed(prefix, "instr_x")), 6, 4))),
+						props.Sig(prefixed(prefix, "csr_err"))),
+					DisableIff: notReset(prefix),
+					CWE:        "CWE-1281",
+					Tags:       []string{"arch-diff"},
+				}
+			},
+		},
+	}
+}
+
+func coreBenchmark(name, flavor string, buggy bool) *Benchmark {
+	src := coreSrc(name, buggy, flavor)
+	b := &Benchmark{
+		Name:   name,
+		Top:    name,
+		Source: src,
+		Bugs:   coreBugs(name),
+		LoC:    countLoC(src),
+	}
+	for _, bug := range b.Bugs {
+		b.Properties = append(b.Properties, bug.Property(""))
+	}
+	return b
+}
+
+// CVA6Mini is the out-of-order-flavoured RV64-style core benchmark.
+func CVA6Mini(buggy bool) *Benchmark { return coreBenchmark("cva6_mini", "cva6", buggy) }
+
+// RocketMini is the in-order core benchmark.
+func RocketMini(buggy bool) *Benchmark { return coreBenchmark("rocket_mini", "rocket", buggy) }
+
+// Mor1kxMini is the OpenRISC-flavoured core benchmark.
+func Mor1kxMini(buggy bool) *Benchmark { return coreBenchmark("mor1kx_mini", "mor1kx", buggy) }
+
+// CoreBenchmarks returns all three §5.4 cores.
+func CoreBenchmarks(buggy bool) []*Benchmark {
+	return []*Benchmark{CVA6Mini(buggy), RocketMini(buggy), Mor1kxMini(buggy)}
+}

@@ -1,0 +1,132 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/props"
+)
+
+// csrngSrc renders the CSRNG register block with write-enable checker
+// logic.
+//
+// Bug B12 (Listing 27): the checker mask forces bit 7 — the "reseed
+// interval enable" flag — to zero, so the checker logic can never
+// verify writes to the reseed interval register.
+func csrngSrc(buggy bool) string {
+	checkBit := pick(buggy,
+		`reg_we_check[7] = 1'b0;`,
+		`reg_we_check[7] = reseed_interval_we;`)
+	return fmt.Sprintf(`
+module csrng (input clk_i, input rst_ni, input reg_we, input reg_re,
+  input [7:0] reg_addr, input [31:0] reg_wdata,
+  output reg [31:0] reg_rdata, output reg [15:0] reg_we_check,
+  output reg [31:0] reseed_interval_q, output reg check_fail,
+  output reg [1:0] rng_state);
+  typedef enum logic [1:0] {RngIdle = 0, RngSeeded = 1, RngGen = 2, RngReseed = 3} rng_st_t;
+
+  wire addr_hit_ctrl;
+  wire addr_hit_seed;
+  wire addr_hit_reseed;
+  wire reseed_interval_we;
+  assign addr_hit_ctrl   = reg_addr == 8'h00;
+  assign addr_hit_seed   = reg_addr == 8'h04;
+  assign addr_hit_reseed = reg_addr == 8'h1C;
+  assign reseed_interval_we = reg_we & addr_hit_reseed;
+
+  reg [31:0] seed_q;
+  reg [31:0] gen_cnt;
+
+  // Write-enable shadow checker (Listing 27): every register write must
+  // be mirrored into reg_we_check for the checker logic to audit.
+  always_comb begin : p_check
+    reg_we_check = 16'd0;
+    reg_we_check[0] = reg_we & addr_hit_ctrl;
+    reg_we_check[1] = reg_we & addr_hit_seed;
+    %s
+  end
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : regWrite
+    if (!rst_ni) begin
+      seed_q <= 32'd0;
+      reseed_interval_q <= 32'd64;
+      check_fail <= 1'b0;
+    end else begin
+      if (reg_we && addr_hit_seed) seed_q <= reg_wdata;
+      if (reseed_interval_we) reseed_interval_q <= reg_wdata;
+      // The checker audits that hardware-observed writes match the
+      // shadow mask; a mismatch latches check_fail.
+      if (reseed_interval_we != reg_we_check[7]) check_fail <= 1'b1;
+    end
+  end
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : rngFsm
+    if (!rst_ni) begin
+      rng_state <= RngIdle;
+      gen_cnt <= 32'd0;
+    end else begin
+      case (rng_state)
+        RngIdle: begin
+          if (reg_we && addr_hit_seed) rng_state <= RngSeeded;
+        end
+        RngSeeded: begin
+          if (reg_we && addr_hit_ctrl && reg_wdata[0]) begin
+            rng_state <= RngGen;
+            gen_cnt <= 32'd0;
+          end
+        end
+        RngGen: begin
+          gen_cnt <= gen_cnt + 32'd1;
+          if (gen_cnt >= reseed_interval_q) rng_state <= RngReseed;
+          else if (reg_we && addr_hit_ctrl && !reg_wdata[0]) rng_state <= RngSeeded;
+        end
+        RngReseed: begin
+          rng_state <= RngSeeded;
+        end
+        default: rng_state <= RngIdle;
+      endcase
+    end
+  end
+
+  always_comb begin : regRead
+    reg_rdata = 32'd0;
+    if (reg_re) begin
+      if (addr_hit_reseed) reg_rdata = reseed_interval_q;
+      if (addr_hit_ctrl) reg_rdata = {30'd0, rng_state};
+      if (addr_hit_seed) reg_rdata = {31'd0, check_fail};
+    end
+  end
+endmodule
+`, checkBit)
+}
+
+// CSRNG is the random-number generator IP carrying bug B12.
+func CSRNG() IP {
+	return IP{
+		Name:   "csrng",
+		Source: csrngSrc,
+		Desc:   "CSRNG register block with write-enable checker",
+		Bugs: []Bug{{
+			ID:          "B12",
+			Description: "Reseed Interval cannot be checked via the checker logic.",
+			SubModule:   "csrng_reg_top",
+			CWE:         "CWE-1257",
+			// Listing 28: the shadow mask's bit 7 must mirror the
+			// reseed-interval write enable. The missing check bit
+			// perturbs the observable checker outputs (reg_we_check is
+			// an output), so output-monitoring detection can see it,
+			// but a golden model built from the same (buggy) register
+			// map agrees with the DUV.
+			Property: func(prefix string) *props.Property {
+				return &props.Property{
+					Name: "B12_reseed_check_bit",
+					Expr: props.Eq(
+						props.Index(props.Sig(prefixed(prefix, "reg_we_check")), 7),
+						props.Sig(prefixed(prefix, "reseed_interval_we"))),
+					DisableIff: notReset(prefix),
+					CWE:        "CWE-1257",
+					Tags:       []string{"output-visible"},
+				}
+			},
+		}},
+	}
+}

@@ -1,0 +1,167 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/props"
+)
+
+// lcctrlSrc renders the Life Cycle Controller: a transition FSM
+// (lc_ctrl_fsm) plus a signal decoder (lc_ctrl_signal_decoder).
+//
+// Bug B02 (Listing 6): the state register can be loaded with an
+// unvalidated target encoding, and the FSM case statement has no safe
+// default, so the controller can sit in an undefined life-cycle state.
+//
+// Bug B03 (Listing 8): the signal decoder enables the NVM debug
+// (production) function in the test-unlocked states, before testing is
+// complete, instead of only in the RMA state.
+func lcctrlSrc(buggy bool) string {
+	jump := pick(buggy,
+		// Buggy: the raw 4-bit target goes straight into the state
+		// register; encodings 12..15 are undefined states.
+		`fsm_state_q <= trans_target;`,
+		// Fixed: out-of-range targets divert to the escalate state.
+		`if (trans_target <= 4'd11) fsm_state_q <= trans_target;
+             else fsm_state_q <= LcStEscalate;`)
+	decode := pick(buggy,
+		// Buggy: debug/production functions already enabled while the
+		// device is merely test-unlocked (Listing 8's LcStProd body
+		// reachable from unlocked states).
+		`assign lc_nvm_debug_en = (fsm_state_q == LcStRma) |
+                            (fsm_state_q == LcStTestUnlocked0) |
+                            (fsm_state_q == LcStTestUnlocked1);`,
+		// Fixed: only the RMA state may enable NVM debug (Listing 9).
+		`assign lc_nvm_debug_en = fsm_state_q == LcStRma;`)
+	return fmt.Sprintf(`
+module lc_ctrl (input clk_i, input rst_ni, input trans_req,
+  input [3:0] trans_target, input [7:0] token, input ack,
+  output reg [3:0] fsm_state_q, output lc_nvm_debug_en,
+  output reg token_ok, output reg [1:0] dec_err);
+  localparam LcStRaw           = 4'd0;
+  localparam LcStTestUnlocked0 = 4'd1;
+  localparam LcStTestLocked0   = 4'd2;
+  localparam LcStTestUnlocked1 = 4'd3;
+  localparam LcStTestLocked1   = 4'd4;
+  localparam LcStDev           = 4'd5;
+  localparam LcStProd          = 4'd6;
+  localparam LcStProdEnd       = 4'd7;
+  localparam LcStRma           = 4'd8;
+  localparam LcStScrap         = 4'd9;
+  localparam LcStPostTrans     = 4'd10;
+  localparam LcStEscalate      = 4'd11;
+
+  always_comb begin : tokenCheck
+    token_ok = token[7:4] == 4'h5;
+  end
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : p_fsm
+    if (!rst_ni) begin
+      fsm_state_q <= LcStRaw;
+    end else begin
+      case (fsm_state_q)
+        LcStRaw: begin
+          if (trans_req && token_ok) fsm_state_q <= LcStTestUnlocked0;
+        end
+        LcStTestUnlocked0: begin
+          if (trans_req && token_ok) begin
+            %s
+          end else if (trans_req) fsm_state_q <= LcStTestLocked0;
+        end
+        LcStTestLocked0: begin
+          if (trans_req && token_ok) fsm_state_q <= LcStTestUnlocked1;
+        end
+        LcStTestUnlocked1: begin
+          if (trans_req && token_ok) fsm_state_q <= LcStDev;
+          else if (trans_req) fsm_state_q <= LcStTestLocked1;
+        end
+        LcStTestLocked1: begin
+          if (trans_req && token_ok) fsm_state_q <= LcStTestUnlocked1;
+        end
+        LcStDev: begin
+          if (trans_req && token_ok) fsm_state_q <= LcStProd;
+          else if (trans_req && ack) fsm_state_q <= LcStRma;
+        end
+        LcStProd: begin
+          if (trans_req && token_ok) fsm_state_q <= LcStProdEnd;
+          else if (trans_req && ack) fsm_state_q <= LcStRma;
+          else if (trans_req) fsm_state_q <= LcStScrap;
+        end
+        LcStProdEnd: begin
+          if (trans_req) fsm_state_q <= LcStPostTrans;
+        end
+        LcStRma: begin
+          if (trans_req) fsm_state_q <= LcStScrap;
+        end
+        LcStScrap: begin
+          fsm_state_q <= LcStScrap;
+        end
+        LcStPostTrans: begin
+          if (ack) fsm_state_q <= LcStRaw;
+        end
+        LcStEscalate: begin
+          if (ack) fsm_state_q <= LcStScrap;
+        end
+      endcase
+    end
+  end
+
+  %s
+
+  always_comb begin : decodeErr
+    dec_err = 2'd0;
+    if (fsm_state_q > LcStEscalate) dec_err = 2'd3;
+    else if (fsm_state_q == LcStEscalate) dec_err = 2'd1;
+  end
+endmodule
+`, jump, decode)
+}
+
+// LCCtrl is the life-cycle controller IP carrying bugs B02 and B03.
+func LCCtrl() IP {
+	return IP{
+		Name:   "lc_ctrl",
+		Source: lcctrlSrc,
+		Desc:   "Life cycle controller FSM and signal decoder",
+		Bugs: []Bug{
+			{
+				ID:          "B02",
+				Description: "Undefined default state.",
+				SubModule:   "lc_ctrl_fsm",
+				CWE:         "CWE-1199",
+				// Listing 7: the state register must always hold one
+				// of the defined encodings. Detectable by differential
+				// tools: the undefined state corrupts decoded outputs.
+				Property: func(prefix string) *props.Property {
+					return &props.Property{
+						Name: "B02_lc_fsm_defined_state",
+						Expr: props.Lt(props.Sig(prefixed(prefix, "fsm_state_q")),
+							props.U(4, 12)),
+						DisableIff: notReset(prefix),
+						CWE:        "CWE-1199",
+						Tags:       []string{"arch-diff"},
+					}
+				},
+			},
+			{
+				ID:          "B03",
+				Description: "Enables the production function before testing in unlocked states is completed.",
+				SubModule:   "lc_ctrl_signal_decoder",
+				CWE:         "CWE-1245",
+				// Listing 9: NVM debug must be disabled unless the
+				// controller is in the RMA state.
+				Property: func(prefix string) *props.Property {
+					return &props.Property{
+						Name: "B03_lc_nvm_debug_gate",
+						Expr: props.Implies(
+							props.Ne(props.Sig(prefixed(prefix, "fsm_state_q")), props.U(4, 8)),
+							props.Not(props.Sig(prefixed(prefix, "lc_nvm_debug_en")))),
+						DisableIff: notReset(prefix),
+						CWE:        "CWE-1245",
+						Tags:       []string{"arch-diff"},
+					}
+				},
+			},
+		},
+	}
+}

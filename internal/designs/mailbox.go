@@ -1,0 +1,130 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/props"
+)
+
+// mailboxSrc renders the SCMI mailbox register block (scmi_reg_top).
+// Bug B01: write attempts to reserved addresses are correctly discarded
+// but no error feedback is ever raised toward the host (Listing 4).
+func mailboxSrc(buggy bool) string {
+	wrErr := pick(buggy,
+		// Buggy: the error strobe is tied off; the host never learns
+		// that its write hit a reserved address.
+		`assign wr_err = 1'b0;`,
+		// Fixed: flag every write to an address outside the permitted
+		// register window (the SCMI_PERMIT mask of Listing 4).
+		`assign wr_err = reg_we & reserved_hit;`)
+	return fmt.Sprintf(`
+module scmi_mailbox (input clk_i, input rst_ni, input reg_we, input reg_re,
+  input [7:0] reg_addr, input [31:0] reg_wdata, input [3:0] reg_be,
+  output reg [31:0] reg_rdata, output wr_err, output reg doorbell,
+  output reg [1:0] chan_state);
+  typedef enum logic [1:0] {ChIdle = 0, ChArmed = 1, ChBusy = 2, ChDone = 3} chan_t;
+
+  reg [31:0] msg_q;
+  reg [31:0] len_q;
+  reg [31:0] status_q;
+
+  wire addr_hit_msg;
+  wire addr_hit_len;
+  wire addr_hit_db;
+  wire addr_hit_status;
+  wire reserved_hit;
+  assign addr_hit_msg    = reg_addr == 8'h00;
+  assign addr_hit_len    = reg_addr == 8'h04;
+  assign addr_hit_db     = reg_addr == 8'h08;
+  assign addr_hit_status = reg_addr == 8'h0C;
+  assign reserved_hit = !(addr_hit_msg | addr_hit_len | addr_hit_db | addr_hit_status);
+
+  %s
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : regWrite
+    if (!rst_ni) begin
+      msg_q <= 32'd0;
+      len_q <= 32'd0;
+    end else if (reg_we) begin
+      if (addr_hit_msg) begin
+        if (reg_be[0]) msg_q[7:0]   <= reg_wdata[7:0];
+        if (reg_be[1]) msg_q[15:8]  <= reg_wdata[15:8];
+        if (reg_be[2]) msg_q[23:16] <= reg_wdata[23:16];
+        if (reg_be[3]) msg_q[31:24] <= reg_wdata[31:24];
+      end
+      if (addr_hit_len) len_q <= reg_wdata;
+    end
+  end
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : chanFsm
+    if (!rst_ni) begin
+      chan_state <= ChIdle;
+      doorbell <= 1'b0;
+      status_q <= 32'd0;
+    end else begin
+      case (chan_state)
+        ChIdle: begin
+          doorbell <= 1'b0;
+          if (reg_we && addr_hit_db && reg_wdata[0]) chan_state <= ChArmed;
+        end
+        ChArmed: begin
+          if (len_q != 32'd0) chan_state <= ChBusy;
+          else if (reg_we && addr_hit_db && !reg_wdata[0]) chan_state <= ChIdle;
+          else if (reg_re && addr_hit_status) chan_state <= ChDone;
+        end
+        ChBusy: begin
+          doorbell <= 1'b1;
+          status_q <= {len_q[15:0], msg_q[15:0]};
+          chan_state <= ChDone;
+        end
+        ChDone: begin
+          doorbell <= 1'b0;
+          if (reg_we && addr_hit_db) chan_state <= ChIdle;
+        end
+        default: chan_state <= ChIdle;
+      endcase
+    end
+  end
+
+  always_comb begin : regRead
+    reg_rdata = 32'd0;
+    if (reg_re) begin
+      if (addr_hit_msg) reg_rdata = msg_q;
+      if (addr_hit_len) reg_rdata = len_q;
+      if (addr_hit_status) reg_rdata = status_q;
+      if (addr_hit_db) reg_rdata = {31'd0, doorbell};
+    end
+  end
+endmodule
+`, wrErr)
+}
+
+// Mailbox is the SCMI mailbox IP carrying Bug B01.
+func Mailbox() IP {
+	return IP{
+		Name:   "scmi_mailbox",
+		Source: mailboxSrc,
+		Desc:   "SCMI mailbox register block (scmi_reg_top)",
+		Bugs: []Bug{{
+			ID:          "B01",
+			Description: "No feedback for data error in the Mailbox.",
+			SubModule:   "scmi_reg_top",
+			CWE:         "CWE-NEW (2025 entry)",
+			// Listing 5: a write hitting a non-permitted address must
+			// raise the write-error strobe. Only in-RTL assertions can
+			// observe this: the data is correctly discarded, so golden
+			// models and outputs agree with a correct design.
+			Property: func(prefix string) *props.Property {
+				return &props.Property{
+					Name: "B01_mailbox_write_feedback",
+					Expr: props.Implies(
+						props.And(props.Sig(prefixed(prefix, "reg_we")),
+							props.Sig(prefixed(prefix, "reserved_hit"))),
+						props.Sig(prefixed(prefix, "wr_err"))),
+					DisableIff: notReset(prefix),
+					CWE:        "CWE-NEW",
+				}
+			},
+		}},
+	}
+}

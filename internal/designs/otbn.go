@@ -1,0 +1,97 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/props"
+)
+
+// otbnSrc renders the OTBN big-number MAC with operand blankers.
+//
+// Bug B07 (Listing 17): the operand blanker enable is tied to 1'b1, so
+// operands flow through even when the MAC is idle, producing a
+// data-dependent power trace (blanking effectively disabled).
+func otbnSrc(buggy bool) string {
+	blankEn := pick(buggy,
+		`assign blank_en = 1'b1;`,
+		`assign blank_en = mac_en | alu_en;`)
+	return fmt.Sprintf(`
+module otbn_mac (input clk_i, input rst_ni, input mac_en, input alu_en,
+  input [15:0] operand_a, input [15:0] operand_b, input acc_clr,
+  output [15:0] operand_a_blanked, output [15:0] operand_b_blanked,
+  output reg [31:0] acc_q, output reg [1:0] mac_state);
+  typedef enum logic [1:0] {MacIdle = 0, MacMul = 1, MacAcc = 2, MacHold = 3} mac_st_t;
+
+  wire blank_en;
+  %s
+
+  // prim_blanker instances: out = en ? in : '0.
+  assign operand_a_blanked = blank_en ? operand_a : 16'd0;
+  assign operand_b_blanked = blank_en ? operand_b : 16'd0;
+
+  reg [31:0] prod_q;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : macFsm
+    if (!rst_ni) begin
+      mac_state <= MacIdle;
+      acc_q <= 32'd0;
+      prod_q <= 32'd0;
+    end else begin
+      case (mac_state)
+        MacIdle: begin
+          if (acc_clr) acc_q <= 32'd0;
+          else if (mac_en) mac_state <= MacMul;
+          else if (alu_en) mac_state <= MacHold;
+        end
+        MacMul: begin
+          prod_q <= {16'd0, operand_a_blanked} * {16'd0, operand_b_blanked};
+          mac_state <= MacAcc;
+        end
+        MacAcc: begin
+          acc_q <= acc_q + prod_q;
+          if (mac_en) mac_state <= MacMul;
+          else mac_state <= MacIdle;
+        end
+        MacHold: begin
+          acc_q <= acc_q ^ {16'd0, operand_a_blanked};
+          if (!alu_en) mac_state <= MacIdle;
+        end
+        default: mac_state <= MacIdle;
+      endcase
+    end
+  end
+endmodule
+`, blankEn)
+}
+
+// OTBN is the big-number accelerator IP carrying bug B07.
+func OTBN() IP {
+	return IP{
+		Name:   "otbn_mac",
+		Source: otbnSrc,
+		Desc:   "OTBN big-number MAC with operand blanking",
+		Bugs: []Bug{{
+			ID:          "B07",
+			Description: "Blanking operation in OTBN is disabled.",
+			SubModule:   "otbn_mac_bignum",
+			CWE:         "CWE-325",
+			// Listing 18: when neither the MAC nor the ALU is active,
+			// the blanked operands must be zero.
+			Property: func(prefix string) *props.Property {
+				idle := props.And(
+					props.Not(props.Sig(prefixed(prefix, "mac_en"))),
+					props.Not(props.Sig(prefixed(prefix, "alu_en"))))
+				return &props.Property{
+					Name: "B07_blanking_active",
+					Expr: props.Implies(idle,
+						props.And(
+							props.Eq(props.Sig(prefixed(prefix, "operand_a_blanked")), props.U(16, 0)),
+							props.Eq(props.Sig(prefixed(prefix, "operand_b_blanked")), props.U(16, 0)))),
+					DisableIff: notReset(prefix),
+					CWE:        "CWE-325",
+					Tags:       []string{"arch-diff"},
+				}
+			},
+		}},
+	}
+}

@@ -1,0 +1,114 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/props"
+)
+
+// otpSrc renders the OTP controller's direct access interface (DAI).
+//
+// Bug B14 (Listing 31): when the data-enable strobe arrives the output
+// register is wiped to zero instead of capturing the selected
+// (scrambled) data, flushing the payload on receipt of the enable.
+func otpSrc(buggy bool) string {
+	capture := pick(buggy,
+		`data_q <= 32'd0;`,
+		`if (data_sel == 1'b1) data_q <= scrmbl_data_i;
+         else data_q <= raw_data_i;`)
+	return fmt.Sprintf(`
+module otp_ctrl_dai (input clk_i, input rst_ni, input data_en,
+  input data_sel, input [31:0] scrmbl_data_i, input [31:0] raw_data_i,
+  input dai_req, input [1:0] dai_cmd,
+  output reg [31:0] data_q, output reg dai_idle, output reg [2:0] dai_state);
+  localparam DaiIdle    = 3'd0;
+  localparam DaiRead    = 3'd1;
+  localparam DaiWrite   = 3'd2;
+  localparam DaiScrmbl  = 3'd3;
+  localparam DaiDigest  = 3'd4;
+  localparam DaiError   = 3'd5;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : dataReg
+    if (!rst_ni) begin
+      data_q <= 32'd0;
+    end else if (data_en) begin
+      %s
+    end
+  end
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : daiFsm
+    if (!rst_ni) begin
+      dai_state <= DaiIdle;
+      dai_idle <= 1'b1;
+    end else begin
+      case (dai_state)
+        DaiIdle: begin
+          dai_idle <= 1'b1;
+          if (dai_req) begin
+            dai_idle <= 1'b0;
+            case (dai_cmd)
+              2'd0: dai_state <= DaiRead;
+              2'd1: dai_state <= DaiWrite;
+              2'd2: dai_state <= DaiDigest;
+              default: dai_state <= DaiError;
+            endcase
+          end
+        end
+        DaiRead: begin
+          if (data_en) dai_state <= DaiIdle;
+        end
+        DaiWrite: begin
+          dai_state <= DaiScrmbl;
+        end
+        DaiScrmbl: begin
+          if (data_en) dai_state <= DaiIdle;
+        end
+        DaiDigest: begin
+          dai_state <= DaiIdle;
+        end
+        DaiError: begin
+          dai_idle <= 1'b0;
+        end
+        default: dai_state <= DaiError;
+      endcase
+    end
+  end
+endmodule
+`, capture)
+}
+
+// OTP is the one-time-programmable memory controller IP carrying B14.
+func OTP() IP {
+	return IP{
+		Name:   "otp_ctrl_dai",
+		Source: otpSrc,
+		Desc:   "OTP controller direct access interface",
+		Bugs: []Bug{{
+			ID:          "B14",
+			Description: "Data flush upon receipt of the enable signal.",
+			SubModule:   "otp_ctrl_dai",
+			CWE:         "CWE-1266",
+			// Listing 32: with data_en and the scrambled source
+			// selected, the data register must capture scrmbl_data_i.
+			Property: func(prefix string) *props.Property {
+				return &props.Property{
+					Name: "B14_data_captured",
+					// All antecedent signals are input pins: the values
+					// the capture flop saw during the tick are still
+					// visible at the sample point.
+					Expr: props.Implies(
+						props.And(
+							props.Sig(prefixed(prefix, "data_en")),
+							props.And(
+								props.Eq(props.Sig(prefixed(prefix, "data_sel")), props.U(1, 1)),
+								props.Ne(props.Sig(prefixed(prefix, "scrmbl_data_i")), props.U(32, 0)))),
+						props.Eq(props.Sig(prefixed(prefix, "data_q")),
+							props.Sig(prefixed(prefix, "scrmbl_data_i")))),
+					DisableIff: notReset(prefix),
+					CWE:        "CWE-1266",
+					Tags:       []string{"arch-diff"},
+				}
+			},
+		}},
+	}
+}

@@ -1,0 +1,138 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/props"
+)
+
+// pwrmgrSrc renders the power manager fast FSM.
+//
+// Bug B09 (Listing 21): in the reset-wait state the slow-domain clear
+// request is raised unconditionally instead of tracking the main power
+// reset request, prematurely halting the clearing process.
+//
+// Bug B10 (Listing 23): the ROM-check state advances to the active
+// state without consulting the ROM integrity flag.
+func pwrmgrSrc(buggy bool) string {
+	clrReq := pick(buggy,
+		`clr_slow_req_o <= 1'b1;`,
+		`clr_slow_req_o <= reset_reqs_i[0];`)
+	romCheck := pick(buggy,
+		`state_q <= PwrActive;`,
+		`if (rom_intg_chk_good) state_q <= PwrActive;
+           else state_q <= PwrInvalid;`)
+	return fmt.Sprintf(`
+module pwr_mgr (input clk_i, input rst_ni, input [1:0] reset_reqs_i,
+  input low_power_req, input rom_intg_chk_good, input wakeup,
+  output reg [2:0] state_q, output reg clr_slow_req_o,
+  output reg [1:0] rst_lc_req, output reg core_en);
+  localparam PwrLowPower     = 3'd0;
+  localparam PwrEnableClocks = 3'd1;
+  localparam PwrRomCheck     = 3'd2;
+  localparam PwrActive       = 3'd3;
+  localparam PwrDisClocks    = 3'd4;
+  localparam PwrResetWait    = 3'd5;
+  localparam PwrInvalid      = 3'd6;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : p_fsm
+    if (!rst_ni) begin
+      state_q <= PwrLowPower;
+      clr_slow_req_o <= 1'b0;
+      rst_lc_req <= 2'd0;
+      core_en <= 1'b0;
+    end else begin
+      case (state_q)
+        PwrLowPower: begin
+          core_en <= 1'b0;
+          clr_slow_req_o <= 1'b0;
+          if (wakeup) state_q <= PwrEnableClocks;
+          else if (reset_reqs_i != 2'd0) state_q <= PwrResetWait;
+        end
+        PwrEnableClocks: begin
+          state_q <= PwrRomCheck;
+        end
+        PwrRomCheck: begin
+          %s
+        end
+        PwrActive: begin
+          core_en <= 1'b1;
+          if (low_power_req) state_q <= PwrDisClocks;
+          else if (reset_reqs_i != 2'd0) state_q <= PwrResetWait;
+        end
+        PwrDisClocks: begin
+          core_en <= 1'b0;
+          state_q <= PwrLowPower;
+        end
+        PwrResetWait: begin
+          rst_lc_req <= 2'd3;
+          %s
+          if (reset_reqs_i == 2'd0) state_q <= PwrLowPower;
+        end
+        PwrInvalid: begin
+          core_en <= 1'b0;
+        end
+        default: state_q <= PwrInvalid;
+      endcase
+    end
+  end
+endmodule
+`, romCheck, clrReq)
+}
+
+// PwrMgr is the power manager IP carrying bugs B09 and B10.
+func PwrMgr() IP {
+	return IP{
+		Name:   "pwr_mgr",
+		Source: pwrmgrSrc,
+		Desc:   "Power manager fast FSM",
+		Bugs: []Bug{
+			{
+				ID:          "B09",
+				Description: "Incomplete clear process in Power manager.",
+				SubModule:   "pwr_mgr_fsm",
+				CWE:         "CWE-1304",
+				// Listing 22: in the reset-wait state the clear request
+				// must mirror the main power reset request. Invisible
+				// to differential tools: the premature clear does not
+				// change architectural outputs in this window.
+				Property: func(prefix string) *props.Property {
+					// state_q is a register (use $past); reset_reqs_i
+					// is an input pin whose tick-time value is still
+					// visible at the sample point (use current).
+					return &props.Property{
+						Name: "B09_resetwait_clear_tracks_req",
+						Expr: props.Implies(
+							props.Eq(props.Past(prefixed(prefix, "state_q"), 1), props.U(3, 5)),
+							props.Eq(props.Sig(prefixed(prefix, "clr_slow_req_o")),
+								props.Index(props.Sig(prefixed(prefix, "reset_reqs_i")), 0))),
+						DisableIff: notReset(prefix),
+						CWE:        "CWE-1304",
+					}
+				},
+			},
+			{
+				ID:          "B10",
+				Description: "Not checking ROM integrity check flag.",
+				SubModule:   "pwr_mgr_fsm",
+				CWE:         "CWE-1304",
+				// Listing 24: the FSM may only enter the active state
+				// from RomCheck when the integrity flag is good.
+				Property: func(prefix string) *props.Property {
+					st := prefixed(prefix, "state_q")
+					return &props.Property{
+						Name: "B10_rom_integrity_gated",
+						Expr: props.Implies(
+							props.And(
+								props.Eq(props.Past(st, 1), props.U(3, 2)),
+								props.Not(props.Sig(prefixed(prefix, "rom_intg_chk_good")))),
+							props.Ne(props.Sig(st), props.U(3, 3))),
+						DisableIff: notReset(prefix),
+						CWE:        "CWE-1304",
+						Tags:       []string{"arch-diff"},
+					}
+				},
+			},
+		},
+	}
+}

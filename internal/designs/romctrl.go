@@ -1,0 +1,108 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/props"
+)
+
+// romctrlSrc renders the ROM controller FSM that hashes ROM contents
+// through a KMAC engine and must verify the digest before reporting
+// completion.
+//
+// Bug B08 (Listing 19): when the read counter finishes, the FSM jumps
+// from KmacAhead straight to Done, skipping the Checking state that
+// compares the computed digest against the expected one.
+func romctrlSrc(buggy bool) string {
+	ahead := pick(buggy,
+		`if (counter_done) state_q <= RomDone;`,
+		`if (counter_done) state_q <= RomChecking;`)
+	return fmt.Sprintf(`
+module rom_ctrl (input clk_i, input rst_ni, input start,
+  input [15:0] kmac_digest, input [15:0] exp_digest, input kmac_valid,
+  output reg [2:0] state_q, output reg good, output reg done);
+  localparam RomIdle      = 3'd0;
+  localparam RomReading   = 3'd1;
+  localparam RomKmacAhead = 3'd2;
+  localparam RomChecking  = 3'd3;
+  localparam RomDone      = 3'd4;
+  localparam RomInvalid   = 3'd5;
+
+  reg [3:0] counter_q;
+  wire counter_done;
+  assign counter_done = counter_q == 4'd12;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : p_fsm
+    if (!rst_ni) begin
+      state_q <= RomIdle;
+      counter_q <= 4'd0;
+      good <= 1'b0;
+      done <= 1'b0;
+    end else begin
+      case (state_q)
+        RomIdle: begin
+          done <= 1'b0;
+          good <= 1'b0;
+          if (start) begin
+            state_q <= RomReading;
+            counter_q <= 4'd0;
+          end
+        end
+        RomReading: begin
+          counter_q <= counter_q + 4'd1;
+          if (counter_q == 4'd8) state_q <= RomKmacAhead;
+        end
+        RomKmacAhead: begin
+          counter_q <= counter_q + 4'd1;
+          %s
+        end
+        RomChecking: begin
+          if (kmac_valid) begin
+            good <= kmac_digest == exp_digest;
+            state_q <= RomDone;
+          end
+        end
+        RomDone: begin
+          done <= 1'b1;
+          if (!start) state_q <= RomIdle;
+        end
+        RomInvalid: begin
+          good <= 1'b0;
+        end
+        default: state_q <= RomInvalid;
+      endcase
+    end
+  end
+endmodule
+`, ahead)
+}
+
+// ROMCtrl is the ROM controller IP carrying bug B08.
+func ROMCtrl() IP {
+	return IP{
+		Name:   "rom_ctrl",
+		Source: romctrlSrc,
+		Desc:   "ROM controller digest-check FSM",
+		Bugs: []Bug{{
+			ID:          "B08",
+			Description: "ROM control skips checking state.",
+			SubModule:   "rom_ctrl_fsm",
+			CWE:         "CWE-1269",
+			// Listing 20: reaching Done requires having passed through
+			// the Checking state on the previous cycle.
+			Property: func(prefix string) *props.Property {
+				st := prefixed(prefix, "state_q")
+				return &props.Property{
+					Name: "B08_check_before_done",
+					Expr: props.Implies(
+						props.And(props.Eq(props.Sig(st), props.U(3, 4)),
+							props.Ne(props.Past(st, 1), props.U(3, 4))),
+						props.Eq(props.Past(st, 1), props.U(3, 3))),
+					DisableIff: notReset(prefix),
+					CWE:        "CWE-1269",
+					Tags:       []string{"arch-diff"},
+				}
+			},
+		}},
+	}
+}

@@ -1,0 +1,216 @@
+package designs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cfg"
+)
+
+// cfgOptionsForSoC bounds static CFG construction on the full SoC: the
+// cross product of all IP control registers is astronomically large
+// (Eqn. 3 saturates), so exploration is capped and guidance leans on
+// per-node successor enumeration.
+func cfgOptionsForSoC() cfg.Options {
+	return cfg.Options{MaxNodes: 256, MaxSuccessors: 8}
+}
+
+// socSrc assembles the OpenTitan-mini SoC: a shared register bus front
+// door decoded across the IP blocks, plus the sideband pins each block
+// needs, mirroring how the HACK@DAC'24 SoC exposes all IPs behind a
+// single TL-UL crossbar. Address map (reg_addr[11:8] selects the IP):
+//
+//	0x0 scmi_mailbox   0x1 lc_ctrl       0x2 aes       0x3 otbn_mac
+//	0x4 rom_ctrl       0x5 pwr_mgr       0x6 uart_rx   0x7 csrng
+//	0x8 sysrst_ctrl    0x9 otp_ctrl_dai
+func socSrc(buggy map[string]bool) string {
+	var sb strings.Builder
+	for _, ip := range AllIPs() {
+		sb.WriteString(ip.Source(buggy[ip.Name]))
+		sb.WriteString("\n")
+	}
+	sb.WriteString(`
+module opentitan_mini (input clk_i, input rst_ni,
+  input reg_we, input reg_re, input [11:0] reg_addr, input [31:0] reg_wdata,
+  input [3:0] reg_be, input [31:0] data_in, input [7:0] ctrl_pins,
+  input [3:0] key_combo, input [15:0] operand_a, input [15:0] operand_b,
+  output [31:0] reg_rdata, output [7:0] status);
+
+  wire [3:0] ip_sel;
+  assign ip_sel = reg_addr[11:8];
+
+  wire sel_mbx;
+  wire sel_lc;
+  wire sel_aes;
+  wire sel_otbn;
+  wire sel_rom;
+  wire sel_pwr;
+  wire sel_uart;
+  wire sel_rng;
+  wire sel_rst;
+  wire sel_otp;
+  assign sel_mbx  = ip_sel == 4'h0;
+  assign sel_lc   = ip_sel == 4'h1;
+  assign sel_aes  = ip_sel == 4'h2;
+  assign sel_otbn = ip_sel == 4'h3;
+  assign sel_rom  = ip_sel == 4'h4;
+  assign sel_pwr  = ip_sel == 4'h5;
+  assign sel_uart = ip_sel == 4'h6;
+  assign sel_rng  = ip_sel == 4'h7;
+  assign sel_rst  = ip_sel == 4'h8;
+  assign sel_otp  = ip_sel == 4'h9;
+
+  wire [31:0] mbx_rdata;
+  wire [31:0] aes_rdata;
+  wire [31:0] rng_rdata;
+  wire mbx_err;
+  wire mbx_db;
+  wire [1:0] mbx_chan;
+  scmi_mailbox u_mailbox (.clk_i(clk_i), .rst_ni(rst_ni),
+    .reg_we(reg_we & sel_mbx), .reg_re(reg_re & sel_mbx),
+    .reg_addr(reg_addr[7:0]), .reg_wdata(reg_wdata), .reg_be(reg_be),
+    .reg_rdata(mbx_rdata), .wr_err(mbx_err), .doorbell(mbx_db),
+    .chan_state(mbx_chan));
+
+  wire [3:0] lc_state;
+  wire lc_dbg;
+  wire lc_tok;
+  wire [1:0] lc_err;
+  lc_ctrl u_lc (.clk_i(clk_i), .rst_ni(rst_ni),
+    .trans_req(reg_we & sel_lc), .trans_target(reg_wdata[3:0]),
+    .token(reg_wdata[15:8]), .ack(ctrl_pins[0]),
+    .fsm_state_q(lc_state), .lc_nvm_debug_en(lc_dbg),
+    .token_ok(lc_tok), .dec_err(lc_err));
+
+  wire [31:0] aes_data;
+  wire [31:0] aes_mask;
+  wire [1:0] aes_st;
+  wire aes_busy;
+  aes u_aes (.clk_i(clk_i), .rst_ni(rst_ni),
+    .reg_we(reg_we & sel_aes), .reg_re(reg_re & sel_aes),
+    .reg_addr(reg_addr[7:0]), .reg_wdata(reg_wdata), .data_in(data_in),
+    .start(ctrl_pins[1]), .wipe(ctrl_pins[2]), .force_masks(ctrl_pins[3]),
+    .reg_rdata(aes_rdata), .data_q(aes_data), .mask_o(aes_mask),
+    .aes_state(aes_st), .busy(aes_busy));
+
+  wire [15:0] otbn_a;
+  wire [15:0] otbn_b;
+  wire [31:0] otbn_acc;
+  wire [1:0] otbn_st;
+  otbn_mac u_otbn (.clk_i(clk_i), .rst_ni(rst_ni),
+    .mac_en(ctrl_pins[4] & sel_otbn), .alu_en(ctrl_pins[5] & sel_otbn),
+    .operand_a(operand_a), .operand_b(operand_b), .acc_clr(ctrl_pins[6]),
+    .operand_a_blanked(otbn_a), .operand_b_blanked(otbn_b),
+    .acc_q(otbn_acc), .mac_state(otbn_st));
+
+  wire [2:0] rom_state;
+  wire rom_good;
+  wire rom_done;
+  rom_ctrl u_rom (.clk_i(clk_i), .rst_ni(rst_ni),
+    .start(reg_we & sel_rom), .kmac_digest(reg_wdata[15:0]),
+    .exp_digest(reg_wdata[31:16]), .kmac_valid(ctrl_pins[7]),
+    .state_q(rom_state), .good(rom_good), .done(rom_done));
+
+  wire [2:0] pwr_state;
+  wire pwr_clr;
+  wire [1:0] pwr_rst;
+  wire pwr_core;
+  pwr_mgr u_pwr (.clk_i(clk_i), .rst_ni(rst_ni),
+    .reset_reqs_i(reg_wdata[1:0]), .low_power_req(ctrl_pins[0] & sel_pwr),
+    .rom_intg_chk_good(rom_good), .wakeup(ctrl_pins[1] & sel_pwr),
+    .state_q(pwr_state), .clr_slow_req_o(pwr_clr),
+    .rst_lc_req(pwr_rst), .core_en(pwr_core));
+
+  wire [7:0] uart_data;
+  wire uart_valid;
+  wire uart_perr;
+  wire [1:0] uart_st;
+  uart_rx u_uart (.clk_i(clk_i), .rst_ni(rst_ni), .rx_i(ctrl_pins[2]),
+    .parity_enable(ctrl_pins[3]), .parity_odd(ctrl_pins[4]),
+    .rx_data(uart_data), .rx_valid(uart_valid), .rx_parity_err(uart_perr),
+    .rx_state(uart_st));
+
+  wire [15:0] rng_check;
+  wire [31:0] rng_interval;
+  wire rng_fail;
+  wire [1:0] rng_st;
+  csrng u_rng (.clk_i(clk_i), .rst_ni(rst_ni),
+    .reg_we(reg_we & sel_rng), .reg_re(reg_re & sel_rng),
+    .reg_addr(reg_addr[7:0]), .reg_wdata(reg_wdata),
+    .reg_rdata(rng_rdata), .reg_we_check(rng_check),
+    .reseed_interval_q(rng_interval), .check_fail(rng_fail),
+    .rng_state(rng_st));
+
+  wire rst_intr;
+  wire [4:0] rst_hold;
+  wire rst_req;
+  wire [1:0] rst_st;
+  sysrst_ctrl u_rst (.clk_i(clk_i), .rst_ni(rst_ni),
+    .key_combo(key_combo), .combo_en(ctrl_pins[5]),
+    .permit_mask(reg_be), .intr_error(rst_intr), .hold_cnt(rst_hold),
+    .sys_rst_req(rst_req), .ctrl_state(rst_st));
+
+  wire [31:0] otp_data;
+  wire otp_idle;
+  wire [2:0] otp_st;
+  otp_ctrl_dai u_otp (.clk_i(clk_i), .rst_ni(rst_ni),
+    .data_en(ctrl_pins[6] & sel_otp), .data_sel(ctrl_pins[7]),
+    .scrmbl_data_i(data_in), .raw_data_i(reg_wdata),
+    .dai_req(reg_we & sel_otp), .dai_cmd(reg_addr[1:0]),
+    .data_q(otp_data), .dai_idle(otp_idle), .dai_state(otp_st));
+
+  assign reg_rdata = sel_mbx ? mbx_rdata :
+                     sel_aes ? aes_rdata :
+                     sel_rng ? rng_rdata :
+                     sel_otp ? otp_data : 32'd0;
+  assign status = {uart_perr, rng_fail, rst_intr, rom_done,
+                   pwr_core, mbx_err, lc_dbg, otp_idle};
+endmodule
+`)
+	return sb.String()
+}
+
+// SoCInstance maps each IP module name to its instance prefix inside
+// opentitan_mini, for property scoping.
+var SoCInstance = map[string]string{
+	"scmi_mailbox": "u_mailbox",
+	"lc_ctrl":      "u_lc",
+	"aes":          "u_aes",
+	"otbn_mac":     "u_otbn",
+	"rom_ctrl":     "u_rom",
+	"pwr_mgr":      "u_pwr",
+	"uart_rx":      "u_uart",
+	"csrng":        "u_rng",
+	"sysrst_ctrl":  "u_rst",
+	"otp_ctrl_dai": "u_otp",
+}
+
+// OpenTitanMini assembles the full SoC benchmark. When buggy is nil all
+// bugs are enabled (the HACK@DAC'24-style buggy SoC); otherwise only the
+// named IP blocks get their buggy variants.
+func OpenTitanMini(buggy map[string]bool) *Benchmark {
+	if buggy == nil {
+		buggy = map[string]bool{}
+		for _, ip := range AllIPs() {
+			buggy[ip.Name] = true
+		}
+	}
+	src := socSrc(buggy)
+	b := &Benchmark{
+		Name:   "opentitan_mini",
+		Top:    "opentitan_mini",
+		Source: src,
+		LoC:    countLoC(src),
+	}
+	for _, ip := range AllIPs() {
+		prefix, ok := SoCInstance[ip.Name]
+		if !ok {
+			panic(fmt.Sprintf("designs: IP %s missing from SoC map", ip.Name))
+		}
+		for _, bug := range ip.Bugs {
+			b.Bugs = append(b.Bugs, bug)
+			b.Properties = append(b.Properties, bug.Property(prefix))
+		}
+	}
+	return b
+}

@@ -1,0 +1,190 @@
+package designs
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestSoCElaborates(t *testing.T) {
+	for _, buggy := range []bool{true, false} {
+		var m map[string]bool
+		if buggy {
+			m = nil // nil = all bugs on
+		} else {
+			m = map[string]bool{}
+		}
+		b := OpenTitanMini(m)
+		d, err := b.Elaborate()
+		if err != nil {
+			t.Fatalf("buggy=%v: %v", buggy, err)
+		}
+		if len(d.Signals) < 100 {
+			t.Errorf("SoC suspiciously small: %d signals", len(d.Signals))
+		}
+		s, err := sim.New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := sim.DetectClockReset(d)
+		if err := s.ApplyReset(info, 2); err != nil {
+			t.Fatal(err)
+		}
+		// Reset must leave every IP FSM in a defined state.
+		for _, name := range []string{"u_lc.fsm_state_q", "u_rom.state_q", "u_pwr.state_q"} {
+			v, err := s.Peek(name)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !v.IsFullyDefined() {
+				t.Errorf("%s undefined after reset: %v", name, v)
+			}
+		}
+	}
+	b := OpenTitanMini(nil)
+	if len(b.Properties) != 14 || len(b.Bugs) != 14 {
+		t.Errorf("SoC carries %d properties / %d bugs, want 14", len(b.Properties), len(b.Bugs))
+	}
+}
+
+func TestSoCFixedCleanUnderFuzzing(t *testing.T) {
+	b := OpenTitanMini(map[string]bool{})
+	d, err := b.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(d, b.Properties, core.Config{
+		Interval: 60, Threshold: 2, MaxVectors: 2500, Seed: 13, UseSnapshots: true,
+		CFG: cfgOptionsForSoC(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bugs) != 0 {
+		t.Errorf("fixed SoC raised violations: %+v", rep.Bugs)
+	}
+}
+
+func TestCoresElaborateAndRun(t *testing.T) {
+	for _, b := range CoreBenchmarks(true) {
+		d, err := b.Elaborate()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		s, err := sim.New(d)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		info := sim.DetectClockReset(d)
+		if err := s.ApplyReset(info, 2); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if len(b.Properties) != 3 {
+			t.Errorf("%s: %d properties", b.Name, len(b.Properties))
+		}
+	}
+}
+
+func TestCoresFixedClean(t *testing.T) {
+	for _, b := range CoreBenchmarks(false) {
+		d, err := b.Elaborate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := core.New(d, b.Properties, core.Config{
+			Interval: 60, Threshold: 2, MaxVectors: 4000, Seed: 17, UseSnapshots: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		rep, err := eng.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if len(rep.Bugs) != 0 {
+			t.Errorf("%s (fixed) raised violations: %+v", b.Name, rep.Bugs)
+		}
+	}
+}
+
+// TestSymbFuzzFindsCoreBugs reproduces the §5.4 observation: SymbFuzz
+// detects V1–V3 on every core.
+func TestSymbFuzzFindsCoreBugs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, b := range CoreBenchmarks(true) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			d, err := b.Elaborate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := core.New(d, b.Properties, core.Config{
+				Interval: 100, Threshold: 2, MaxVectors: 40_000, Seed: 9,
+				UseSnapshots: true, ContinueAfterCoverage: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := map[string]bool{}
+			for _, bug := range rep.Bugs {
+				found[bug.Property] = true
+			}
+			for _, p := range b.Properties {
+				if !found[p.Name] {
+					t.Errorf("%s: %s not detected: %s", b.Name, p.Name, rep)
+				}
+			}
+		})
+	}
+}
+
+// TestSoCLevelBugHunt fuzzes the assembled SoC (not the standalone IPs)
+// with the prefixed properties and expects at least the shallow bugs to
+// fire through the shared bus interface.
+func TestSoCLevelBugHunt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	b := OpenTitanMini(nil)
+	d, err := b.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(d, b.Properties, core.Config{
+		Interval: 100, Threshold: 2, MaxVectors: 30_000, Seed: 3,
+		UseSnapshots: true, ContinueAfterCoverage: true,
+		CFG: cfgOptionsForSoC(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bugs) < 5 {
+		t.Errorf("SoC-level campaign found only %d bugs: %s", len(rep.Bugs), rep)
+	}
+	// The properties carry SoC instance prefixes; make sure the hits
+	// map back to planted bugs.
+	names := map[string]bool{}
+	for _, p := range b.Properties {
+		names[p.Name] = true
+	}
+	for _, bug := range rep.Bugs {
+		if !names[bug.Property] {
+			t.Errorf("violation %q does not match any planted property", bug.Property)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/props"
+)
+
+// sysrstSrc renders the system reset controller, which must raise an
+// error interrupt when an invalid key combination is held long enough.
+//
+// Bug B13 (Listing 29): the error-detection parameter is defined as
+// 4'b0000 instead of 4'b0001, so the OR-reduction that should raise the
+// write-error flag always evaluates to zero and the flag never fires.
+// The detection window requires the combo to be held for 30 cycles, so
+// only continuously-driving fuzzers can reach the firing condition.
+func sysrstSrc(buggy bool) string {
+	param := pick(buggy,
+		`localparam ERR_MASK = 4'b0000;`,
+		`localparam ERR_MASK = 4'b0001;`)
+	return fmt.Sprintf(`
+module sysrst_ctrl (input clk_i, input rst_ni, input [3:0] key_combo,
+  input combo_en, input [3:0] permit_mask,
+  output reg intr_error, output reg [4:0] hold_cnt, output reg sys_rst_req,
+  output reg [1:0] ctrl_state);
+  typedef enum logic [1:0] {CtIdle = 0, CtArm = 1, CtHold = 2, CtFire = 3} ct_st_t;
+  %s
+
+  wire invalid_combo;
+  assign invalid_combo = combo_en & key_combo[3];
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : holdCounter
+    if (!rst_ni) begin
+      hold_cnt <= 5'd0;
+      intr_error <= 1'b0;
+    end else begin
+      if (invalid_combo) begin
+        if (hold_cnt != 5'd12) hold_cnt <= hold_cnt + 5'd1;
+      end else begin
+        hold_cnt <= 5'd0;
+      end
+      // Listing 29's error expression: the flag fires when the hold
+      // threshold is reached and the parameter mask ORs to one.
+      intr_error <= (hold_cnt == 5'd12) & (|ERR_MASK);
+    end
+  end
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : comboFsm
+    if (!rst_ni) begin
+      ctrl_state <= CtIdle;
+      sys_rst_req <= 1'b0;
+    end else begin
+      case (ctrl_state)
+        CtIdle: begin
+          sys_rst_req <= 1'b0;
+          if (combo_en && (key_combo & permit_mask) != 4'd0) ctrl_state <= CtArm;
+        end
+        CtArm: begin
+          if (!combo_en) ctrl_state <= CtIdle;
+          else if (hold_cnt >= 5'd8) ctrl_state <= CtHold;
+        end
+        CtHold: begin
+          if (!combo_en) ctrl_state <= CtIdle;
+          else if (hold_cnt >= 5'd16) ctrl_state <= CtFire;
+        end
+        CtFire: begin
+          sys_rst_req <= 1'b1;
+          if (!combo_en) ctrl_state <= CtIdle;
+        end
+        default: ctrl_state <= CtIdle;
+      endcase
+    end
+  end
+endmodule
+`, param)
+}
+
+// SysRst is the system reset controller IP carrying bug B13.
+func SysRst() IP {
+	return IP{
+		Name:   "sysrst_ctrl",
+		Source: sysrstSrc,
+		Desc:   "System reset controller with key-combo detection",
+		Bugs: []Bug{{
+			ID:          "B13",
+			Description: "System Reset Controller has the wrong value for the error flag.",
+			SubModule:   "sysrst_ctrl_reg_top",
+			CWE:         "CWE-1320",
+			// Listing 30: once the invalid combo has been held to the
+			// threshold, the error interrupt must assert.
+			Property: func(prefix string) *props.Property {
+				return &props.Property{
+					Name: "B13_error_flag_raised",
+					Expr: props.Implies(
+						props.Eq(props.Past(prefixed(prefix, "hold_cnt"), 1), props.U(5, 12)),
+						props.Sig(prefixed(prefix, "intr_error"))),
+					DisableIff: notReset(prefix),
+					CWE:        "CWE-1320",
+					Tags:       []string{"arch-diff"},
+				}
+			},
+		}},
+	}
+}

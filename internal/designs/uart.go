@@ -1,0 +1,110 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/props"
+)
+
+// uartSrc renders the UART receiver.
+//
+// Bug B11 (Listing 25): the parity checker ignores the host's
+// parity-enable control, raising rx_parity_err even when parity
+// checking is disabled. Triggering requires receiving a complete
+// serial frame — a long, uninterrupted stimulus sequence — so
+// fuzzers that reset the DUV between short tests cannot reach it.
+func uartSrc(buggy bool) string {
+	parityErr := pick(buggy,
+		// Buggy: error depends only on received data (parity always on).
+		`rx_parity_err <= ^{shift_q, rx_i};`,
+		// Fixed: gated by the host's parity-enable control.
+		`rx_parity_err <= parity_enable & (^{shift_q, rx_i} ^ parity_odd);`)
+	return fmt.Sprintf(`
+module uart_rx (input clk_i, input rst_ni, input rx_i,
+  input parity_enable, input parity_odd,
+  output reg [7:0] rx_data, output reg rx_valid, output reg rx_parity_err,
+  output reg [1:0] rx_state);
+  typedef enum logic [1:0] {RxIdle = 0, RxData = 1, RxParity = 2, RxStop = 3} rx_st_t;
+
+  reg [4:0] idle_cnt;
+  reg [2:0] bit_cnt;
+  reg [7:0] shift_q;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : rxFsm
+    if (!rst_ni) begin
+      rx_state <= RxIdle;
+      idle_cnt <= 5'd0;
+      bit_cnt <= 3'd0;
+      shift_q <= 8'd0;
+      rx_data <= 8'd0;
+      rx_valid <= 1'b0;
+      rx_parity_err <= 1'b0;
+    end else begin
+      rx_valid <= 1'b0;
+      rx_parity_err <= 1'b0;
+      case (rx_state)
+        RxIdle: begin
+          // The line must be provably idle (16 mark cycles) before a
+          // start bit is honoured.
+          if (rx_i) begin
+            if (idle_cnt != 5'd16) idle_cnt <= idle_cnt + 5'd1;
+          end else begin
+            if (idle_cnt == 5'd16) begin
+              rx_state <= RxData;
+              bit_cnt <= 3'd0;
+            end
+            idle_cnt <= 5'd0;
+          end
+        end
+        RxData: begin
+          shift_q <= {rx_i, shift_q[7:1]};
+          bit_cnt <= bit_cnt + 3'd1;
+          if (bit_cnt == 3'd7) rx_state <= RxParity;
+        end
+        RxParity: begin
+          %s
+          rx_state <= RxStop;
+        end
+        RxStop: begin
+          if (rx_i) begin
+            rx_data <= shift_q;
+            rx_valid <= 1'b1;
+          end
+          rx_state <= RxIdle;
+          idle_cnt <= 5'd0;
+        end
+        default: rx_state <= RxIdle;
+      endcase
+    end
+  end
+endmodule
+`, parityErr)
+}
+
+// UART is the UART receiver IP carrying bug B11.
+func UART() IP {
+	return IP{
+		Name:   "uart_rx",
+		Source: uartSrc,
+		Desc:   "UART receiver with parity checking",
+		Bugs: []Bug{{
+			ID:          "B11",
+			Description: "The system cannot turn off the parity check.",
+			SubModule:   "uart_rx",
+			CWE:         "CWE-1257",
+			// Listing 26: a parity error may only be raised while
+			// parity checking is enabled.
+			Property: func(prefix string) *props.Property {
+				return &props.Property{
+					Name: "B11_parity_gated",
+					Expr: props.Implies(
+						props.Sig(prefixed(prefix, "rx_parity_err")),
+						props.Sig(prefixed(prefix, "parity_enable"))),
+					DisableIff: notReset(prefix),
+					CWE:        "CWE-1257",
+					Tags:       []string{"arch-diff"},
+				}
+			},
+		}},
+	}
+}

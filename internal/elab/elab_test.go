@@ -1,0 +1,396 @@
+package elab
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hdl"
+	"repro/internal/logic"
+)
+
+func mustElab(t *testing.T, src, top string) *Design {
+	t.Helper()
+	ast, err := hdl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := Elaborate(ast, top, nil)
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	return d
+}
+
+// fakeStore evaluates expressions against fixed signal values.
+type fakeStore struct {
+	vals map[int]logic.BV
+	mems map[int][]logic.BV
+}
+
+func (f *fakeStore) Get(sig int) logic.BV { return f.vals[sig] }
+func (f *fakeStore) GetMem(mem int, addr uint64) logic.BV {
+	if words, ok := f.mems[mem]; ok && addr < uint64(len(words)) {
+		return words[addr]
+	}
+	return logic.X(1)
+}
+
+func TestSignalClassification(t *testing.T) {
+	d := mustElab(t, `
+module m (input clk, input [3:0] a, output [3:0] y);
+  reg [3:0] q;
+  wire [3:0] w;
+  assign w = a ^ 4'd1;
+  assign y = q;
+  always_ff @(posedge clk) q <= w;
+endmodule`, "m")
+	byName := func(n string) *Signal { return d.ByName[n] }
+	if byName("clk").Kind != SigInput || byName("a").Kind != SigInput {
+		t.Error("inputs misclassified")
+	}
+	if byName("y").Kind != SigOutput {
+		t.Error("output misclassified")
+	}
+	if byName("q").Kind != SigInternal || !byName("q").IsReg {
+		t.Error("q must be an internal register")
+	}
+	if byName("w").IsReg {
+		t.Error("w must not be a register")
+	}
+	if len(d.InputSignals()) != 2 || len(d.OutputSignals()) != 1 {
+		t.Errorf("port sets wrong: %d in, %d out", len(d.InputSignals()), len(d.OutputSignals()))
+	}
+	if len(d.Registers()) != 1 {
+		t.Errorf("registers = %d", len(d.Registers()))
+	}
+	if d.TotalInputWidth() != 5 {
+		t.Errorf("total input width = %d", d.TotalInputWidth())
+	}
+}
+
+func TestWidthRules(t *testing.T) {
+	d := mustElab(t, `
+module m (input [3:0] a, input [7:0] b, output [7:0] sum, output flag,
+          output [11:0] cat);
+  assign sum = a + b;        // operands widen to 8
+  assign flag = a < b;       // comparison is 1 bit
+  assign cat = {a, b};       // concat is 12 bits
+endmodule`, "m")
+	st := &fakeStore{vals: map[int]logic.BV{
+		d.ByName["a"].Index: logic.FromUint64(4, 15),
+		d.ByName["b"].Index: logic.FromUint64(8, 240),
+	}}
+	// Find the assign process writing each output and evaluate its RHS.
+	rhsOf := func(name string) Expr {
+		idx := d.ByName[name].Index
+		for _, p := range d.Procs {
+			for _, s := range p.Body {
+				if sa, ok := s.(SAssign); ok {
+					if ts, ok := sa.LHS.(TSig); ok && ts.Idx == idx {
+						return sa.RHS
+					}
+				}
+			}
+		}
+		t.Fatalf("no assign for %s", name)
+		return nil
+	}
+	if v, _ := rhsOf("sum").Eval(st).Uint64(); v != 255 {
+		t.Errorf("4-bit 15 + 8-bit 240 = %d, want 255 (widened)", v)
+	}
+	if rhsOf("flag").Width() != 1 {
+		t.Error("comparison width must be 1")
+	}
+	if rhsOf("cat").Width() != 12 {
+		t.Errorf("concat width = %d", rhsOf("cat").Width())
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	d := mustElab(t, `
+module m (input [7:0] a, output [7:0] y);
+  localparam BASE = 8'h10;
+  localparam DOUBLE = BASE + BASE;
+  localparam SEL = DOUBLE > 8'h1F ? 8'd1 : 8'd2;
+  assign y = a + DOUBLE + SEL;
+endmodule`, "m")
+	st := &fakeStore{vals: map[int]logic.BV{d.ByName["a"].Index: logic.FromUint64(8, 1)}}
+	var rhs Expr
+	for _, p := range d.Procs {
+		if sa, ok := p.Body[0].(SAssign); ok {
+			rhs = sa.RHS
+		}
+	}
+	if v, _ := rhs.Eval(st).Uint64(); v != 1+0x20+1 {
+		t.Errorf("folded value = %d", v)
+	}
+}
+
+func TestEnumResolution(t *testing.T) {
+	d := mustElab(t, `
+module m (input clk, output [2:0] o);
+  typedef enum logic [2:0] {A = 0, B, C = 5, D} st_t;
+  st_t s;
+  always_ff @(posedge clk) s <= D;
+  assign o = s;
+endmodule`, "m")
+	sig := d.ByName["s"]
+	if sig.EnumTy != "st_t" {
+		t.Fatalf("enum type = %q", sig.EnumTy)
+	}
+	// Auto-increment: A=0, B=1, C=5, D=6.
+	if sig.EnumNames[1] != "B" || sig.EnumNames[6] != "D" {
+		t.Errorf("enum names = %v", sig.EnumNames)
+	}
+	if sig.Width != 3 {
+		t.Errorf("enum width = %d", sig.Width)
+	}
+}
+
+func TestBranchInstrumentation(t *testing.T) {
+	d := mustElab(t, `
+module m (input [1:0] s, input a, output reg y);
+  always_comb begin
+    if (a) y = 1'b0;
+    else begin
+      case (s)
+        2'd0: y = 1'b1;
+        2'd1: y = 1'b0;
+        default: y = a;
+      endcase
+    end
+  end
+endmodule`, "m")
+	if d.Branches != 2 {
+		t.Fatalf("branches = %d, want 2 (if + case)", d.Branches)
+	}
+	kinds := map[string]int{}
+	for _, bi := range d.BranchInfo {
+		kinds[bi.Kind]++
+		if bi.Where == "" || bi.Arms < 2 {
+			t.Errorf("branch info incomplete: %+v", bi)
+		}
+	}
+	if kinds["if"] != 1 || kinds["case"] != 1 {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestProcessReadWriteSets(t *testing.T) {
+	d := mustElab(t, `
+module m (input clk, input [3:0] a, input [3:0] b, input sel, output reg [3:0] q);
+  always_ff @(posedge clk) begin
+    if (sel) q <= a;
+    else q <= b;
+  end
+endmodule`, "m")
+	var proc *Process
+	for _, p := range d.Procs {
+		if p.Kind == ProcSeq {
+			proc = p
+		}
+	}
+	if proc == nil {
+		t.Fatal("no sequential process")
+	}
+	readNames := map[string]bool{}
+	for _, r := range proc.Reads {
+		readNames[d.Signals[r].Name] = true
+	}
+	for _, want := range []string{"a", "b", "sel"} {
+		if !readNames[want] {
+			t.Errorf("%s missing from reads: %v", want, readNames)
+		}
+	}
+	if len(proc.Writes) != 1 || d.Signals[proc.Writes[0]].Name != "q" {
+		t.Errorf("writes = %v", proc.Writes)
+	}
+	if len(proc.Edges) != 1 || !proc.Edges[0].Posedge {
+		t.Errorf("edges = %+v", proc.Edges)
+	}
+}
+
+func TestMemoryElaboration(t *testing.T) {
+	d := mustElab(t, `
+module m (input clk, input [2:0] wa, input [7:0] wd, input we, input [2:0] ra,
+          output [7:0] rd);
+  reg [7:0] mem [0:7];
+  assign rd = mem[ra];
+  always_ff @(posedge clk) if (we) mem[wa] <= wd;
+endmodule`, "m")
+	if len(d.Memories) != 1 {
+		t.Fatalf("memories = %d", len(d.Memories))
+	}
+	m := d.Memories[0]
+	if m.Width != 8 || m.Depth != 8 || m.Name != "mem" {
+		t.Errorf("memory = %+v", m)
+	}
+	// Comb readers of the memory are tracked for re-evaluation.
+	found := false
+	for _, p := range d.Procs {
+		if p.Kind == ProcComb && len(p.MemReads) == 1 && p.MemReads[0] == m.Index {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("memory read not tracked in any comb process")
+	}
+}
+
+func TestHierarchicalNames(t *testing.T) {
+	d := mustElab(t, `
+module leaf (input a, output y);
+  wire mid;
+  assign mid = !a;
+  assign y = !mid;
+endmodule
+module wrap (input a, output y);
+  leaf inner (.a(a), .y(y));
+endmodule
+module top (input a, output y);
+  wrap w0 (.a(a), .y(y));
+endmodule`, "top")
+	if d.ByName["w0.inner.mid"] == nil {
+		names := []string{}
+		for n := range d.ByName {
+			names = append(names, n)
+		}
+		t.Fatalf("nested name missing; have %s", strings.Join(names, ", "))
+	}
+}
+
+func TestParameterOverrideMap(t *testing.T) {
+	src := `
+module m #(parameter W = 3) (input [7:0] a, output [7:0] y);
+  assign y = a << W;
+endmodule`
+	ast, err := hdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Elaborate(ast, "m", map[string]uint64{"W": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &fakeStore{vals: map[int]logic.BV{d.ByName["a"].Index: logic.FromUint64(8, 1)}}
+	var rhs Expr
+	for _, p := range d.Procs {
+		if sa, ok := p.Body[0].(SAssign); ok {
+			rhs = sa.RHS
+		}
+	}
+	if v, _ := rhs.Eval(st).Uint64(); v != 32 {
+		t.Errorf("1 << 5 = %d", v)
+	}
+}
+
+func TestErrorMessages(t *testing.T) {
+	cases := []struct {
+		src, top, want string
+	}{
+		{`module m (input a, output y); assign y = b; endmodule`, "m", "unknown identifier"},
+		{`module m (input a, output y); assign y = a / a; endmodule`, "m", "division"},
+		{`module m (input [3:0] a, output y); assign y = a[2:3]; endmodule`, "m", "part-select"},
+		{`module m (inout a); endmodule`, "m", "inout"},
+		{`module m (input a, output y); wire [0:3] w; assign y = a; endmodule`, "m", "descending"},
+		{`module m (input a, output y); always_ff @(posedge nope) y <= a; endmodule`, "m", "unknown clock"},
+		{`module m (input a, output y); assign y = {0{a}}; endmodule`, "m", "replication"},
+	}
+	for _, c := range cases {
+		ast, err := hdl.Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		_, err = Elaborate(ast, c.top, nil)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestDuplicateSignalRejected(t *testing.T) {
+	ast, err := hdl.Parse(`module m (input a, output y); wire a; assign y = a; endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Elaborate(ast, "m", nil); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate signal error missing: %v", err)
+	}
+}
+
+func TestTargetKindsExecute(t *testing.T) {
+	// Exercise TRange, TBit, TCat, TMem assignment paths directly.
+	d := mustElab(t, `
+module m (input clk, input [2:0] i, input v, input [7:0] w,
+          output reg [7:0] q, output reg [3:0] hi, output reg [3:0] lo);
+  reg [7:0] mem [0:3];
+  always_ff @(posedge clk) begin
+    q[3:0] <= w[3:0];     // TRange
+    q[i] <= v;            // TBit (dynamic)
+    {hi, lo} <= w;        // TCat
+    mem[i[1:0]] <= w;     // TMem
+  end
+endmodule`, "m")
+	if d == nil {
+		t.Fatal("no design")
+	}
+	// Count targets by type in the sequential body.
+	var kinds []string
+	for _, p := range d.Procs {
+		if p.Kind != ProcSeq {
+			continue
+		}
+		for _, s := range p.Body {
+			if sa, ok := s.(SAssign); ok {
+				switch sa.LHS.(type) {
+				case TRange:
+					kinds = append(kinds, "range")
+				case TBit:
+					kinds = append(kinds, "bit")
+				case TCat:
+					kinds = append(kinds, "cat")
+				case TMem:
+					kinds = append(kinds, "mem")
+				}
+			}
+		}
+	}
+	want := map[string]bool{"range": true, "bit": true, "cat": true, "mem": true}
+	for _, k := range kinds {
+		delete(want, k)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing target kinds: %v (got %v)", want, kinds)
+	}
+}
+
+func TestUnconnectedPortStaysX(t *testing.T) {
+	d := mustElab(t, `
+module sub (input [3:0] a, input [3:0] b, output [3:0] y);
+  assign y = a & b;
+endmodule
+module top (input [3:0] x, output [3:0] z);
+  sub u (.a(x), .b(), .y(z));
+endmodule`, "top")
+	// b is explicitly unconnected: no process drives u.b.
+	bIdx := d.ByName["u.b"].Index
+	for _, p := range d.Procs {
+		for _, w := range p.Writes {
+			if w == bIdx {
+				t.Error("unconnected port must not be driven")
+			}
+		}
+	}
+}
+
+func TestSourceLoCCarried(t *testing.T) {
+	d := mustElab(t, `module m (input a, output y); assign y = a; endmodule`, "m")
+	d.SourceLoC = 42
+	if d.SourceLoC != 42 {
+		t.Error("SourceLoC not settable")
+	}
+}

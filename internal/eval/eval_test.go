@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// quick returns a fast configuration for unit testing the harness
+// plumbing; the full-budget runs live in the benchmark suite.
+func quick() Config {
+	return Config{
+		BudgetIP:  3000,
+		BudgetSoC: 3000,
+		Runs:      2,
+		Seed:      3,
+		Interval:  60,
+		Threshold: 2,
+	}
+}
+
+func TestRunTable1Quick(t *testing.T) {
+	rows, err := RunTable1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(rows))
+	}
+	detected := 0
+	for _, r := range rows {
+		if r.LoC == 0 || r.Bug.CWE == "" {
+			t.Errorf("row %s incomplete: %+v", r.Bug.ID, r)
+		}
+		if r.Detected {
+			detected++
+			if r.Vectors == 0 {
+				t.Errorf("bug %s detected at 0 vectors", r.Bug.ID)
+			}
+		}
+	}
+	// Even at the quick budget the shallow majority must be found.
+	if detected < 8 {
+		t.Errorf("only %d/14 bugs found at quick budget", detected)
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "B01") {
+		t.Error("table rendering missing B01")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	rows, err := RunTable3(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 benchmarks", len(rows))
+	}
+	if rows[0].Benchmark != "opentitan_mini" {
+		t.Errorf("first benchmark = %s", rows[0].Benchmark)
+	}
+	for _, r := range rows {
+		if r.LoC == 0 || r.Nodes == 0 || r.Edges == 0 || r.DepEqns == 0 || r.Constraints == 0 {
+			t.Errorf("row incomplete: %+v", r)
+		}
+	}
+	// The SoC is the largest benchmark (paper Table 3's shape).
+	if rows[0].LoC <= rows[1].LoC {
+		t.Errorf("SoC should have the most LoC: %+v", rows)
+	}
+	var buf bytes.Buffer
+	WriteTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "opentitan_mini") {
+		t.Error("table rendering incomplete")
+	}
+}
+
+func TestRunFigure4Quick(t *testing.T) {
+	fig, err := RunFigure4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != len(FuzzerNames) {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for name, c := range fig.Series {
+		if len(c.Vectors) != len(c.Points) || len(c.Points) == 0 {
+			t.Fatalf("%s: malformed curve", name)
+		}
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i] < c.Points[i-1] {
+				t.Errorf("%s: coverage curve decreased at %d", name, i)
+			}
+		}
+	}
+	if fig.SpeedupVsRandom < 1 {
+		t.Errorf("speedup vs random = %.2f, want >= 1", fig.SpeedupVsRandom)
+	}
+	var buf bytes.Buffer
+	WriteFigure4a(&buf, fig)
+	WriteFigure4b(&buf, fig)
+	out := buf.String()
+	if !strings.Contains(out, "speedup vs UVM random") || !strings.Contains(out, "variance") {
+		t.Errorf("figure rendering incomplete:\n%s", out)
+	}
+	if Summary(fig) == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestRunSection54Quick(t *testing.T) {
+	c := quick()
+	c.BudgetIP = 20_000
+	rows, err := RunSection54(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, id := range []string{"V1", "V2", "V3"} {
+			if !r.Found[id] {
+				t.Errorf("%s: %s not found", r.Core, id)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	WriteSection54(&buf, rows)
+	if !strings.Contains(buf.String(), "cva6_mini") {
+		t.Error("section 5.4 rendering incomplete")
+	}
+}
+
+func TestRunScalabilityQuick(t *testing.T) {
+	s, err := RunScalability(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EdgeStatePairs == 0 || s.Vectors == 0 {
+		t.Errorf("scalability stats empty: %+v", s)
+	}
+	var buf bytes.Buffer
+	WriteScalability(&buf, s)
+	if !strings.Contains(buf.String(), "edge-state pairs") {
+		t.Error("scalability rendering incomplete")
+	}
+}
+
+func TestSampleCurve(t *testing.T) {
+	curve := []core.CurvePoint{{Vectors: 10, Points: 5}, {Vectors: 20, Points: 9}}
+	got := sampleCurve(curve, []uint64{5, 10, 15, 25})
+	want := []float64{0, 5, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sample[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	symb := Curve{Vectors: []uint64{10, 20, 30, 40}, Points: []float64{50, 100, 110, 120}}
+	random := Curve{Vectors: []uint64{10, 20, 30, 40}, Points: []float64{10, 40, 80, 100}}
+	sp, sat := speedup(symb, random)
+	// random reaches its final 100 at vector 40; symb reaches 100 at 20.
+	if sp != 2 {
+		t.Errorf("speedup = %v, want 2", sp)
+	}
+	if sat < 0.8 || sat > 0.9 {
+		t.Errorf("saturation = %v", sat)
+	}
+}

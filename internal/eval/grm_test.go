@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+)
+
+func TestGRMDetectsFunctionalDivergence(t *testing.T) {
+	// The buggy mailbox never raises wr_err while the fixed one does:
+	// a golden-reference comparison catches it as an output mismatch.
+	dut := designs.IPBenchmark(designs.Mailbox(), true)
+	golden := designs.IPBenchmark(designs.Mailbox(), false)
+	res, err := RunGRM(dut, golden, 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mismatches) == 0 {
+		t.Fatal("expected output divergence between buggy and fixed mailbox")
+	}
+	if res.FirstAt == 0 {
+		t.Error("FirstAt not recorded")
+	}
+	seenErr := false
+	for _, m := range res.Mismatches {
+		if m.Signal == "wr_err" {
+			seenErr = true
+			if m.Got.Eq4(m.Want) {
+				t.Error("mismatch with equal values")
+			}
+		}
+	}
+	if !seenErr {
+		t.Errorf("wr_err divergence not among mismatches: %+v", res.Mismatches[:min(3, len(res.Mismatches))])
+	}
+}
+
+func TestGRMCleanOnIdenticalDesigns(t *testing.T) {
+	a := designs.IPBenchmark(designs.UART(), false)
+	b := designs.IPBenchmark(designs.UART(), false)
+	res, err := RunGRM(a, b, 3000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mismatches) != 0 {
+		t.Errorf("identical designs diverged: %+v", res.Mismatches[0])
+	}
+	if res.Vectors != 3000 {
+		t.Errorf("vectors = %d", res.Vectors)
+	}
+}
+
+func TestGRMPowerManagerDivergence(t *testing.T) {
+	// The power manager carries B09 (premature clear) and B10 (skipped
+	// ROM integrity check); both manifest as architectural divergences
+	// (clr_slow_req_o and the FSM state respectively) against the fixed
+	// golden model.
+	dut := designs.IPBenchmark(designs.PwrMgr(), true)
+	golden := designs.IPBenchmark(designs.PwrMgr(), false)
+	res, err := RunGRM(dut, golden, 3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mismatches) == 0 {
+		t.Fatal("expected divergence from B09/B10")
+	}
+	allowed := map[string]bool{
+		"clr_slow_req_o": true, "state_q": true, "core_en": true, "rst_lc_req": true,
+	}
+	for _, m := range res.Mismatches {
+		if !allowed[m.Signal] {
+			t.Errorf("unexpected divergence on %s", m.Signal)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// check renders a ✓/✗ cell.
+func check(b bool) string {
+	if b {
+		return "Y"
+	}
+	return "-"
+}
+
+// WriteTable1 renders Table 1 in the paper's column layout.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1: Details for the Detected Bugs in the Benchmark SoC")
+	fmt.Fprintf(w, "%-5s %-62s %-14s %6s %-12s %10s\n",
+		"Bug", "Description", "Sub-Module", "LoC", "CWE", "# vectors")
+	for _, r := range rows {
+		vec := "-"
+		if r.Detected {
+			vec = fmt.Sprintf("%d", r.Vectors)
+		}
+		fmt.Fprintf(w, "%-5s %-62s %-14s %6d %-12s %10s\n",
+			r.Bug.ID, r.Bug.Description, r.Bug.SubModule, r.LoC, r.Bug.CWE, vec)
+	}
+}
+
+// WriteTable2 renders the detection matrix.
+func WriteTable2(w io.Writer, rows []Table2Row) {
+	tools := []string{"symbfuzz", "rfuzz", "difuzzrtl", "hwfp"}
+	fmt.Fprintln(w, "Table 2: Comparison of bug detection by the fuzzers")
+	fmt.Fprintf(w, "%-5s", "Bug")
+	for _, t := range tools {
+		fmt.Fprintf(w, " %10s", t)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s", r.BugID)
+		for _, t := range tools {
+			fmt.Fprintf(w, " %10s", check(r.Detected[t]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteTable3 renders the benchmark statistics.
+func WriteTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3: Benchmark Details")
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %10s %12s %12s\n",
+		"Benchmark", "LoC", "Nodes", "Edges", "DepEqns", "Latency(ms)", "Constraints")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %8d %8d %8d %10d %12d %12d\n",
+			r.Benchmark, r.LoC, r.Nodes, r.Edges, r.DepEqns, r.LatencyMS, r.Constraints)
+	}
+}
+
+// WriteFigure4a renders the averaged coverage series as aligned columns
+// (one row per grid point), the textual equivalent of Figure 4a.
+func WriteFigure4a(w io.Writer, fig *Figure4) {
+	names := sortedSeries(fig)
+	fmt.Fprintln(w, "Figure 4a: coverage vs input vectors (averaged)")
+	fmt.Fprintf(w, "%10s", "vectors")
+	for _, n := range names {
+		fmt.Fprintf(w, " %12s", n)
+	}
+	fmt.Fprintln(w)
+	grid := fig.Series[names[0]].Vectors
+	for i := range grid {
+		fmt.Fprintf(w, "%10d", grid[i])
+		for _, n := range names {
+			fmt.Fprintf(w, " %12.1f", fig.Series[n].Points[i])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "speedup vs UVM random: %.1fx; random saturation: %.0f%% of SymbFuzz\n",
+		fig.SpeedupVsRandom, fig.RandomSaturation*100)
+}
+
+// WriteFigure4b renders the variance window.
+func WriteFigure4b(w io.Writer, fig *Figure4) {
+	names := sortedSeries(fig)
+	fmt.Fprintf(w, "Figure 4b: coverage variance in window [%d..%d] vectors\n",
+		fig.WindowLo, fig.WindowHi)
+	for _, n := range names {
+		vr := fig.Variance[n]
+		if len(vr) == 0 {
+			continue
+		}
+		var sum float64
+		for _, v := range vr {
+			sum += v
+		}
+		fmt.Fprintf(w, "%12s: mean variance %10.2f over %d window points\n",
+			n, sum/float64(len(vr)), len(vr))
+	}
+}
+
+// WriteSection54 renders the cross-paper core results.
+func WriteSection54(w io.Writer, rows []Section54Row) {
+	fmt.Fprintln(w, "Section 5.4: bugs from TheHuzz/PSOFuzz/HypFuzz benchmarks")
+	fmt.Fprintf(w, "%-14s %6s %6s %6s\n", "Core", "V1", "V2", "V3")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %6s %6s %6s\n", r.Core,
+			check(r.Found["V1"]), check(r.Found["V2"]), check(r.Found["V3"]))
+	}
+}
+
+// WriteScalability renders the §5.5.2 statistics.
+func WriteScalability(w io.Writer, s *Scalability) {
+	fmt.Fprintln(w, "Section 5.5.2: scalability statistics")
+	fmt.Fprintf(w, "benchmark=%s edge-state pairs=%d checkpoints=%d rollbacks=%d symbolic calls=%d vectors=%d\n",
+		s.Benchmark, s.EdgeStatePairs, s.CheckpointsTaken, s.Rollbacks, s.SymbolicCalls, s.Vectors)
+}
+
+func sortedSeries(fig *Figure4) []string {
+	names := make([]string, 0, len(fig.Series))
+	for n := range fig.Series {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return seriesRank(names[i]) < seriesRank(names[j])
+	})
+	return names
+}
+
+func seriesRank(name string) int {
+	for i, n := range FuzzerNames {
+		if n == name {
+			return i
+		}
+	}
+	return len(FuzzerNames) + len(name)
+}
+
+// Summary renders a one-paragraph comparison of final coverage, the
+// §5.3 headline (SymbFuzz above DifuzzRTL above HWFP above RFuzz).
+func Summary(fig *Figure4) string {
+	var sb strings.Builder
+	final := func(n string) float64 {
+		c := fig.Series[n]
+		if len(c.Points) == 0 {
+			return 0
+		}
+		return c.Points[len(c.Points)-1]
+	}
+	s := final("symbfuzz")
+	sb.WriteString("final coverage points: ")
+	for _, n := range sortedSeries(fig) {
+		f := final(n)
+		pct := 0.0
+		if f > 0 {
+			pct = (s - f) / f * 100
+		}
+		fmt.Fprintf(&sb, "%s=%.0f (symbfuzz %+.0f%%) ", n, f, pct)
+	}
+	return strings.TrimSpace(sb.String())
+}

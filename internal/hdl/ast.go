@@ -1,0 +1,358 @@
+package hdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ---- Expressions ----
+
+// Expr is any expression node.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+	String() string
+}
+
+type exprBase struct{ Pos Pos }
+
+func (e exprBase) exprNode()    {}
+func (e exprBase) ExprPos() Pos { return e.Pos }
+
+// Number is a literal. Width 0 means an unsized decimal literal; Fill
+// marks the '0/'1/'x/'z context-width fills.
+type Number struct {
+	exprBase
+	Width  int    // declared width; 0 = unsized
+	Bits   string // MSB-first bit characters (0,1,x,z), already expanded
+	IsFill bool   // '0 / '1 / 'x / 'z — replicate Bits[0] to context width
+	Raw    string // original source text
+}
+
+// String returns the literal's source text.
+func (n *Number) String() string { return n.Raw }
+
+// Ident is a reference to a named signal, parameter or enum constant.
+type Ident struct {
+	exprBase
+	Name string
+}
+
+// String returns the identifier name.
+func (i *Ident) String() string { return i.Name }
+
+// IndexExpr is a single-bit or element select: base[index].
+type IndexExpr struct {
+	exprBase
+	Base  Expr
+	Index Expr
+}
+
+// String renders base[index].
+func (e *IndexExpr) String() string {
+	return fmt.Sprintf("%s[%s]", e.Base, e.Index)
+}
+
+// RangeExpr is a constant part-select base[hi:lo] or indexed part-select
+// base[start +: width] (IsPlus true).
+type RangeExpr struct {
+	exprBase
+	Base   Expr
+	Hi, Lo Expr // for +: Hi is the start, Lo the width
+	IsPlus bool
+}
+
+// String renders the part-select.
+func (e *RangeExpr) String() string {
+	op := ":"
+	if e.IsPlus {
+		op = "+:"
+	}
+	return fmt.Sprintf("%s[%s%s%s]", e.Base, e.Hi, op, e.Lo)
+}
+
+// Unary is a prefix operator application. Op is one of
+// ~ ! - + & | ^ ~& ~| ~^.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// String renders the operator and operand.
+func (e *Unary) String() string { return fmt.Sprintf("(%s%s)", e.Op, e.X) }
+
+// Binary is an infix operator application.
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// String renders the binary expression parenthesized.
+func (e *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.X, e.Op, e.Y)
+}
+
+// Ternary is cond ? then : else.
+type Ternary struct {
+	exprBase
+	Cond, Then, Else Expr
+}
+
+// String renders the conditional expression.
+func (e *Ternary) String() string {
+	return fmt.Sprintf("(%s ? %s : %s)", e.Cond, e.Then, e.Else)
+}
+
+// Concat is {a, b, ...}.
+type Concat struct {
+	exprBase
+	Parts []Expr
+}
+
+// String renders the concatenation.
+func (e *Concat) String() string {
+	parts := make([]string, len(e.Parts))
+	for i, p := range e.Parts {
+		parts[i] = p.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Repl is {count{value}} with a constant count.
+type Repl struct {
+	exprBase
+	Count Expr
+	Value Expr
+}
+
+// String renders the replication.
+func (e *Repl) String() string {
+	return fmt.Sprintf("{%s{%s}}", e.Count, e.Value)
+}
+
+// ---- Statements ----
+
+// Stmt is any procedural statement.
+type Stmt interface {
+	stmtNode()
+	StmtPos() Pos
+}
+
+type stmtBase struct{ Pos Pos }
+
+func (s stmtBase) stmtNode()    {}
+func (s stmtBase) StmtPos() Pos { return s.Pos }
+
+// Block is begin ... end, optionally labelled.
+type Block struct {
+	stmtBase
+	Label string
+	Stmts []Stmt
+}
+
+// AssignStmt is a procedural assignment; NonBlocking distinguishes <= from =.
+type AssignStmt struct {
+	stmtBase
+	LHS         Expr // Ident, IndexExpr, RangeExpr or Concat of those
+	RHS         Expr
+	NonBlocking bool
+}
+
+// If is if (Cond) Then else Else; Else may be nil.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt
+}
+
+// CaseItem is one arm of a case statement; nil Matches marks default.
+type CaseItem struct {
+	Matches []Expr
+	Body    Stmt
+}
+
+// Case is a (unique) case statement.
+type Case struct {
+	stmtBase
+	Subject Expr
+	Items   []CaseItem
+	Unique  bool
+}
+
+// For is a constant-bound loop, unrolled at elaboration:
+// for (int i = Init; i < Limit; i++) Body.
+type For struct {
+	stmtBase
+	Var  string
+	Init Expr
+	Cond Expr // full condition, e.g. i < N
+	Body Stmt
+}
+
+// NullStmt is a lone semicolon or an ignored system task.
+type NullStmt struct {
+	stmtBase
+	Task string // e.g. "$display"; empty for a bare semicolon
+}
+
+// ---- Module items ----
+
+// Direction of a port.
+type Direction int
+
+// Port directions.
+const (
+	Input Direction = iota
+	Output
+	Inout
+)
+
+// String returns input/output/inout.
+func (d Direction) String() string {
+	switch d {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	default:
+		return "inout"
+	}
+}
+
+// TypeRef names a declared type: either a built-in (logic/wire/reg, with
+// Enum == "") or a typedef enum name.
+type TypeRef struct {
+	Enum   string // enum typedef name, "" for plain vectors
+	HasRng bool
+	Hi, Lo Expr // range bounds (constant expressions)
+}
+
+// Port declares a module port.
+type Port struct {
+	Pos  Pos
+	Dir  Direction
+	Name string
+	Type TypeRef
+	Reg  bool // declared with reg/logic in the port list
+}
+
+// Net declares an internal wire/reg/logic/enum variable.
+type Net struct {
+	Pos   Pos
+	Name  string
+	Type  TypeRef
+	Init  Expr // optional declaration initializer (treated as reset value)
+	Array Expr // optional unpacked array size (memories): name [0:N-1] -> N
+	AHi   Expr // array range hi (nil if Array not set via range)
+	ALo   Expr
+}
+
+// Param declares a parameter or localparam.
+type Param struct {
+	Pos   Pos
+	Name  string
+	Value Expr
+	Local bool
+}
+
+// EnumDef is a typedef enum with named constant members.
+type EnumDef struct {
+	Pos     Pos
+	Name    string
+	HasRng  bool
+	Hi, Lo  Expr
+	Members []EnumMember
+}
+
+// EnumMember is one named enum value; Value nil means previous+1 (or 0).
+type EnumMember struct {
+	Name  string
+	Value Expr
+}
+
+// ContAssign is a continuous assignment: assign LHS = RHS.
+type ContAssign struct {
+	Pos Pos
+	LHS Expr
+	RHS Expr
+}
+
+// EdgeKind is the clock edge sensitivity of an always_ff event.
+type EdgeKind int
+
+// Event edges.
+const (
+	AnyChange EdgeKind = iota
+	Posedge
+	Negedge
+)
+
+// Event is one entry of an always_ff sensitivity list.
+type Event struct {
+	Edge   EdgeKind
+	Signal string
+}
+
+// AlwaysKind distinguishes combinational from clocked processes.
+type AlwaysKind int
+
+// Process kinds.
+const (
+	Comb AlwaysKind = iota // always_comb or always @(*)
+	Seq                    // always_ff @(posedge ...)
+)
+
+// Always is a procedural block.
+type Always struct {
+	Pos    Pos
+	Kind   AlwaysKind
+	Events []Event // only for Seq
+	Body   Stmt
+	Label  string
+}
+
+// PortConn is a named or positional connection in an instantiation.
+type PortConn struct {
+	Name string // "" for positional
+	Expr Expr   // nil for unconnected .name()
+}
+
+// Instance is a module instantiation.
+type Instance struct {
+	Pos        Pos
+	ModuleName string
+	Name       string
+	Params     []PortConn // #(...) overrides
+	Conns      []PortConn
+}
+
+// Module is a parsed module declaration.
+type Module struct {
+	Pos       Pos
+	Name      string
+	Ports     []Port
+	Params    []Param
+	Nets      []Net
+	Enums     []EnumDef
+	Assigns   []ContAssign
+	Alwayses  []Always
+	Instances []Instance
+}
+
+// Source is a parsed compilation unit.
+type Source struct {
+	Modules []*Module
+}
+
+// FindModule returns the module with the given name, or nil.
+func (s *Source) FindModule(name string) *Module {
+	for _, m := range s.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}

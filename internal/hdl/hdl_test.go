@@ -1,0 +1,533 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("module foo; // comment\n/* block */ endmodule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KWMODULE, IDENT, SEMI, KWENDMODULE, EOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "=== !== >>> && || == != <= >= << >> ~^ ~& ~| +: ++"
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{CASEEQ, CASENEQ, ASHR, LAND, LOR, EQ, NEQ, LE, GE, SHL,
+		SHR, XNOR, NAND, NOR, PLUSCOL, INC, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	for _, s := range []string{"42", "8'hFF", "4'b10xz", "16'd1234", "'0", "'1", "'x", "3'o7", "4'b1_0"} {
+		toks, err := LexAll(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if toks[0].Kind != NUMBER || toks[0].Text != s {
+			t.Errorf("%s lexed as %s %q", s, toks[0].Kind, toks[0].Text)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, s := range []string{"/* unterminated", "\"unterminated", "`badchar", "8'q0"} {
+		if _, err := LexAll(s); err == nil {
+			t.Errorf("%q should fail to lex", s)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestParseNumberToken(t *testing.T) {
+	cases := []struct {
+		src   string
+		width int
+		bits  string
+	}{
+		{"8'hA5", 8, "10100101"},
+		{"4'b10xz", 4, "10xz"},
+		{"4'hx", 4, "xxxx"},
+		{"6'b1", 6, "000001"},
+		{"6'bx1", 6, "xxxxx1"},
+		{"2'hFF", 2, "11"},
+		{"3'o7", 3, "111"},
+		{"8'd200", 8, "11001000"},
+		{"13", 0, "1101"},
+	}
+	for _, c := range cases {
+		toks, err := LexAll(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		n, err := parseNumberToken(toks[0])
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if n.Width != c.width || n.Bits != c.bits {
+			t.Errorf("%s = width %d bits %s, want %d %s", c.src, n.Width, n.Bits, c.width, c.bits)
+		}
+	}
+	// fills
+	toks, _ := LexAll("'1")
+	n, err := parseNumberToken(toks[0])
+	if err != nil || !n.IsFill || n.Bits != "1" {
+		t.Errorf("'1 parse = %+v, %v", n, err)
+	}
+}
+
+// The toy ALU from Listing 1 of the paper, adapted to the subset.
+const aluSrc = `
+module ALU (input nrst, input [15:0] A,
+  input [15:0] B, input [3:0] op, output reg [15:0] Out);
+  typedef enum logic [2:0] {INIT = 0, ADD = 1,
+      SUB = 2, AND_ = 3, OR_ = 4, XOR_ = 5} state_t;
+  state_t state;
+  logic OPmode;
+  always_comb begin : resetLogic
+      if (!nrst) state = 0;
+      else begin
+        state = op[2:0];
+        OPmode = op[3];
+      end
+  end
+  always_comb begin : FSM
+      if (OPmode) begin
+          Out[15:8] = 0;
+          case (state)
+              INIT: Out[7:0] = 0;
+              ADD:  Out[7:0] = A[7:0] + B[7:0];
+              SUB:  Out[7:0] = A[7:0] - B[7:0];
+              AND_: Out[7:0] = A[7:0] & B[7:0];
+              OR_:  Out[7:0] = A[7:0] | B[7:0];
+              XOR_: Out[7:0] = A[7:0] ^ B[7:0];
+              default: Out = 0;
+          endcase
+      end else begin
+          case (state)
+              INIT: Out = 0;
+              ADD:  Out = A + B;
+              SUB:  Out = A - B;
+              AND_: Out = A & B;
+              OR_:  Out = A | B;
+              XOR_: Out = A ^ B;
+              default: Out = 0;
+          endcase
+      end
+  end
+endmodule
+`
+
+func TestParseALU(t *testing.T) {
+	src, err := Parse(aluSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := src.FindModule("ALU")
+	if m == nil {
+		t.Fatal("ALU module not found")
+	}
+	if len(m.Ports) != 5 {
+		t.Fatalf("ports = %d, want 5", len(m.Ports))
+	}
+	wantPorts := []struct {
+		name string
+		dir  Direction
+	}{{"nrst", Input}, {"A", Input}, {"B", Input}, {"op", Input}, {"Out", Output}}
+	for i, w := range wantPorts {
+		if m.Ports[i].Name != w.name || m.Ports[i].Dir != w.dir {
+			t.Errorf("port %d = %s %s", i, m.Ports[i].Dir, m.Ports[i].Name)
+		}
+	}
+	if len(m.Enums) != 1 || m.Enums[0].Name != "state_t" || len(m.Enums[0].Members) != 6 {
+		t.Errorf("enum parse wrong: %+v", m.Enums)
+	}
+	if len(m.Nets) != 2 {
+		t.Errorf("nets = %d, want 2 (state, OPmode)", len(m.Nets))
+	}
+	if m.Nets[0].Type.Enum != "state_t" {
+		t.Errorf("state net type = %q", m.Nets[0].Type.Enum)
+	}
+	if len(m.Alwayses) != 2 {
+		t.Fatalf("always blocks = %d", len(m.Alwayses))
+	}
+	if m.Alwayses[0].Kind != Comb || m.Alwayses[0].Label != "resetLogic" {
+		t.Errorf("first always = kind %d label %q", m.Alwayses[0].Kind, m.Alwayses[0].Label)
+	}
+	// Second always contains an if with two case statements.
+	body := m.Alwayses[1].Body.(*Block)
+	ifs := body.Stmts[0].(*If)
+	thenBlk := ifs.Then.(*Block)
+	cs := thenBlk.Stmts[1].(*Case)
+	if len(cs.Items) != 7 {
+		t.Errorf("case arms = %d, want 7", len(cs.Items))
+	}
+	if cs.Items[6].Matches != nil {
+		t.Error("last arm should be default")
+	}
+}
+
+func TestParseSequential(t *testing.T) {
+	src := `
+module ff (input clk_i, input rst_ni, input [7:0] d, output reg [7:0] q);
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) q <= 8'h00;
+    else q <= d;
+  end
+endmodule`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Modules[0]
+	if len(m.Alwayses) != 1 || m.Alwayses[0].Kind != Seq {
+		t.Fatal("expected one sequential always")
+	}
+	evs := m.Alwayses[0].Events
+	if len(evs) != 2 || evs[0].Edge != Posedge || evs[0].Signal != "clk_i" ||
+		evs[1].Edge != Negedge || evs[1].Signal != "rst_ni" {
+		t.Errorf("events = %+v", evs)
+	}
+	blk := m.Alwayses[0].Body.(*Block)
+	as := blk.Stmts[0].(*If).Then.(*AssignStmt)
+	if !as.NonBlocking {
+		t.Error("q <= should be non-blocking")
+	}
+}
+
+func TestParseInstanceAndParams(t *testing.T) {
+	src := `
+module sub #(parameter W = 4) (input [3:0] a, output [3:0] y);
+  assign y = ~a;
+endmodule
+module top (input [3:0] x, output [3:0] z);
+  wire [3:0] mid;
+  sub #(.W(8)) u0 (.a(x), .y(mid));
+  sub u1 (mid, z);
+endmodule`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := s.FindModule("top")
+	if top == nil || len(top.Instances) != 2 {
+		t.Fatalf("instances = %+v", top)
+	}
+	i0 := top.Instances[0]
+	if i0.ModuleName != "sub" || i0.Name != "u0" || len(i0.Params) != 1 || i0.Params[0].Name != "W" {
+		t.Errorf("i0 = %+v", i0)
+	}
+	if len(i0.Conns) != 2 || i0.Conns[0].Name != "a" {
+		t.Errorf("i0 conns = %+v", i0.Conns)
+	}
+	i1 := top.Instances[1]
+	if len(i1.Conns) != 2 || i1.Conns[0].Name != "" {
+		t.Errorf("i1 positional conns = %+v", i1.Conns)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	src := `
+module e (input [7:0] a, input [7:0] b, input c, output [15:0] y);
+  wire [15:0] w1;
+  assign w1 = {a, b};
+  assign y = c ? {2{a}} : (w1 >> 2) + 16'd3;
+  wire r;
+  assign r = &a | ^b & !c;
+  wire [3:0] p;
+  assign p = a[5:2];
+  wire q;
+  assign q = b[c];
+  wire [7:0] ps;
+  assign ps = w1[4 +: 8];
+endmodule`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Modules[0]
+	if len(m.Assigns) != 6 {
+		t.Fatalf("assigns = %d", len(m.Assigns))
+	}
+	tern, ok := m.Assigns[1].RHS.(*Ternary)
+	if !ok {
+		t.Fatalf("second assign RHS = %T", m.Assigns[1].RHS)
+	}
+	if _, ok := tern.Then.(*Repl); !ok {
+		t.Errorf("then = %T, want Repl", tern.Then)
+	}
+	// operator precedence: &a | (^b & !c)
+	orExpr, ok := m.Assigns[2].RHS.(*Binary)
+	if !ok || orExpr.Op != "|" {
+		t.Fatalf("reduction expr = %v", m.Assigns[2].RHS)
+	}
+	if rng, ok := m.Assigns[5].RHS.(*RangeExpr); !ok || !rng.IsPlus {
+		t.Errorf("indexed part select = %v", m.Assigns[5].RHS)
+	}
+}
+
+func TestParseForLoop(t *testing.T) {
+	src := `
+module f (input [7:0] d, output reg [7:0] q);
+  always_comb begin
+    for (int i = 0; i < 8; i++) begin
+      q[i] = d[7 - i];
+    end
+  end
+endmodule`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := s.Modules[0].Alwayses[0].Body.(*Block)
+	loop, ok := blk.Stmts[0].(*For)
+	if !ok || loop.Var != "i" {
+		t.Fatalf("for = %+v", blk.Stmts[0])
+	}
+}
+
+func TestParseMemoryDecl(t *testing.T) {
+	src := `
+module mem (input clk, input [3:0] addr, input [7:0] wd, input we, output [7:0] rd);
+  reg [7:0] store [0:15];
+  assign rd = store[addr];
+  always_ff @(posedge clk) begin
+    if (we) store[addr] <= wd;
+  end
+endmodule`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Modules[0]
+	if len(m.Nets) != 1 || m.Nets[0].AHi == nil {
+		t.Fatalf("memory net = %+v", m.Nets)
+	}
+}
+
+func TestParseSystemTaskIgnored(t *testing.T) {
+	src := `
+module st (input clk);
+  always_ff @(posedge clk) begin
+    $display("hello %d", 42);
+  end
+endmodule`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := s.Modules[0].Alwayses[0].Body.(*Block)
+	ns, ok := blk.Stmts[0].(*NullStmt)
+	if !ok || ns.Task != "$display" {
+		t.Errorf("system task = %+v", blk.Stmts[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"module",                          // truncated
+		"module m (input a; endmodule",    // bad port list
+		"module m (); wire w = endmodule", // bad init expr
+		"module m (); always_ff @(posedge) ; endmodule",
+		"garbage",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not hdl")
+}
+
+func TestExprString(t *testing.T) {
+	src := `module m (input [3:0] a, output y); assign y = (a[1] & ~a[0]) ? 1'b1 : 1'b0; endmodule`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := s.Modules[0].Assigns[0].RHS.String()
+	for _, want := range []string{"a[1]", "~", "?"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q, missing %q", str, want)
+		}
+	}
+}
+
+func TestOperatorPrecedenceTable(t *testing.T) {
+	// Verify the precedence ladder produces the expected tree shapes.
+	parseRHS := func(expr string) Expr {
+		t.Helper()
+		src := "module m (input [7:0] a, input [7:0] b, input [7:0] c, output [7:0] y); assign y = " + expr + "; endmodule"
+		s, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		return s.Modules[0].Assigns[0].RHS
+	}
+	// a + b * c => a + (b*c)
+	if e := parseRHS("a + b * c").(*Binary); e.Op != "+" {
+		t.Errorf("a+b*c root = %s", e.Op)
+	} else if inner := e.Y.(*Binary); inner.Op != "*" {
+		t.Errorf("a+b*c rhs = %s", inner.Op)
+	}
+	// a == b | c => (a==b)... no: | binds looser than ==, so a == b | c is ((a==b) | c)? In Verilog,
+	// == binds tighter than |: root is |.
+	if e := parseRHS("a == b | c").(*Binary); e.Op != "|" {
+		t.Errorf("a==b|c root = %s", e.Op)
+	}
+	// a << 1 + 2 => shift binds looser than +: a << (1+2)
+	if e := parseRHS("a << 1 + 2").(*Binary); e.Op != "<<" {
+		t.Errorf("shift root = %s", e.Op)
+	} else if inner := e.Y.(*Binary); inner.Op != "+" {
+		t.Errorf("shift rhs = %s", inner.Op)
+	}
+	// && binds tighter than ||.
+	if e := parseRHS("a && b || c").(*Binary); e.Op != "||" {
+		t.Errorf("&&/|| root = %s", e.Op)
+	}
+	// Left associativity: a - b - c = (a-b)-c.
+	if e := parseRHS("a - b - c").(*Binary); e.Op != "-" {
+		t.Errorf("assoc root = %s", e.Op)
+	} else if inner := e.X.(*Binary); inner.Op != "-" {
+		t.Errorf("assoc lhs = %T", e.X)
+	}
+}
+
+func TestParseUniqueAndPriorityCase(t *testing.T) {
+	src := `
+module m (input [1:0] s, output reg y);
+  always_comb begin
+    unique case (s)
+      2'd0: y = 1'b0;
+      default: y = 1'b1;
+    endcase
+  end
+  always_comb begin
+    priority case (s)
+      2'd1: y = 1'b1;
+      default: y = 1'b0;
+    endcase
+  end
+endmodule`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range s.Modules[0].Alwayses {
+		cs := a.Body.(*Block).Stmts[0].(*Case)
+		if !cs.Unique {
+			t.Errorf("always %d: unique/priority flag lost", i)
+		}
+	}
+}
+
+func TestParseGenerateRegionTransparent(t *testing.T) {
+	src := `
+module m (input a, output y);
+  generate
+  endgenerate
+  assign y = a;
+endmodule`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Modules[0].Assigns) != 1 {
+		t.Error("assign inside module with generate region lost")
+	}
+}
+
+func TestParseEndLabels(t *testing.T) {
+	src := `
+module m (input a, output reg y);
+  always_comb begin : lbl
+    y = a;
+  end : lbl
+endmodule`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Modules[0].Alwayses[0].Label != "lbl" {
+		t.Error("label lost")
+	}
+}
+
+func TestParseMultipleModules(t *testing.T) {
+	src := `
+module a (input x, output y); assign y = x; endmodule
+module b (input x, output y); assign y = !x; endmodule
+module c (input x, output y); assign y = x; endmodule`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Modules) != 3 {
+		t.Fatalf("modules = %d", len(s.Modules))
+	}
+	if s.FindModule("b") == nil || s.FindModule("nope") != nil {
+		t.Error("FindModule broken")
+	}
+}
+
+func TestParsePositionalParamOverride(t *testing.T) {
+	src := `
+module sub #(parameter A = 1, parameter B = 2) (input x, output y);
+  assign y = x;
+endmodule
+module top (input x, output y);
+  sub #(3, 4) u (.x(x), .y(y));
+endmodule`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := s.FindModule("top").Instances[0]
+	if len(inst.Params) != 2 || inst.Params[0].Name != "" {
+		t.Errorf("positional params = %+v", inst.Params)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Input.String() != "input" || Output.String() != "output" || Inout.String() != "inout" {
+		t.Error("direction names")
+	}
+}

@@ -1,0 +1,460 @@
+// Package hdl implements the front-end for the synthesizable
+// SystemVerilog subset all benchmark designs in this repository are
+// written in: a lexer, an AST, and a recursive-descent parser.
+//
+// The subset covers module declarations with parameters and ports,
+// net/variable declarations, localparam/parameter, typedef enum,
+// continuous assigns, always_comb / always_ff / always @(...) blocks with
+// if/case/for statements and blocking/non-blocking assignments, module
+// instantiation, and the full synthesizable expression grammar including
+// four-state literals, part-selects, concatenation and replication.
+package hdl
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER // any numeric literal, sized or not
+	STRING
+
+	// Punctuation and operators.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACK   // [
+	RBRACK   // ]
+	LBRACE   // {
+	RBRACE   // }
+	SEMI     // ;
+	COLON    // :
+	COMMA    // ,
+	DOT      // .
+	HASH     // #
+	AT       // @
+	QUESTION // ?
+	ASSIGN   // =
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	AND      // &
+	OR       // |
+	XOR      // ^
+	XNOR     // ~^ or ^~
+	NAND     // ~&
+	NOR      // ~|
+	TILDE    // ~
+	BANG     // !
+	LAND     // &&
+	LOR      // ||
+	EQ       // ==
+	NEQ      // !=
+	CASEEQ   // ===
+	CASENEQ  // !==
+	LT       // <
+	GT       // >
+	LE       // <=  (also non-blocking assign in statement position)
+	GE       // >=
+	SHL      // <<
+	SHR      // >>
+	ASHR     // >>>
+	PLUSCOL  // +:
+	INC      // ++
+	APOST    // ' (for casting / fill literals handled by lexer as NUMBER)
+
+	// Keywords.
+	KWMODULE
+	KWENDMODULE
+	KWINPUT
+	KWOUTPUT
+	KWINOUT
+	KWWIRE
+	KWREG
+	KWLOGIC
+	KWINT
+	KWASSIGN
+	KWALWAYS
+	KWALWAYSCOMB
+	KWALWAYSFF
+	KWPOSEDGE
+	KWNEGEDGE
+	KWOREVENT // the "or" keyword inside event lists
+	KWIF
+	KWELSE
+	KWCASE
+	KWUNIQUE
+	KWENDCASE
+	KWDEFAULT
+	KWBEGIN
+	KWEND
+	KWFOR
+	KWPARAMETER
+	KWLOCALPARAM
+	KWTYPEDEF
+	KWENUM
+	KWGENERATE
+	KWENDGENERATE
+	SYSTASK // $display, $error, ...
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number", STRING: "string",
+	LPAREN: "(", RPAREN: ")", LBRACK: "[", RBRACK: "]", LBRACE: "{",
+	RBRACE: "}", SEMI: ";", COLON: ":", COMMA: ",", DOT: ".", HASH: "#",
+	AT: "@", QUESTION: "?", ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*",
+	SLASH: "/", PERCENT: "%", AND: "&", OR: "|", XOR: "^", XNOR: "~^",
+	NAND: "~&", NOR: "~|", TILDE: "~", BANG: "!", LAND: "&&", LOR: "||",
+	EQ: "==", NEQ: "!=", CASEEQ: "===", CASENEQ: "!==", LT: "<", GT: ">",
+	LE: "<=", GE: ">=", SHL: "<<", SHR: ">>", ASHR: ">>>", PLUSCOL: "+:",
+	INC: "++", KWMODULE: "module", KWENDMODULE: "endmodule",
+	KWINPUT: "input", KWOUTPUT: "output", KWINOUT: "inout", KWWIRE: "wire",
+	KWREG: "reg", KWLOGIC: "logic", KWINT: "int", KWASSIGN: "assign",
+	KWALWAYS: "always", KWALWAYSCOMB: "always_comb", KWALWAYSFF: "always_ff",
+	KWPOSEDGE: "posedge", KWNEGEDGE: "negedge", KWOREVENT: "or", KWIF: "if",
+	KWELSE: "else", KWCASE: "case", KWUNIQUE: "unique", KWENDCASE: "endcase",
+	KWDEFAULT: "default", KWBEGIN: "begin", KWEND: "end", KWFOR: "for",
+	KWPARAMETER: "parameter", KWLOCALPARAM: "localparam",
+	KWTYPEDEF: "typedef", KWENUM: "enum", KWGENERATE: "generate",
+	KWENDGENERATE: "endgenerate", SYSTASK: "system task",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"module": KWMODULE, "endmodule": KWENDMODULE, "input": KWINPUT,
+	"output": KWOUTPUT, "inout": KWINOUT, "wire": KWWIRE, "reg": KWREG,
+	"logic": KWLOGIC, "int": KWINT, "integer": KWINT, "assign": KWASSIGN,
+	"always": KWALWAYS, "always_comb": KWALWAYSCOMB, "always_ff": KWALWAYSFF,
+	"always_latch": KWALWAYSCOMB,
+	"posedge":      KWPOSEDGE, "negedge": KWNEGEDGE, "or": KWOREVENT,
+	"if": KWIF, "else": KWELSE, "case": KWCASE, "unique": KWUNIQUE,
+	"priority": KWUNIQUE, "endcase": KWENDCASE, "default": KWDEFAULT,
+	"begin": KWBEGIN, "end": KWEND, "for": KWFOR,
+	"parameter": KWPARAMETER, "localparam": KWLOCALPARAM,
+	"typedef": KWTYPEDEF, "enum": KWENUM,
+	"generate": KWGENERATE, "endgenerate": KWENDGENERATE,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// Lexer tokenizes HDL source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := Pos{l.line, l.col}
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peekByte() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return fmt.Errorf("%v: unterminated block comment", start)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNumPart(c byte) bool {
+	return isDigit(c) || c == '_' || (c >= 'a' && c <= 'f') ||
+		(c >= 'A' && c <= 'F') || c == 'x' || c == 'X' || c == 'z' ||
+		c == 'Z' || c == '?'
+}
+
+// Next returns the next token, or an error on malformed input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peekByte()
+
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+
+	case isDigit(c) || c == '\'':
+		return l.lexNumber(pos)
+
+	case c == '"':
+		l.advance()
+		start := l.off
+		for l.off < len(l.src) && l.peekByte() != '"' {
+			l.advance()
+		}
+		if l.off >= len(l.src) {
+			return Token{}, fmt.Errorf("%v: unterminated string", pos)
+		}
+		text := l.src[start:l.off]
+		l.advance()
+		return Token{Kind: STRING, Text: text, Pos: pos}, nil
+
+	case c == '$':
+		l.advance()
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		return Token{Kind: SYSTASK, Text: "$" + l.src[start:l.off], Pos: pos}, nil
+	}
+
+	// Operators, longest match first.
+	two := ""
+	if l.off+1 < len(l.src) {
+		two = l.src[l.off : l.off+2]
+	}
+	three := ""
+	if l.off+2 < len(l.src) {
+		three = l.src[l.off : l.off+3]
+	}
+	emit := func(k Kind, n int) (Token, error) {
+		text := l.src[l.off : l.off+n]
+		for i := 0; i < n; i++ {
+			l.advance()
+		}
+		return Token{Kind: k, Text: text, Pos: pos}, nil
+	}
+	switch three {
+	case "===":
+		return emit(CASEEQ, 3)
+	case "!==":
+		return emit(CASENEQ, 3)
+	case ">>>":
+		return emit(ASHR, 3)
+	}
+	switch two {
+	case "&&":
+		return emit(LAND, 2)
+	case "||":
+		return emit(LOR, 2)
+	case "==":
+		return emit(EQ, 2)
+	case "!=":
+		return emit(NEQ, 2)
+	case "<=":
+		return emit(LE, 2)
+	case ">=":
+		return emit(GE, 2)
+	case "<<":
+		return emit(SHL, 2)
+	case ">>":
+		return emit(SHR, 2)
+	case "~^", "^~":
+		return emit(XNOR, 2)
+	case "~&":
+		return emit(NAND, 2)
+	case "~|":
+		return emit(NOR, 2)
+	case "+:":
+		return emit(PLUSCOL, 2)
+	case "++":
+		return emit(INC, 2)
+	case "+=":
+		return emit(INC, 2) // treated as i++ shorthand in for-steps
+	}
+	switch c {
+	case '(':
+		return emit(LPAREN, 1)
+	case ')':
+		return emit(RPAREN, 1)
+	case '[':
+		return emit(LBRACK, 1)
+	case ']':
+		return emit(RBRACK, 1)
+	case '{':
+		return emit(LBRACE, 1)
+	case '}':
+		return emit(RBRACE, 1)
+	case ';':
+		return emit(SEMI, 1)
+	case ':':
+		return emit(COLON, 1)
+	case ',':
+		return emit(COMMA, 1)
+	case '.':
+		return emit(DOT, 1)
+	case '#':
+		return emit(HASH, 1)
+	case '@':
+		return emit(AT, 1)
+	case '?':
+		return emit(QUESTION, 1)
+	case '=':
+		return emit(ASSIGN, 1)
+	case '+':
+		return emit(PLUS, 1)
+	case '-':
+		return emit(MINUS, 1)
+	case '*':
+		return emit(STAR, 1)
+	case '/':
+		return emit(SLASH, 1)
+	case '%':
+		return emit(PERCENT, 1)
+	case '&':
+		return emit(AND, 1)
+	case '|':
+		return emit(OR, 1)
+	case '^':
+		return emit(XOR, 1)
+	case '~':
+		return emit(TILDE, 1)
+	case '!':
+		return emit(BANG, 1)
+	case '<':
+		return emit(LT, 1)
+	case '>':
+		return emit(GT, 1)
+	}
+	return Token{}, fmt.Errorf("%v: unexpected character %q", pos, c)
+}
+
+// lexNumber scans decimal and based literals: 42, 8'hFF, 4'b10xz, 'h0,
+// '0, '1, 'x, 'z. The raw text is preserved for the parser to interpret.
+func (l *Lexer) lexNumber(pos Pos) (Token, error) {
+	start := l.off
+	// Optional size digits.
+	for l.off < len(l.src) && (isDigit(l.peekByte()) || l.peekByte() == '_') {
+		l.advance()
+	}
+	if l.off < len(l.src) && l.peekByte() == '\'' {
+		l.advance()
+		// Optional signedness marker.
+		if c := l.peekByte(); c == 's' || c == 'S' {
+			l.advance()
+		}
+		c := l.peekByte()
+		switch c {
+		case 'b', 'B', 'h', 'H', 'd', 'D', 'o', 'O':
+			l.advance()
+			digitStart := l.off
+			for l.off < len(l.src) && isNumPart(l.peekByte()) {
+				l.advance()
+			}
+			if l.off == digitStart {
+				return Token{}, fmt.Errorf("%v: based literal missing digits", pos)
+			}
+		case '0', '1', 'x', 'X', 'z', 'Z':
+			// Unsized fill: '0 '1 'x 'z.
+			l.advance()
+		default:
+			return Token{}, fmt.Errorf("%v: invalid base character %q", pos, c)
+		}
+	}
+	return Token{Kind: NUMBER, Text: l.src[start:l.off], Pos: pos}, nil
+}
+
+// LexAll tokenizes the whole input, for tests.
+func LexAll(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

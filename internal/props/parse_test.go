@@ -1,0 +1,175 @@
+package props
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func evalStr(t *testing.T, src string, c Ctx) logic.Bit {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e.Eval(c).Truthy()
+}
+
+func TestParseExprEval(t *testing.T) {
+	c := &fakeCtx{
+		vals: map[string]logic.BV{
+			"a":          logic.FromUint64(4, 5),
+			"b":          logic.FromUint64(4, 3),
+			"en":         logic.Ones(1),
+			"u.deep.sig": logic.FromUint64(8, 0xA5),
+			"xsig":       logic.X(4),
+		},
+		past: map[string][]logic.BV{
+			"a": {logic.FromUint64(4, 2), logic.FromUint64(4, 9)},
+		},
+	}
+	cases := []struct {
+		src  string
+		want logic.Bit
+	}{
+		{"a == 4'd5", logic.L1},
+		{"a == 5", logic.L1}, // unsized decimal
+		{"a != b", logic.L1},
+		{"b < a", logic.L1},
+		{"a <= 4'd5", logic.L1},
+		{"a > b", logic.L1},
+		{"a >= 4'd6", logic.L0},
+		{"en && a == 4'd5", logic.L1},
+		{"a == 4'd1 || b == 4'd3", logic.L1},
+		{"!en", logic.L0},
+		{"en |-> a == 4'd5", logic.L1},
+		{"en |-> a == 4'd4", logic.L0},
+		{"!en |-> a == 4'd4", logic.L1}, // vacuous
+		{"$past(a) == 4'd2", logic.L1},
+		{"$past(a, 2) == 4'd9", logic.L1},
+		{"$isunknown(xsig)", logic.L1},
+		{"$isunknown(a)", logic.L0},
+		{"$isinside(a, 4'd1, 4'd5)", logic.L1},
+		{"$isinside(a, 4'd1, 4'd2)", logic.L0},
+		{"u.deep.sig == 8'hA5", logic.L1},
+		{"u.deep.sig[7:4] == 4'hA", logic.L1},
+		{"u.deep.sig[0]", logic.L1},
+		{"(a == 4'd5) && (b == 4'd3)", logic.L1},
+		{"a == 4'b0101", logic.L1},
+		{"en |-> (a > b && b != 4'd0)", logic.L1},
+	}
+	for _, tc := range cases {
+		if got := evalStr(t, tc.src, c); got != tc.want {
+			t.Errorf("%q = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	// |-> binds loosest: "a && b |-> c" is (a && b) |-> c.
+	c := &fakeCtx{vals: map[string]logic.BV{
+		"p": logic.Ones(1), "q": logic.Zero(1), "r": logic.Zero(1),
+	}}
+	if got := evalStr(t, "p && q |-> r", c); got != logic.L1 {
+		t.Errorf("vacuous implication expected, got %v", got)
+	}
+	c.vals["q"] = logic.Ones(1)
+	if got := evalStr(t, "p && q |-> r", c); got != logic.L0 {
+		t.Errorf("implication must fail, got %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct{ src, frag string }{
+		{"", "unexpected"},
+		{"a ==", "unexpected"},
+		{"(a", "expected \")\""},
+		{"a == 0'd1", "size"},
+		{"$past(3)", "signal name"},
+		{"$bogus(a)", "unknown system function"},
+		{"a[x]", "plain integer"},
+		{"a b", "trailing"},
+		{"$isinside(a)", "candidates"},
+		{"a == 4'q7", "base"},
+	}
+	for _, b := range bad {
+		_, err := ParseExpr(b.src)
+		if err == nil {
+			t.Errorf("%q should fail", b.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), b.frag) {
+			t.Errorf("%q error %q missing %q", b.src, err, b.frag)
+		}
+	}
+}
+
+func TestParseProperty(t *testing.T) {
+	p, err := ParseProperty("gated", "err |-> en", "!rst_ni")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "gated" || p.Expr == nil || p.DisableIff == nil {
+		t.Errorf("property incomplete: %+v", p)
+	}
+	if _, err := ParseProperty("x", "a ==", ""); err == nil {
+		t.Error("bad expression must error")
+	}
+	if _, err := ParseProperty("x", "a", "b =="); err == nil {
+		t.Error("bad disable must error")
+	}
+}
+
+func TestMustParseExprPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustParseExpr("((")
+}
+
+func TestParsedMatchesCombinators(t *testing.T) {
+	// The same property expressed both ways fires identically.
+	c := &fakeCtx{vals: map[string]logic.BV{
+		"rx_parity_err": logic.Ones(1), "parity_enable": logic.Zero(1),
+	}}
+	parsed := MustParseExpr("rx_parity_err |-> parity_enable")
+	built := Implies(Sig("rx_parity_err"), Sig("parity_enable"))
+	if parsed.Eval(c).Truthy() != built.Eval(c).Truthy() {
+		t.Error("parsed and built expressions disagree")
+	}
+	if parsed.Eval(c).Truthy() != logic.L0 {
+		t.Error("B11's property must fail in this state")
+	}
+}
+
+func TestParseNumberWidths(t *testing.T) {
+	cases := []struct {
+		src   string
+		width int
+		val   uint64
+	}{
+		{"8'hFF", 8, 255},
+		{"4'd9", 4, 9},
+		{"3'b101", 3, 5},
+		{"12'h0A5", 12, 0xA5},
+		{"2'hFF", 2, 3}, // truncates
+	}
+	for _, tc := range cases {
+		v, err := parsePropNumber(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		if v.Width() != tc.width {
+			t.Errorf("%s width = %d", tc.src, v.Width())
+		}
+		if u, _ := v.Uint64(); u != tc.val {
+			t.Errorf("%s = %d, want %d", tc.src, u, tc.val)
+		}
+	}
+	if v, err := parsePropNumber("4'bxxxx"); err != nil || !v.HasUnknown() {
+		t.Errorf("x literal: %v %v", v, err)
+	}
+}

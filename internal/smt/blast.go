@@ -1,0 +1,393 @@
+package smt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/logic"
+)
+
+// blaster Tseitin-encodes bit-vector terms into the SAT solver.
+type blaster struct {
+	sat   *SAT
+	vars  map[string][]Lit // declared variable bits, LSB first
+	varW  map[string]int
+	cache map[*Term][]Lit
+	tLit  Lit // literal forced true
+	fLit  Lit
+	// gate caches to avoid duplicate encodings
+	andCache map[[2]Lit]Lit
+	xorCache map[[2]Lit]Lit
+}
+
+func newBlaster(s *SAT) *blaster {
+	b := &blaster{
+		sat:      s,
+		vars:     map[string][]Lit{},
+		varW:     map[string]int{},
+		cache:    map[*Term][]Lit{},
+		andCache: map[[2]Lit]Lit{},
+		xorCache: map[[2]Lit]Lit{},
+	}
+	v := s.NewVar()
+	b.tLit = MkLit(v, false)
+	b.fLit = b.tLit.Not()
+	s.AddClause(b.tLit)
+	return b
+}
+
+// declare registers a variable's bits, allocating them on first use.
+func (b *blaster) declare(name string, width int) []Lit {
+	if lits, ok := b.vars[name]; ok {
+		if b.varW[name] != width {
+			panic(fmt.Sprintf("smt: variable %q redeclared with width %d (was %d)", name, width, b.varW[name]))
+		}
+		return lits
+	}
+	lits := make([]Lit, width)
+	for i := range lits {
+		lits[i] = MkLit(b.sat.NewVar(), false)
+	}
+	b.vars[name] = lits
+	b.varW[name] = width
+	return lits
+}
+
+func (b *blaster) constBit(v bool) Lit {
+	if v {
+		return b.tLit
+	}
+	return b.fLit
+}
+
+func (b *blaster) isConst(l Lit) (bool, bool) {
+	switch l {
+	case b.tLit:
+		return true, true
+	case b.fLit:
+		return false, true
+	}
+	return false, false
+}
+
+// and returns a literal equivalent to a AND b.
+func (b *blaster) and(a, c Lit) Lit {
+	if v, ok := b.isConst(a); ok {
+		if v {
+			return c
+		}
+		return b.fLit
+	}
+	if v, ok := b.isConst(c); ok {
+		if v {
+			return a
+		}
+		return b.fLit
+	}
+	if a == c {
+		return a
+	}
+	if a == c.Not() {
+		return b.fLit
+	}
+	key := [2]Lit{min(a, c), max(a, c)}
+	if o, ok := b.andCache[key]; ok {
+		return o
+	}
+	o := MkLit(b.sat.NewVar(), false)
+	b.sat.AddClause(o.Not(), a)
+	b.sat.AddClause(o.Not(), c)
+	b.sat.AddClause(o, a.Not(), c.Not())
+	b.andCache[key] = o
+	return o
+}
+
+func (b *blaster) or(a, c Lit) Lit { return b.and(a.Not(), c.Not()).Not() }
+
+// xor returns a literal equivalent to a XOR b.
+func (b *blaster) xor(a, c Lit) Lit {
+	if v, ok := b.isConst(a); ok {
+		if v {
+			return c.Not()
+		}
+		return c
+	}
+	if v, ok := b.isConst(c); ok {
+		if v {
+			return a.Not()
+		}
+		return a
+	}
+	if a == c {
+		return b.fLit
+	}
+	if a == c.Not() {
+		return b.tLit
+	}
+	key := [2]Lit{min(a, c), max(a, c)}
+	if o, ok := b.xorCache[key]; ok {
+		return o
+	}
+	o := MkLit(b.sat.NewVar(), false)
+	b.sat.AddClause(o.Not(), a, c)
+	b.sat.AddClause(o.Not(), a.Not(), c.Not())
+	b.sat.AddClause(o, a.Not(), c)
+	b.sat.AddClause(o, a, c.Not())
+	b.xorCache[key] = o
+	return o
+}
+
+// mux returns s ? t : f.
+func (b *blaster) mux(s, t, f Lit) Lit {
+	if v, ok := b.isConst(s); ok {
+		if v {
+			return t
+		}
+		return f
+	}
+	if t == f {
+		return t
+	}
+	// o = (s&t) | (~s&f)
+	return b.or(b.and(s, t), b.and(s.Not(), f))
+}
+
+// fullAdder returns (sum, carry) of a+b+cin.
+func (b *blaster) fullAdder(a, c, cin Lit) (Lit, Lit) {
+	axc := b.xor(a, c)
+	sum := b.xor(axc, cin)
+	carry := b.or(b.and(a, c), b.and(cin, axc))
+	return sum, carry
+}
+
+// bvBits returns the LSB-first literal vector of a term, memoized.
+func (b *blaster) bvBits(t *Term) []Lit {
+	if lits, ok := b.cache[t]; ok {
+		return lits
+	}
+	lits := b.blastTerm(t)
+	if len(lits) != t.W {
+		panic(fmt.Sprintf("smt: internal width error blasting %s: %d != %d", t, len(lits), t.W))
+	}
+	b.cache[t] = lits
+	return lits
+}
+
+func (b *blaster) blastTerm(t *Term) []Lit {
+	switch t.Kind {
+	case KVar:
+		return b.declare(t.Name, t.W)
+	case KConst:
+		lits := make([]Lit, t.W)
+		for i := range lits {
+			lits[i] = b.constBit(t.Val.Bit(i) == logic.L1)
+		}
+		return lits
+	case KNot:
+		x := b.bvBits(t.Args[0])
+		out := make([]Lit, len(x))
+		for i, l := range x {
+			out[i] = l.Not()
+		}
+		return out
+	case KAnd, KOr, KXor:
+		x := b.bvBits(t.Args[0])
+		y := b.bvBits(t.Args[1])
+		out := make([]Lit, len(x))
+		for i := range x {
+			switch t.Kind {
+			case KAnd:
+				out[i] = b.and(x[i], y[i])
+			case KOr:
+				out[i] = b.or(x[i], y[i])
+			default:
+				out[i] = b.xor(x[i], y[i])
+			}
+		}
+		return out
+	case KAdd:
+		return b.adder(b.bvBits(t.Args[0]), b.bvBits(t.Args[1]), b.fLit)
+	case KSub:
+		y := b.bvBits(t.Args[1])
+		ny := make([]Lit, len(y))
+		for i, l := range y {
+			ny[i] = l.Not()
+		}
+		return b.adder(b.bvBits(t.Args[0]), ny, b.tLit)
+	case KNeg:
+		x := b.bvBits(t.Args[0])
+		nx := make([]Lit, len(x))
+		for i, l := range x {
+			nx[i] = l.Not()
+		}
+		zero := make([]Lit, len(x))
+		for i := range zero {
+			zero[i] = b.fLit
+		}
+		return b.adder(zero, nx, b.tLit)
+	case KMul:
+		x := b.bvBits(t.Args[0])
+		y := b.bvBits(t.Args[1])
+		w := t.W
+		acc := make([]Lit, w)
+		for i := range acc {
+			acc[i] = b.fLit
+		}
+		for i := 0; i < w; i++ {
+			// partial product: (x << i) & y[i]
+			pp := make([]Lit, w)
+			for j := range pp {
+				if j < i {
+					pp[j] = b.fLit
+				} else {
+					pp[j] = b.and(x[j-i], y[i])
+				}
+			}
+			acc = b.adder(acc, pp, b.fLit)
+		}
+		return acc
+	case KEq:
+		x := b.bvBits(t.Args[0])
+		y := b.bvBits(t.Args[1])
+		acc := b.tLit
+		for i := range x {
+			acc = b.and(acc, b.xor(x[i], y[i]).Not())
+		}
+		return []Lit{acc}
+	case KUlt:
+		return []Lit{b.ult(b.bvBits(t.Args[0]), b.bvBits(t.Args[1]))}
+	case KUle:
+		return []Lit{b.ult(b.bvBits(t.Args[1]), b.bvBits(t.Args[0])).Not()}
+	case KIte:
+		c := b.bvBits(t.Args[0])[0]
+		x := b.bvBits(t.Args[1])
+		y := b.bvBits(t.Args[2])
+		out := make([]Lit, len(x))
+		for i := range x {
+			out[i] = b.mux(c, x[i], y[i])
+		}
+		return out
+	case KExtract:
+		x := b.bvBits(t.Args[0])
+		return x[t.Lo : t.Hi+1]
+	case KConcat:
+		var out []Lit
+		for i := len(t.Args) - 1; i >= 0; i-- { // last arg = LSBs
+			out = append(out, b.bvBits(t.Args[i])...)
+		}
+		return out
+	case KZext:
+		x := b.bvBits(t.Args[0])
+		out := make([]Lit, t.W)
+		for i := range out {
+			if i < len(x) {
+				out[i] = x[i]
+			} else {
+				out[i] = b.fLit
+			}
+		}
+		return out
+	case KShl, KShr:
+		return b.shifter(t)
+	case KRedAnd:
+		x := b.bvBits(t.Args[0])
+		acc := b.tLit
+		for _, l := range x {
+			acc = b.and(acc, l)
+		}
+		return []Lit{acc}
+	case KRedOr:
+		x := b.bvBits(t.Args[0])
+		acc := b.fLit
+		for _, l := range x {
+			acc = b.or(acc, l)
+		}
+		return []Lit{acc}
+	case KRedXor:
+		x := b.bvBits(t.Args[0])
+		acc := b.fLit
+		for _, l := range x {
+			acc = b.xor(acc, l)
+		}
+		return []Lit{acc}
+	}
+	panic(fmt.Sprintf("smt: cannot blast term kind %d", t.Kind))
+}
+
+// adder is a ripple-carry adder over LSB-first literal vectors.
+func (b *blaster) adder(x, y []Lit, cin Lit) []Lit {
+	out := make([]Lit, len(x))
+	c := cin
+	for i := range x {
+		out[i], c = b.fullAdder(x[i], y[i], c)
+	}
+	return out
+}
+
+// ult encodes unsigned x < y from the LSB up.
+func (b *blaster) ult(x, y []Lit) Lit {
+	lt := b.fLit
+	for i := 0; i < len(x); i++ {
+		eqi := b.xor(x[i], y[i]).Not()
+		lti := b.and(x[i].Not(), y[i])
+		lt = b.or(lti, b.and(eqi, lt))
+	}
+	return lt
+}
+
+// shifter builds a barrel shifter for dynamic shift terms.
+func (b *blaster) shifter(t *Term) []Lit {
+	x := b.bvBits(t.Args[0])
+	amt := b.bvBits(t.Args[1])
+	w := len(x)
+	stages := bits.Len(uint(w - 1))
+	if stages == 0 {
+		stages = 1
+	}
+	cur := make([]Lit, w)
+	copy(cur, x)
+	for k := 0; k < stages && k < len(amt); k++ {
+		shift := 1 << k
+		next := make([]Lit, w)
+		for i := 0; i < w; i++ {
+			var shifted Lit
+			if t.Kind == KShl {
+				if i-shift >= 0 {
+					shifted = cur[i-shift]
+				} else {
+					shifted = b.fLit
+				}
+			} else {
+				if i+shift < w {
+					shifted = cur[i+shift]
+				} else {
+					shifted = b.fLit
+				}
+			}
+			next[i] = b.mux(amt[k], shifted, cur[i])
+		}
+		cur = next
+	}
+	// Any set amount bit beyond the stage range zeroes the result.
+	over := b.fLit
+	for k := stages; k < len(amt); k++ {
+		over = b.or(over, amt[k])
+	}
+	if over != b.fLit {
+		out := make([]Lit, w)
+		for i := range cur {
+			out[i] = b.mux(over, b.fLit, cur[i])
+		}
+		return out
+	}
+	return cur
+}
+
+// assertTrue forces a 1-bit term to be true.
+func (b *blaster) assertTrue(t *Term) {
+	if t.W != 1 {
+		panic("smt: assertion must be 1 bit wide")
+	}
+	l := b.bvBits(t)[0]
+	b.sat.AddClause(l)
+}

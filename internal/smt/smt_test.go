@@ -1,0 +1,427 @@
+package smt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+// ---- SAT core ----
+
+func TestSATTrivial(t *testing.T) {
+	s := NewSAT()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.AddClause(MkLit(a, true))
+	if !s.Solve() {
+		t.Fatal("should be sat")
+	}
+	if s.ValueOf(a) {
+		t.Error("a should be false")
+	}
+	if !s.ValueOf(b) {
+		t.Error("b should be true")
+	}
+}
+
+func TestSATUnsat(t *testing.T) {
+	s := NewSAT()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if s.AddClause(MkLit(a, true)) && s.Solve() {
+		t.Fatal("should be unsat")
+	}
+}
+
+func TestSATChain(t *testing.T) {
+	// Implication chain x0 -> x1 -> ... -> x49, x0 forced true.
+	s := NewSAT()
+	n := 50
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(MkLit(vs[i], true), MkLit(vs[i+1], false))
+	}
+	s.AddClause(MkLit(vs[0], false))
+	if !s.Solve() {
+		t.Fatal("chain should be sat")
+	}
+	for i, v := range vs {
+		if !s.ValueOf(v) {
+			t.Fatalf("x%d should be true", i)
+		}
+	}
+}
+
+func TestSATPigeonhole(t *testing.T) {
+	// 4 pigeons, 3 holes: classically unsat, requires real conflict analysis.
+	s := NewSAT()
+	p, h := 4, 3
+	v := make([][]int, p)
+	for i := range v {
+		v[i] = make([]int, h)
+		for j := range v[i] {
+			v[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < p; i++ {
+		lits := make([]Lit, h)
+		for j := 0; j < h; j++ {
+			lits[j] = MkLit(v[i][j], false)
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < h; j++ {
+		for i1 := 0; i1 < p; i1++ {
+			for i2 := i1 + 1; i2 < p; i2++ {
+				s.AddClause(MkLit(v[i1][j], true), MkLit(v[i2][j], true))
+			}
+		}
+	}
+	if s.Solve() {
+		t.Fatal("pigeonhole 4/3 should be unsat")
+	}
+}
+
+func TestSATRandom3SAT(t *testing.T) {
+	// Small random 3-SAT instances; verify every SAT model actually
+	// satisfies all clauses.
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 30; iter++ {
+		s := NewSAT()
+		n := 20
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		var clauses [][]Lit
+		ok := true
+		for c := 0; c < 70; c++ {
+			cl := []Lit{
+				MkLit(rng.Intn(n), rng.Intn(2) == 0),
+				MkLit(rng.Intn(n), rng.Intn(2) == 0),
+				MkLit(rng.Intn(n), rng.Intn(2) == 0),
+			}
+			clauses = append(clauses, cl)
+			if !s.AddClause(cl...) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if !s.Solve() {
+			continue
+		}
+		for _, cl := range clauses {
+			sat := false
+			for _, l := range cl {
+				if s.ValueOf(l.Var()) != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				t.Fatalf("iter %d: model does not satisfy clause %v", iter, cl)
+			}
+		}
+	}
+}
+
+// ---- bit-blasting vs concrete semantics ----
+
+func solveBinOp(t *testing.T, op func(x, y *Term) *Term, a, b logic.BV) logic.BV {
+	t.Helper()
+	s := NewSolver()
+	x := s.Var("x", a.Width())
+	y := s.Var("y", b.Width())
+	z := s.Var("z", op(x, y).Width())
+	s.Assert(Eq(x, Const(a)))
+	s.Assert(Eq(y, Const(b)))
+	s.Assert(Eq(z, op(x, y)))
+	if s.Solve() != Sat {
+		t.Fatalf("binop should be sat for %v, %v", a, b)
+	}
+	return s.Model()["z"]
+}
+
+func TestBlastOpsAgainstConcrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ops := []struct {
+		name string
+		sym  func(x, y *Term) *Term
+		conc func(x, y logic.BV) logic.BV
+	}{
+		{"add", Add, logic.BV.Add},
+		{"sub", Sub, logic.BV.Sub},
+		{"mul", Mul, logic.BV.Mul},
+		{"and", And, logic.BV.And},
+		{"or", Or, logic.BV.Or},
+		{"xor", Xor, logic.BV.Xor},
+		{"eq", Eq, logic.BV.Eq},
+		{"ult", Ult, logic.BV.Lt},
+		{"ule", Ule, logic.BV.Le},
+		{"shl", Shl, logic.BV.Shl},
+		{"shr", Shr, logic.BV.Shr},
+	}
+	for _, op := range ops {
+		for iter := 0; iter < 8; iter++ {
+			w := 1 + rng.Intn(12)
+			a := logic.Rand(w, rng.Uint64)
+			b := logic.Rand(w, rng.Uint64)
+			got := solveBinOp(t, op.sym, a, b)
+			want := op.conc(a, b)
+			if !got.Eq4(want) {
+				t.Errorf("%s(%v, %v) = %v, want %v", op.name, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestBlastUnaryOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ops := []struct {
+		name string
+		sym  func(*Term) *Term
+		conc func(logic.BV) logic.BV
+	}{
+		{"not", Not, logic.BV.Not},
+		{"neg", Neg, logic.BV.Neg},
+		{"redand", RedAnd, logic.BV.ReduceAnd},
+		{"redor", RedOr, logic.BV.ReduceOr},
+		{"redxor", RedXor, logic.BV.ReduceXor},
+	}
+	for _, op := range ops {
+		for iter := 0; iter < 6; iter++ {
+			w := 1 + rng.Intn(10)
+			a := logic.Rand(w, rng.Uint64)
+			s := NewSolver()
+			x := s.Var("x", w)
+			res := op.sym(x)
+			z := s.Var("z", res.Width())
+			s.Assert(Eq(x, Const(a)))
+			s.Assert(Eq(z, res))
+			if s.Solve() != Sat {
+				t.Fatalf("%s sat expected", op.name)
+			}
+			got := s.Model()["z"]
+			if want := op.conc(a); !got.Eq4(want) {
+				t.Errorf("%s(%v) = %v, want %v", op.name, a, got, want)
+			}
+		}
+	}
+}
+
+func TestBlastIteExtractConcat(t *testing.T) {
+	s := NewSolver()
+	x := s.Var("x", 8)
+	cond := s.Var("c", 1)
+	s.Assert(Eq(cond, True()))
+	s.Assert(Eq(x, Ite(cond, ConstUint(8, 0xAB), ConstUint(8, 0x00))))
+	if s.Solve() != Sat {
+		t.Fatal("sat expected")
+	}
+	if v, _ := s.Model()["x"].Uint64(); v != 0xAB {
+		t.Errorf("x = %#x", v)
+	}
+
+	s2 := NewSolver()
+	y := s2.Var("y", 4)
+	big := s2.Var("big", 12)
+	s2.Assert(Eq(big, Concat(ConstUint(4, 0xA), y, ConstUint(4, 0x5))))
+	s2.Assert(Eq(y, ConstUint(4, 0x3)))
+	if s2.Solve() != Sat {
+		t.Fatal("sat expected")
+	}
+	if v, _ := s2.Model()["big"].Uint64(); v != 0xA35 {
+		t.Errorf("big = %#x", v)
+	}
+
+	s3 := NewSolver()
+	z := s3.Var("z", 4)
+	s3.Assert(Eq(z, Extract(ConstUint(12, 0xA35), 7, 4)))
+	if s3.Solve() != Sat {
+		t.Fatal("sat expected")
+	}
+	if v, _ := s3.Model()["z"].Uint64(); v != 0x3 {
+		t.Errorf("z = %#x", v)
+	}
+}
+
+// ---- solver-level behaviour ----
+
+func TestSolveForInput(t *testing.T) {
+	// The paper's Eqn. 2: state = op[2:0] & nrst — find op such that
+	// state becomes ADD (1) while nrst is high.
+	s := NewSolver()
+	op := s.Var("op", 4)
+	nrst := s.Var("nrst", 1)
+	state := Ite(Eq(nrst, True()), Extract(op, 2, 0), ConstUint(3, 0))
+	s.Assert(Eq(nrst, True()))
+	s.Assert(Eq(state, ConstUint(3, 1)))
+	if s.Solve() != Sat {
+		t.Fatal("should find an op value")
+	}
+	m := s.Model()
+	opv, _ := m["op"].Uint64()
+	if opv&7 != 1 {
+		t.Errorf("op = %04b, low bits must be 001", opv)
+	}
+}
+
+func TestUnsatConstraint(t *testing.T) {
+	s := NewSolver()
+	x := s.Var("x", 4)
+	s.Assert(Eq(x, ConstUint(4, 3)))
+	s.Assert(Eq(x, ConstUint(4, 5)))
+	if s.Solve() != Unsat {
+		t.Fatal("contradiction should be unsat")
+	}
+}
+
+func TestBlockModelEnumeration(t *testing.T) {
+	// x < 4 has exactly 4 solutions.
+	s := NewSolver()
+	x := s.Var("x", 4)
+	s.Assert(Ult(x, ConstUint(4, 4)))
+	models := s.SolveN(10, []string{"x"})
+	if len(models) != 4 {
+		t.Fatalf("got %d models, want 4", len(models))
+	}
+	seen := map[uint64]bool{}
+	for _, m := range models {
+		v, ok := m["x"].Uint64()
+		if !ok || v >= 4 {
+			t.Errorf("bad model value %v", m["x"])
+		}
+		if seen[v] {
+			t.Errorf("duplicate model %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandomPolarityDiversity(t *testing.T) {
+	// With random polarity, free variables take varied values across
+	// fresh solver instances.
+	seen := map[uint64]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		s := NewSolver()
+		s.SetRand(rand.New(rand.NewSource(seed)))
+		x := s.Var("x", 8)
+		s.Assert(Ult(x, ConstUint(8, 200)))
+		if s.Solve() != Sat {
+			t.Fatal("sat expected")
+		}
+		v, _ := s.Model()["x"].Uint64()
+		seen[v] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("expected diverse models, got %d distinct", len(seen))
+	}
+}
+
+func TestArithmeticSolving(t *testing.T) {
+	// Solve x + y == 100, x == 2*y (i.e. 3y == 100 has no solution in
+	// integers; use x == 3*y so 4y == 100 -> y == 25).
+	s := NewSolver()
+	x := s.Var("x", 8)
+	y := s.Var("y", 8)
+	s.Assert(Eq(Add(x, y), ConstUint(8, 100)))
+	s.Assert(Eq(x, Mul(ConstUint(8, 3), y)))
+	s.Assert(Ult(y, ConstUint(8, 50))) // avoid wraparound solutions
+	s.Assert(Ult(x, ConstUint(8, 100)))
+	if s.Solve() != Sat {
+		t.Fatal("sat expected")
+	}
+	m := s.Model()
+	xv, _ := m["x"].Uint64()
+	yv, _ := m["y"].Uint64()
+	if xv != 75 || yv != 25 {
+		t.Errorf("x=%d y=%d, want 75/25", xv, yv)
+	}
+}
+
+func TestPropBlastConsistency(t *testing.T) {
+	// Any asserted equality between a variable and a constant must be
+	// reflected verbatim in the model.
+	f := func(raw uint16, wRaw uint8) bool {
+		w := int(wRaw%15) + 1
+		val := logic.FromUint64(w, uint64(raw))
+		s := NewSolver()
+		x := s.Var("x", w)
+		s.Assert(Eq(x, Const(val)))
+		if s.Solve() != Sat {
+			return false
+		}
+		return s.Model()["x"].Eq4(val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermStringAndVars(t *testing.T) {
+	x := Var("x", 4)
+	y := Var("y", 4)
+	e := Ite(Eq(x, y), Add(x, ConstUint(4, 1)), y)
+	vars := e.Vars()
+	if len(vars) != 2 {
+		t.Errorf("vars = %v", vars)
+	}
+	if e.String() == "" {
+		t.Error("empty string rendering")
+	}
+}
+
+func TestWidthPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"and":     func() { And(Var("a", 3), Var("b", 4)) },
+		"extract": func() { Extract(Var("a", 3), 5, 0) },
+		"ite":     func() { Ite(Var("c", 2), Var("a", 3), Var("b", 3)) },
+		"const-x": func() { Const(logic.X(4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestImplication(t *testing.T) {
+	s := NewSolver()
+	a := s.Var("a", 1)
+	b := s.Var("b", 1)
+	s.Assert(Implies(a, b))
+	s.Assert(Eq(a, True()))
+	if s.Solve() != Sat {
+		t.Fatal("sat expected")
+	}
+	if v, _ := s.Model()["b"].Uint64(); v != 1 {
+		t.Error("b must be true when a is true")
+	}
+}
+
+func ExampleSolver() {
+	s := NewSolver()
+	op := s.Var("op", 4)
+	// Reach the 8-bit ADD mode of the paper's ALU: OPmode (op[3]) high
+	// and state (op[2:0]) == ADD.
+	s.Assert(Eq(Extract(op, 3, 3), True()))
+	s.Assert(Eq(Extract(op, 2, 0), ConstUint(3, 1)))
+	if s.Solve() == Sat {
+		v, _ := s.Model()["op"].Uint64()
+		fmt.Printf("op = %04b\n", v)
+	}
+	// Output: op = 1001
+}

@@ -1,0 +1,159 @@
+package smt
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// Result of a Solve call.
+type Result int
+
+// Solve outcomes.
+const (
+	Unsat Result = iota
+	Sat
+)
+
+// String renders the result.
+func (r Result) String() string {
+	if r == Sat {
+		return "sat"
+	}
+	return "unsat"
+}
+
+// Solver is the user-facing QF_BV solver. Assertions accumulate; each
+// Solve call decides the conjunction. Models are extracted for all
+// declared variables.
+type Solver struct {
+	sat  *SAT
+	b    *blaster
+	vars map[string]*Term
+	rng  *rand.Rand
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	s := NewSAT()
+	return &Solver{sat: s, b: newBlaster(s), vars: map[string]*Term{}}
+}
+
+// SetRand installs a randomness source used to diversify models.
+func (s *Solver) SetRand(r *rand.Rand) {
+	s.rng = r
+	s.sat.SetRand(r)
+}
+
+// Var declares (or retrieves) a bit-vector variable.
+func (s *Solver) Var(name string, width int) *Term {
+	if t, ok := s.vars[name]; ok {
+		if t.W != width {
+			panic("smt: variable redeclared with different width")
+		}
+		return t
+	}
+	t := Var(name, width)
+	s.vars[name] = t
+	s.b.declare(name, width)
+	return t
+}
+
+// Assert adds a 1-bit constraint that must hold.
+func (s *Solver) Assert(t *Term) {
+	for _, name := range t.Vars() {
+		if _, ok := s.vars[name]; !ok {
+			panic("smt: assertion references undeclared variable " + name)
+		}
+	}
+	s.b.assertTrue(t)
+}
+
+// Solve decides the accumulated constraints.
+func (s *Solver) Solve() Result {
+	if s.sat.Solve() {
+		return Sat
+	}
+	return Unsat
+}
+
+// Model returns the satisfying assignment for every declared variable.
+// Valid only immediately after a Sat result.
+func (s *Solver) Model() map[string]logic.BV {
+	out := map[string]logic.BV{}
+	for name, t := range s.vars {
+		lits := s.b.vars[name]
+		v := logic.Zero(t.W)
+		for i, l := range lits {
+			bitVal := s.sat.ValueOf(l.Var())
+			if l.Neg() {
+				bitVal = !bitVal
+			}
+			if bitVal {
+				v = v.WithBit(i, logic.L1)
+			}
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// BlockModel adds a clause forbidding the given assignment, so the next
+// Solve returns a different model (or Unsat). Only the listed variables
+// participate; pass nil to block over all declared variables.
+func (s *Solver) BlockModel(model map[string]logic.BV, over []string) {
+	if over == nil {
+		over = make([]string, 0, len(model))
+		for name := range model {
+			over = append(over, name)
+		}
+		sort.Strings(over)
+	}
+	var lits []Lit
+	for _, name := range over {
+		v, ok := model[name]
+		if !ok {
+			continue
+		}
+		bitLits := s.b.vars[name]
+		for i, l := range bitLits {
+			if i >= v.Width() {
+				break
+			}
+			if v.Bit(i) == logic.L1 {
+				lits = append(lits, l.Not())
+			} else {
+				lits = append(lits, l)
+			}
+		}
+	}
+	if len(lits) > 0 {
+		s.sat.AddClause(lits...)
+	}
+}
+
+// SolveN enumerates up to n distinct models over the given variables,
+// blocking each as it is found.
+func (s *Solver) SolveN(n int, over []string) []map[string]logic.BV {
+	var out []map[string]logic.BV
+	for i := 0; i < n; i++ {
+		if s.Solve() != Sat {
+			break
+		}
+		m := s.Model()
+		out = append(out, m)
+		s.BlockModel(m, over)
+	}
+	return out
+}
+
+// NumClauses returns the problem + learned clause count (Table 3's
+// "constraints generated" column counts solver constraints).
+func (s *Solver) NumClauses() int { return len(s.sat.clauses) }
+
+// NumVars returns the allocated SAT variable count.
+func (s *Solver) NumVars() int { return s.sat.NumVars() }
+
+// Stats returns (conflicts, decisions, propagations).
+func (s *Solver) Stats() (int64, int64, int64) { return s.sat.Stats() }

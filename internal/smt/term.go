@@ -1,0 +1,379 @@
+package smt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// TermKind identifies a bit-vector term node.
+type TermKind int
+
+// Term kinds.
+const (
+	KVar TermKind = iota
+	KConst
+	KNot
+	KAnd
+	KOr
+	KXor
+	KAdd
+	KSub
+	KMul
+	KNeg
+	KEq  // 1-bit result
+	KUlt // 1-bit result
+	KUle // 1-bit result
+	KIte // args: cond(1), then, else
+	KExtract
+	KConcat // args left-to-right, first = MSBs
+	KZext
+	KShl // dynamic shift left
+	KShr // dynamic logical shift right
+	KRedAnd
+	KRedOr
+	KRedXor
+)
+
+// Term is an immutable bit-vector expression. One-bit terms double as
+// booleans (1 = true).
+type Term struct {
+	Kind   TermKind
+	W      int
+	Name   string   // KVar
+	Val    logic.BV // KConst, fully defined
+	Args   []*Term
+	Hi, Lo int // KExtract
+}
+
+// Width returns the term's bit width.
+func (t *Term) Width() int { return t.W }
+
+// String renders the term for diagnostics.
+func (t *Term) String() string {
+	switch t.Kind {
+	case KVar:
+		return t.Name
+	case KConst:
+		return t.Val.String()
+	case KExtract:
+		return fmt.Sprintf("%s[%d:%d]", t.Args[0], t.Hi, t.Lo)
+	}
+	names := map[TermKind]string{
+		KNot: "not", KAnd: "and", KOr: "or", KXor: "xor", KAdd: "add",
+		KSub: "sub", KMul: "mul", KNeg: "neg", KEq: "=", KUlt: "ult",
+		KUle: "ule", KIte: "ite", KConcat: "concat", KZext: "zext",
+		KShl: "shl", KShr: "shr", KRedAnd: "redand", KRedOr: "redor",
+		KRedXor: "redxor",
+	}
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("(%s %s)", names[t.Kind], strings.Join(parts, " "))
+}
+
+// Var returns a bit-vector variable term.
+func Var(name string, width int) *Term {
+	if width <= 0 {
+		panic("smt: variable width must be positive")
+	}
+	return &Term{Kind: KVar, W: width, Name: name}
+}
+
+// Const wraps a fully defined bit-vector constant.
+func Const(v logic.BV) *Term {
+	if !v.IsFullyDefined() {
+		panic("smt: constants must be fully defined")
+	}
+	return &Term{Kind: KConst, W: v.Width(), Val: v}
+}
+
+// ConstUint builds a width-bit constant from a uint64.
+func ConstUint(width int, v uint64) *Term {
+	return Const(logic.FromUint64(width, v))
+}
+
+// True is the 1-bit constant 1.
+func True() *Term { return ConstUint(1, 1) }
+
+// False is the 1-bit constant 0.
+func False() *Term { return ConstUint(1, 0) }
+
+func checkW(x, y *Term) {
+	if x.W != y.W {
+		panic(fmt.Sprintf("smt: width mismatch %d vs %d", x.W, y.W))
+	}
+}
+
+func bothConst(x, y *Term) bool { return x.Kind == KConst && y.Kind == KConst }
+
+// Not is bitwise negation.
+func Not(x *Term) *Term {
+	if x.Kind == KConst {
+		return Const(x.Val.Not())
+	}
+	if x.Kind == KNot {
+		return x.Args[0]
+	}
+	return &Term{Kind: KNot, W: x.W, Args: []*Term{x}}
+}
+
+// And is bitwise conjunction.
+func And(x, y *Term) *Term {
+	checkW(x, y)
+	if bothConst(x, y) {
+		return Const(x.Val.And(y.Val))
+	}
+	if x.Kind == KConst && x.Val.IsZero() {
+		return x
+	}
+	if y.Kind == KConst && y.Val.IsZero() {
+		return y
+	}
+	return &Term{Kind: KAnd, W: x.W, Args: []*Term{x, y}}
+}
+
+// Or is bitwise disjunction.
+func Or(x, y *Term) *Term {
+	checkW(x, y)
+	if bothConst(x, y) {
+		return Const(x.Val.Or(y.Val))
+	}
+	if x.Kind == KConst && x.Val.IsZero() {
+		return y
+	}
+	if y.Kind == KConst && y.Val.IsZero() {
+		return x
+	}
+	return &Term{Kind: KOr, W: x.W, Args: []*Term{x, y}}
+}
+
+// Xor is bitwise exclusive or.
+func Xor(x, y *Term) *Term {
+	checkW(x, y)
+	if bothConst(x, y) {
+		return Const(x.Val.Xor(y.Val))
+	}
+	return &Term{Kind: KXor, W: x.W, Args: []*Term{x, y}}
+}
+
+// Add is modular addition.
+func Add(x, y *Term) *Term {
+	checkW(x, y)
+	if bothConst(x, y) {
+		return Const(x.Val.Add(y.Val))
+	}
+	return &Term{Kind: KAdd, W: x.W, Args: []*Term{x, y}}
+}
+
+// Sub is modular subtraction.
+func Sub(x, y *Term) *Term {
+	checkW(x, y)
+	if bothConst(x, y) {
+		return Const(x.Val.Sub(y.Val))
+	}
+	return &Term{Kind: KSub, W: x.W, Args: []*Term{x, y}}
+}
+
+// Mul is modular multiplication.
+func Mul(x, y *Term) *Term {
+	checkW(x, y)
+	if bothConst(x, y) {
+		return Const(x.Val.Mul(y.Val))
+	}
+	return &Term{Kind: KMul, W: x.W, Args: []*Term{x, y}}
+}
+
+// Neg is two's complement negation.
+func Neg(x *Term) *Term {
+	if x.Kind == KConst {
+		return Const(x.Val.Neg())
+	}
+	return &Term{Kind: KNeg, W: x.W, Args: []*Term{x}}
+}
+
+// Eq is bit-vector equality (1-bit result).
+func Eq(x, y *Term) *Term {
+	checkW(x, y)
+	if bothConst(x, y) {
+		if x.Val.Eq4(y.Val) {
+			return True()
+		}
+		return False()
+	}
+	return &Term{Kind: KEq, W: 1, Args: []*Term{x, y}}
+}
+
+// Ne is bit-vector disequality.
+func Ne(x, y *Term) *Term { return Not(Eq(x, y)) }
+
+// Ult is unsigned less-than (1-bit result).
+func Ult(x, y *Term) *Term {
+	checkW(x, y)
+	if bothConst(x, y) {
+		if t := x.Val.Lt(y.Val); t.Truthy() == logic.L1 {
+			return True()
+		}
+		return False()
+	}
+	return &Term{Kind: KUlt, W: 1, Args: []*Term{x, y}}
+}
+
+// Ule is unsigned less-or-equal.
+func Ule(x, y *Term) *Term {
+	checkW(x, y)
+	if bothConst(x, y) {
+		if t := x.Val.Le(y.Val); t.Truthy() == logic.L1 {
+			return True()
+		}
+		return False()
+	}
+	return &Term{Kind: KUle, W: 1, Args: []*Term{x, y}}
+}
+
+// Ugt is unsigned greater-than.
+func Ugt(x, y *Term) *Term { return Ult(y, x) }
+
+// Uge is unsigned greater-or-equal.
+func Uge(x, y *Term) *Term { return Ule(y, x) }
+
+// Ite is if-then-else; cond must be 1 bit wide.
+func Ite(cond, t, f *Term) *Term {
+	if cond.W != 1 {
+		panic("smt: ite condition must be 1 bit")
+	}
+	checkW(t, f)
+	if cond.Kind == KConst {
+		if cond.Val.IsZero() {
+			return f
+		}
+		return t
+	}
+	return &Term{Kind: KIte, W: t.W, Args: []*Term{cond, t, f}}
+}
+
+// Extract selects bits [hi:lo].
+func Extract(x *Term, hi, lo int) *Term {
+	if hi < lo || hi >= x.W || lo < 0 {
+		panic(fmt.Sprintf("smt: invalid extract [%d:%d] of width %d", hi, lo, x.W))
+	}
+	if hi == x.W-1 && lo == 0 {
+		return x
+	}
+	if x.Kind == KConst {
+		return Const(x.Val.Extract(hi, lo))
+	}
+	return &Term{Kind: KExtract, W: hi - lo + 1, Args: []*Term{x}, Hi: hi, Lo: lo}
+}
+
+// Concat joins terms, first argument in the MSBs.
+func Concat(parts ...*Term) *Term {
+	if len(parts) == 0 {
+		panic("smt: empty concat")
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	w := 0
+	for _, p := range parts {
+		w += p.W
+	}
+	return &Term{Kind: KConcat, W: w, Args: parts}
+}
+
+// ZExt zero-extends (or truncates) to width w.
+func ZExt(x *Term, w int) *Term {
+	switch {
+	case w == x.W:
+		return x
+	case w < x.W:
+		return Extract(x, w-1, 0)
+	}
+	if x.Kind == KConst {
+		return Const(x.Val.Resize(w))
+	}
+	return &Term{Kind: KZext, W: w, Args: []*Term{x}}
+}
+
+// Shl is a dynamic left shift (shift amount is a term).
+func Shl(x, amount *Term) *Term {
+	if bothConst(x, amount) {
+		return Const(x.Val.Shl(amount.Val))
+	}
+	return &Term{Kind: KShl, W: x.W, Args: []*Term{x, amount}}
+}
+
+// Shr is a dynamic logical right shift.
+func Shr(x, amount *Term) *Term {
+	if bothConst(x, amount) {
+		return Const(x.Val.Shr(amount.Val))
+	}
+	return &Term{Kind: KShr, W: x.W, Args: []*Term{x, amount}}
+}
+
+// RedAnd is the 1-bit AND reduction.
+func RedAnd(x *Term) *Term {
+	if x.Kind == KConst {
+		return Const(x.Val.ReduceAnd())
+	}
+	return &Term{Kind: KRedAnd, W: 1, Args: []*Term{x}}
+}
+
+// RedOr is the 1-bit OR reduction.
+func RedOr(x *Term) *Term {
+	if x.Kind == KConst {
+		return Const(x.Val.ReduceOr())
+	}
+	return &Term{Kind: KRedOr, W: 1, Args: []*Term{x}}
+}
+
+// RedXor is the 1-bit XOR reduction (parity).
+func RedXor(x *Term) *Term {
+	if x.Kind == KConst {
+		return Const(x.Val.ReduceXor())
+	}
+	return &Term{Kind: KRedXor, W: 1, Args: []*Term{x}}
+}
+
+// BoolAnd conjoins 1-bit terms.
+func BoolAnd(xs ...*Term) *Term {
+	out := True()
+	for _, x := range xs {
+		out = And(out, x)
+	}
+	return out
+}
+
+// BoolOr disjoins 1-bit terms.
+func BoolOr(xs ...*Term) *Term {
+	out := False()
+	for _, x := range xs {
+		out = Or(out, x)
+	}
+	return out
+}
+
+// Implies is boolean implication over 1-bit terms.
+func Implies(a, b *Term) *Term { return Or(Not(a), b) }
+
+// Vars returns the distinct variable names referenced by the term.
+func (t *Term) Vars() []string {
+	set := map[string]bool{}
+	var walk func(*Term)
+	walk = func(x *Term) {
+		if x.Kind == KVar {
+			set[x.Name] = true
+		}
+		for _, a := range x.Args {
+			walk(a)
+		}
+	}
+	walk(t)
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}

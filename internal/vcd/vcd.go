@@ -1,0 +1,254 @@
+// Package vcd implements a Value Change Dump writer and reader. The
+// SymbFuzz simulation loop dumps a VCD trace each interval (Algorithm 1,
+// line 8) and the coverage monitor reads the dump back to update its
+// node/edge bookkeeping (line 9), mirroring the paper's flow.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// idCode converts a signal number into a short printable VCD id.
+func idCode(n int) string {
+	const lo, hi = 33, 127
+	var sb strings.Builder
+	for {
+		sb.WriteByte(byte(lo + n%(hi-lo)))
+		n /= (hi - lo)
+		if n == 0 {
+			return sb.String()
+		}
+		n--
+	}
+}
+
+// Writer emits a VCD file incrementally.
+type Writer struct {
+	w       *bufio.Writer
+	ids     map[string]string // signal name -> id code
+	widths  map[string]int
+	order   []string
+	last    map[string]logic.BV
+	started bool
+	time    uint64
+}
+
+// NewWriter creates a VCD writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{
+		w:      bufio.NewWriter(w),
+		ids:    map[string]string{},
+		widths: map[string]int{},
+		last:   map[string]logic.BV{},
+	}
+}
+
+// Declare registers a signal before the header is written. Hierarchical
+// names ("a.b.c") produce nested scopes.
+func (w *Writer) Declare(name string, width int) {
+	if _, dup := w.ids[name]; dup || w.started {
+		return
+	}
+	w.ids[name] = idCode(len(w.order))
+	w.widths[name] = width
+	w.order = append(w.order, name)
+}
+
+// writeHeader emits the declaration section.
+func (w *Writer) writeHeader() error {
+	fmt.Fprintln(w.w, "$version symbfuzz-vcd $end")
+	fmt.Fprintln(w.w, "$timescale 1ns $end")
+	// Group by scope path.
+	type entry struct {
+		name, leaf, id string
+		width          int
+	}
+	var entries []entry
+	for _, n := range w.order {
+		parts := strings.Split(n, ".")
+		entries = append(entries, entry{name: n, leaf: parts[len(parts)-1], id: w.ids[n], width: w.widths[n]})
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		return scopeOf(entries[i].name) < scopeOf(entries[j].name)
+	})
+	cur := ""
+	depth := 0
+	for _, e := range entries {
+		sc := scopeOf(e.name)
+		if sc != cur {
+			for ; depth > 0; depth-- {
+				fmt.Fprintln(w.w, "$upscope $end")
+			}
+			if sc != "" {
+				for _, part := range strings.Split(sc, ".") {
+					fmt.Fprintf(w.w, "$scope module %s $end\n", part)
+					depth++
+				}
+			}
+			cur = sc
+		}
+		fmt.Fprintf(w.w, "$var wire %d %s %s $end\n", e.width, e.id, e.leaf)
+	}
+	for ; depth > 0; depth-- {
+		fmt.Fprintln(w.w, "$upscope $end")
+	}
+	fmt.Fprintln(w.w, "$enddefinitions $end")
+	w.started = true
+	return nil
+}
+
+func scopeOf(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[:i]
+	}
+	return ""
+}
+
+// Sample records the values of all declared signals at the given time,
+// emitting only changes.
+func (w *Writer) Sample(time uint64, get func(name string) logic.BV) error {
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	timeWritten := false
+	for _, name := range w.order {
+		v := get(name)
+		if prev, ok := w.last[name]; ok && prev.Eq4(v) {
+			continue
+		}
+		if !timeWritten {
+			fmt.Fprintf(w.w, "#%d\n", time)
+			timeWritten = true
+		}
+		w.last[name] = v
+		if w.widths[name] == 1 {
+			fmt.Fprintf(w.w, "%s%s\n", v.Bit(0), w.ids[name])
+		} else {
+			fmt.Fprintf(w.w, "b%s %s\n", v.BitString(), w.ids[name])
+		}
+	}
+	w.time = time
+	return nil
+}
+
+// Flush writes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// ---- reader ----
+
+// Change is one value change event.
+type Change struct {
+	Time  uint64
+	Name  string
+	Value logic.BV
+}
+
+// Trace is a parsed VCD file.
+type Trace struct {
+	Widths  map[string]int
+	Changes []Change
+}
+
+// ValuesAt replays changes up to and including time t, returning the
+// visible value of every signal.
+func (t *Trace) ValuesAt(tm uint64) map[string]logic.BV {
+	out := map[string]logic.BV{}
+	for _, c := range t.Changes {
+		if c.Time > tm {
+			break
+		}
+		out[c.Name] = c.Value
+	}
+	return out
+}
+
+// Read parses a VCD stream.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	tr := &Trace{Widths: map[string]int{}}
+	idToName := map[string]string{}
+	var scopeStack []string
+	var time uint64
+	inDefs := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "$scope"):
+			f := strings.Fields(line)
+			if len(f) >= 3 {
+				scopeStack = append(scopeStack, f[2])
+			}
+		case strings.HasPrefix(line, "$upscope"):
+			if len(scopeStack) > 0 {
+				scopeStack = scopeStack[:len(scopeStack)-1]
+			}
+		case strings.HasPrefix(line, "$var"):
+			f := strings.Fields(line)
+			// $var wire <width> <id> <name> $end
+			if len(f) >= 6 {
+				width := 0
+				fmt.Sscanf(f[2], "%d", &width)
+				id := f[3]
+				name := f[4]
+				if len(scopeStack) > 0 {
+					name = strings.Join(scopeStack, ".") + "." + name
+				}
+				idToName[id] = name
+				tr.Widths[name] = width
+			}
+		case strings.HasPrefix(line, "$enddefinitions"):
+			inDefs = false
+		case strings.HasPrefix(line, "$"):
+			// $version/$timescale/$dumpvars/$end markers: skip.
+		case line[0] == '#':
+			fmt.Sscanf(line[1:], "%d", &time)
+		case line[0] == 'b' || line[0] == 'B':
+			f := strings.Fields(line)
+			if len(f) != 2 || inDefs {
+				continue
+			}
+			name, ok := idToName[f[1]]
+			if !ok {
+				return nil, fmt.Errorf("vcd: unknown id %q", f[1])
+			}
+			v, err := logic.FromString(f[0][1:])
+			if err != nil {
+				return nil, fmt.Errorf("vcd: bad vector %q: %w", f[0], err)
+			}
+			if w := tr.Widths[name]; v.Width() < w {
+				v = v.Resize(w)
+			}
+			tr.Changes = append(tr.Changes, Change{Time: time, Name: name, Value: v})
+		default:
+			// scalar: <value><id>
+			if inDefs {
+				continue
+			}
+			v, err := logic.FromString(line[:1])
+			if err != nil {
+				return nil, fmt.Errorf("vcd: bad scalar line %q", line)
+			}
+			name, ok := idToName[line[1:]]
+			if !ok {
+				return nil, fmt.Errorf("vcd: unknown id %q", line[1:])
+			}
+			tr.Changes = append(tr.Changes, Change{Time: time, Name: name, Value: v})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

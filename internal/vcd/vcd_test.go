@@ -1,0 +1,167 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestIDCode(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for j := 0; j < len(id); j++ {
+			if id[j] < 33 || id[j] > 126 {
+				t.Fatalf("unprintable id byte %d", id[j])
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Declare("clk", 1)
+	w.Declare("data", 8)
+	w.Declare("u0.state", 3)
+
+	vals := map[string]logic.BV{
+		"clk":      logic.Zero(1),
+		"data":     logic.X(8),
+		"u0.state": logic.FromUint64(3, 0),
+	}
+	get := func(n string) logic.BV { return vals[n] }
+	if err := w.Sample(0, get); err != nil {
+		t.Fatal(err)
+	}
+	vals["clk"] = logic.Ones(1)
+	vals["data"] = logic.FromUint64(8, 0xA5)
+	if err := w.Sample(1, get); err != nil {
+		t.Fatal(err)
+	}
+	vals["u0.state"] = logic.FromUint64(3, 5)
+	if err := w.Sample(2, get); err != nil {
+		t.Fatal(err)
+	}
+	// No change at t=3: nothing emitted.
+	if err := w.Sample(3, get); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	if !strings.Contains(out, "$enddefinitions") {
+		t.Fatalf("missing definitions:\n%s", out)
+	}
+	if strings.Contains(out, "#3") {
+		t.Errorf("no-change sample should not emit a timestamp:\n%s", out)
+	}
+
+	tr, err := Read(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Widths["data"] != 8 || tr.Widths["u0.state"] != 3 {
+		t.Errorf("widths = %+v", tr.Widths)
+	}
+	at0 := tr.ValuesAt(0)
+	if !at0["data"].HasUnknown() {
+		t.Errorf("data at t0 = %v, want X", at0["data"])
+	}
+	at2 := tr.ValuesAt(2)
+	if v, _ := at2["data"].Uint64(); v != 0xA5 {
+		t.Errorf("data at t2 = %v", at2["data"])
+	}
+	if v, _ := at2["u0.state"].Uint64(); v != 5 {
+		t.Errorf("state at t2 = %v", at2["u0.state"])
+	}
+	if v, _ := at2["clk"].Uint64(); v != 1 {
+		t.Errorf("clk at t2 = %v", at2["clk"])
+	}
+}
+
+func TestReadScopes(t *testing.T) {
+	src := `$version test $end
+$timescale 1ns $end
+$scope module top $end
+$scope module u0 $end
+$var wire 4 ! cnt $end
+$upscope $end
+$var wire 1 " clk $end
+$upscope $end
+$enddefinitions $end
+#0
+b0000 !
+0"
+#5
+b1x1z !
+1"
+`
+	tr, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Widths["top.u0.cnt"] != 4 {
+		t.Fatalf("scoped name missing: %+v", tr.Widths)
+	}
+	at5 := tr.ValuesAt(5)
+	if at5["top.u0.cnt"].BitString() != "1x1z" {
+		t.Errorf("cnt = %v", at5["top.u0.cnt"])
+	}
+	if at5["top.clk"].Bit(0) != logic.L1 {
+		t.Errorf("clk = %v", at5["top.clk"])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"$enddefinitions $end\n1?\n",     // unknown id
+		"$enddefinitions $end\nbqq !\n",  // bad vector
+		"$enddefinitions $end\n#0\nq!\n", // bad scalar
+	}
+	for _, s := range bad {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("expected error for %q", s)
+		}
+	}
+}
+
+func TestShortVectorExtended(t *testing.T) {
+	src := `$var wire 8 ! d $end
+$enddefinitions $end
+#0
+b101 !
+`
+	tr, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tr.ValuesAt(0)["d"]
+	if v.Width() != 8 {
+		t.Fatalf("width = %d", v.Width())
+	}
+	if u, _ := v.Uint64(); u != 5 {
+		t.Errorf("value = %v", v)
+	}
+}
+
+func TestDeclareAfterStartIgnored(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Declare("a", 1)
+	_ = w.Sample(0, func(string) logic.BV { return logic.Zero(1) })
+	w.Declare("late", 4) // must be ignored, header already emitted
+	_ = w.Sample(1, func(string) logic.BV { return logic.Ones(1) })
+	_ = w.Flush()
+	if strings.Contains(buf.String(), "late") {
+		t.Error("late declaration leaked into output")
+	}
+}

@@ -1,0 +1,175 @@
+package symbfuzz_test
+
+import (
+	"testing"
+
+	symbfuzz "repro"
+)
+
+const toySrc = `
+module toy (input clk_i, input rst_ni, input [3:0] k, output reg [1:0] st,
+            output reg flag);
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      st <= 2'd0;
+      flag <= 1'b0;
+    end else begin
+      case (st)
+        2'd0: if (k == 4'hA) st <= 2'd1;
+        2'd1: if (k == 4'h5) st <= 2'd2;
+              else st <= 2'd0;
+        2'd2: begin
+          flag <= 1'b1;
+          st <= 2'd0;
+        end
+        default: st <= 2'd0;
+      endcase
+    end
+  end
+endmodule`
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	d, err := symbfuzz.ParseAndElaborate(toySrc, "toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate directly.
+	s, err := symbfuzz.NewSimulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := symbfuzz.DetectClockReset(d)
+	if err := s.ApplyReset(info, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Peek("st"); !v.IsZero() {
+		t.Fatalf("st after reset = %v", v)
+	}
+	// Control registers and graph.
+	names := symbfuzz.ControlRegisterNames(d)
+	if len(names) != 1 || names[0] != "st" {
+		t.Errorf("control registers = %v", names)
+	}
+	// Fuzz with a property through the facade.
+	prop := &symbfuzz.Property{
+		Name:       "no_flag",
+		Expr:       symbfuzz.PNot(symbfuzz.Sig("flag")),
+		DisableIff: symbfuzz.PNot(symbfuzz.Sig("rst_ni")),
+		CWE:        "CWE-TEST",
+	}
+	eng, err := symbfuzz.NewEngine(d, []*symbfuzz.Property{prop}, symbfuzz.Config{
+		Interval: 50, Threshold: 2, MaxVectors: 20_000, Seed: 1,
+		UseSnapshots: true, ContinueAfterCoverage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bugs) != 1 || rep.Bugs[0].Property != "no_flag" {
+		t.Fatalf("bugs = %+v", rep.Bugs)
+	}
+}
+
+func TestBenchmarkAccessors(t *testing.T) {
+	if b := symbfuzz.ALU(); b.Top != "ALU" {
+		t.Error("ALU accessor broken")
+	}
+	if bugs := symbfuzz.PlantedBugs(); len(bugs) != 14 {
+		t.Errorf("planted bugs = %d", len(bugs))
+	}
+	if ips := symbfuzz.IPBenchmarks(true); len(ips) != 10 {
+		t.Errorf("IP benchmarks = %d", len(ips))
+	}
+	for _, b := range []*symbfuzz.Benchmark{
+		symbfuzz.CVA6Mini(true), symbfuzz.RocketMini(false), symbfuzz.Mor1kxMini(true),
+	} {
+		if _, err := b.Elaborate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestFuzzHelper(t *testing.T) {
+	bench := symbfuzz.IPBenchmarks(true)[0] // the mailbox
+	rep, err := symbfuzz.Fuzz(bench, symbfuzz.Config{
+		Interval: 60, Threshold: 2, MaxVectors: 20_000, Seed: 2,
+		UseSnapshots: true, ContinueAfterCoverage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bugs) == 0 {
+		t.Errorf("mailbox bug not found via facade: %s", rep)
+	}
+}
+
+func TestRunBaselineFacade(t *testing.T) {
+	bench := symbfuzz.IPBenchmarks(true)[0]
+	res, err := symbfuzz.RunBaseline("uvm-random", bench, symbfuzz.BaselineConfig{
+		MaxVectors: 2000, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vectors != 2000 || res.FinalPoints == 0 {
+		t.Errorf("baseline result = %+v", res)
+	}
+	if _, err := symbfuzz.RunBaseline("nope", bench, symbfuzz.BaselineConfig{}); err == nil {
+		t.Error("unknown baseline should error")
+	}
+}
+
+func TestBVHelpers(t *testing.T) {
+	v := symbfuzz.U(8, 0xA5)
+	if v.BitString() != "10100101" {
+		t.Error("U broken")
+	}
+	if !symbfuzz.X(4).HasUnknown() {
+		t.Error("X broken")
+	}
+	if b, err := symbfuzz.Bits("1x0"); err != nil || b.Width() != 3 {
+		t.Error("Bits broken")
+	}
+}
+
+func TestParsedPropertyThroughEngine(t *testing.T) {
+	// The same toy design, but the property arrives as a string.
+	d, err := symbfuzz.ParseAndElaborate(toySrc, "toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := symbfuzz.ParseProperty("no_flag_str", "!flag", "!rst_ni")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := symbfuzz.NewEngine(d, []*symbfuzz.Property{prop}, symbfuzz.Config{
+		Interval: 50, Threshold: 2, MaxVectors: 20_000, Seed: 1,
+		UseSnapshots: true, ContinueAfterCoverage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bugs) != 1 || rep.Bugs[0].Property != "no_flag_str" {
+		t.Fatalf("bugs = %+v", rep.Bugs)
+	}
+	if rep.Cycles == 0 || rep.Cycles < rep.Vectors {
+		t.Errorf("cycle accounting wrong: %d cycles for %d vectors", rep.Cycles, rep.Vectors)
+	}
+}
+
+func TestParsePropertyExprFacade(t *testing.T) {
+	e, err := symbfuzz.ParsePropertyExpr("$past(state_q, 2) == 3'd4")
+	if err != nil || e == nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	if _, err := symbfuzz.ParsePropertyExpr("((bad"); err == nil {
+		t.Error("bad expression must error")
+	}
+}
