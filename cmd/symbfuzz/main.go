@@ -87,6 +87,8 @@ func main() {
 		rep.FinalPoints, rep.NodesCovered, rep.NodesTotal, rep.EdgesCovered, rep.EdgesTotal)
 	fmt.Printf("guidance: %d symbolic invocations, %d solved plans, %d rollbacks\n",
 		rep.SymbolicInvocations, rep.SolvedPlans, rep.Rollbacks)
+	fmt.Printf("static pruning: %d unreachable CFG nodes excluded, %d solver dispatches avoided\n",
+		rep.PrunedTargets, rep.PrunedSolves)
 	if len(rep.Bugs) == 0 {
 		fmt.Println("no property violations detected")
 		return
@@ -131,6 +133,9 @@ func resolveBenchmark(bench, srcFile, top string, fixed bool) (*symbfuzz.Benchma
 		if ip.Name == bench {
 			return designs.IPBenchmark(ip, buggy), nil
 		}
+	}
+	if b, ok := designs.FindBenchmark(bench); ok {
+		return b, nil
 	}
 	return nil, fmt.Errorf("unknown benchmark %q", bench)
 }

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+)
+
+// benchEngine runs a full fuzzing campaign over a builtin benchmark and
+// reports solver traffic as custom metrics, so
+//
+//	go test -bench Pruning -benchtime 3x ./internal/core
+//
+// compares solver dispatches with and without static reachability
+// pruning on the same design and seed.
+func benchEngine(b *testing.B, design string, disable bool) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := benchmarkDesign(b, design)
+		b.StartTimer()
+		eng, err := New(d, nil, Config{
+			Interval: 50, Threshold: 2, MaxVectors: 4000, Seed: 7,
+			UseSnapshots: true, DisablePruning: disable,
+			ContinueAfterCoverage: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.SymbolicInvocations), "solves/op")
+		b.ReportMetric(float64(rep.PrunedTargets), "pruned-nodes/op")
+		b.ReportMetric(float64(rep.PrunedSolves), "pruned-solves/op")
+	}
+}
+
+func BenchmarkEngineSoCPruned(b *testing.B)   { benchEngine(b, "opentitan_mini", false) }
+func BenchmarkEngineSoCUnpruned(b *testing.B) { benchEngine(b, "opentitan_mini", true) }
+func BenchmarkEngineArbPruned(b *testing.B)   { benchEngine(b, "bus_arb", false) }
+func BenchmarkEngineArbUnpruned(b *testing.B) { benchEngine(b, "bus_arb", true) }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/cov"
 	"repro/internal/elab"
+	"repro/internal/lint"
 	"repro/internal/logic"
 	"repro/internal/props"
 	"repro/internal/sim"
@@ -58,6 +59,11 @@ type Config struct {
 	// once every static CFG edge is covered (Algorithm 1 stops at full
 	// coverage; bug-hunting campaigns keep going).
 	ContinueAfterCoverage bool
+	// DisablePruning turns off static reachability pruning: without it
+	// the engine drops CFG target nodes whose register valuations the
+	// lint pass proved unreachable, before any solver dispatch (the
+	// ablation keeps them and lets the solver fail on each).
+	DisablePruning bool
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +125,13 @@ type Report struct {
 	CheckpointsTaken    int
 	VCDBytes            int
 
+	// PrunedTargets counts CFG nodes statically proven unreachable by
+	// the lint pass's value-domain facts and excluded from guidance.
+	PrunedTargets int
+	// PrunedSolves counts solver dispatches avoided because the ranked
+	// edge list dropped edges into pruned targets.
+	PrunedSolves int
+
 	GraphStats cfg.Stats
 }
 
@@ -129,6 +142,10 @@ type Engine struct {
 	part  *cfg.Partition
 	cover *cov.CFGCov
 	extra []cov.Monitor
+
+	// pruned marks, per cluster graph, the node IDs whose register
+	// valuations the lint facts prove unreachable (nil when disabled).
+	pruned []map[int]bool
 
 	// checkpoints are keyed by (cluster graph index, node ID).
 	checkpoints map[[2]int]*checkpoint
@@ -190,6 +207,9 @@ func New(d *elab.Design, properties []*props.Property, c Config) (*Engine, error
 		checkpoints: map[[2]int]*checkpoint{},
 		report:      &Report{GraphStats: part.Stats()},
 		rng:         rand.New(rand.NewSource(c.Seed ^ 0x51bb)),
+	}
+	if !c.DisablePruning {
+		e.markPruned(d, resetVals)
 	}
 	mon := cov.Monitor(e.cover)
 	if len(e.extra) > 0 {
@@ -324,6 +344,84 @@ func (e *Engine) maybeCheckpoint() {
 	}
 }
 
+// markPruned runs the lint reachability analysis (value-domain
+// inference refined by SMT-proven dead arms) and marks every CFG node
+// holding a register value outside its proven domain. Such nodes come
+// from the transition relation's over-approximation — hold variables
+// and unconstrained successor models — and no input sequence can reach
+// them, so steering the solver toward them is wasted budget. The
+// simulator's actual post-reset values are unioned into the domains
+// first, and the reset node itself is never pruned.
+func (e *Engine) markPruned(d *elab.Design, resetVals map[int]logic.BV) {
+	facts := lint.AnalyzeReachability(d)
+	for idx, v := range resetVals {
+		if cv, ok := canonUint64(v); ok && !facts.Allows(idx, cv) {
+			facts.Domains[idx] = append(facts.Domains[idx], cv)
+			sort.Slice(facts.Domains[idx], func(i, j int) bool {
+				return facts.Domains[idx][i] < facts.Domains[idx][j]
+			})
+		}
+	}
+	e.pruned = make([]map[int]bool, len(e.part.Graphs))
+	for gi, g := range e.part.Graphs {
+		e.pruned[gi] = map[int]bool{}
+		for _, n := range g.Nodes {
+			if n.ID == 0 {
+				continue // reset/root node stays targetable
+			}
+			for idx, v := range n.Vals {
+				cv, ok := canonUint64(v)
+				if !ok {
+					continue
+				}
+				if !facts.Allows(idx, cv) {
+					e.pruned[gi][n.ID] = true
+					e.report.PrunedTargets++
+					break
+				}
+			}
+		}
+	}
+}
+
+// canonUint64 converts a register value to the engine's canonical
+// two-state form (X/Z bits read as 0); ok is false above 64 bits.
+func canonUint64(v logic.BV) (uint64, bool) {
+	if v.Width() > 64 {
+		return 0, false
+	}
+	out := uint64(0)
+	for i := 0; i < v.Width(); i++ {
+		if v.Bit(i) == logic.L1 {
+			out |= uint64(1) << uint(i)
+		}
+	}
+	return out, true
+}
+
+// uncoveredFrom is Graph.UncoveredFrom with pruned targets filtered
+// out. count attributes the dropped edges to the PrunedSolves stat;
+// only the top-level call in rankedEdges counts, so repeated scoring
+// passes do not inflate it.
+func (e *Engine) uncoveredFrom(gi, node int, count bool) []cfg.Edge {
+	g := e.part.Graphs[gi]
+	edges := g.UncoveredFrom(node, e.cover.EdgesSeen[gi])
+	if e.pruned == nil || len(e.pruned[gi]) == 0 {
+		return edges
+	}
+	kept := edges[:0]
+	for _, edge := range edges {
+		if e.pruned[gi][edge.To] {
+			if count {
+				e.report.PrunedSolves++
+			}
+			continue
+		}
+		kept = append(kept, edge)
+	}
+	return kept
+}
+
 // guideSteps bounds the chained guided transitions per symbolic phase,
 // and guideTries bounds the alternative edges attempted per step.
 const (
@@ -400,12 +498,12 @@ func (e *Engine) inPlaceCandidates() [][2]int {
 		gi, node, score int
 	}
 	var cands []cand
-	for gi, g := range e.part.Graphs {
+	for gi := range e.part.Graphs {
 		cur := e.cover.PrevNode(gi)
 		if cur < 0 {
 			continue
 		}
-		if n := len(g.UncoveredFrom(cur, e.cover.EdgesSeen[gi])); n > 0 {
+		if n := len(e.uncoveredFrom(gi, cur, false)); n > 0 {
 			cands = append(cands, cand{gi, cur, n})
 		}
 	}
@@ -473,7 +571,7 @@ func (e *Engine) findTarget(gi, cur int) *checkpoint {
 		n := queue[0]
 		queue = queue[1:]
 		if ck, ok := e.checkpoints[[2]int{gi, n}]; ok {
-			if len(g.UncoveredFrom(n, e.cover.EdgesSeen[gi])) > 0 {
+			if len(e.uncoveredFrom(gi, n, false)) > 0 {
 				return ck
 			}
 		}
@@ -494,7 +592,7 @@ func (e *Engine) findTarget(gi, cur int) *checkpoint {
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i][1] < keys[j][1] })
 	for _, key := range keys {
-		if len(g.UncoveredFrom(key[1], e.cover.EdgesSeen[gi])) > 0 {
+		if len(e.uncoveredFrom(gi, key[1], false)) > 0 {
 			return e.checkpoints[key]
 		}
 	}
@@ -552,11 +650,11 @@ func (e *Engine) applyPlan(gi int, plan *cfg.StepPlan, edge cfg.Edge) bool {
 // unlock count, ties broken by ascending Hamming distance (§4.7).
 func (e *Engine) rankedEdges(gi, node int) []cfg.Edge {
 	g := e.part.Graphs[gi]
-	uncovered := g.UncoveredFrom(node, e.cover.EdgesSeen[gi])
+	uncovered := e.uncoveredFrom(gi, node, true)
 	cur := g.Nodes[node]
 	sort.SliceStable(uncovered, func(i, j int) bool {
-		ui := len(g.UncoveredFrom(uncovered[i].To, e.cover.EdgesSeen[gi]))
-		uj := len(g.UncoveredFrom(uncovered[j].To, e.cover.EdgesSeen[gi]))
+		ui := len(e.uncoveredFrom(gi, uncovered[i].To, false))
+		uj := len(e.uncoveredFrom(gi, uncovered[j].To, false))
 		if ui != uj {
 			return ui > uj
 		}

@@ -115,6 +115,23 @@ func (c *CFGCov) Name() string { return "symbfuzz-cfg" }
 // Branch implements Monitor.
 func (c *CFGCov) Branch(id, arm int) { c.events = append(c.events, [2]int{id, arm}) }
 
+// maxEventCap bounds the branch-event buffer's retained capacity. A
+// cycle with an unusually deep branch cascade (or a burst of cycles
+// before a Sample) can balloon the buffer; shrinking it back on drain
+// keeps a long campaign's footprint proportional to a typical cycle
+// instead of its worst one.
+const maxEventCap = 4096
+
+// drainEvents empties the event buffer, releasing oversized backing
+// arrays instead of retaining them for the rest of the run.
+func (c *CFGCov) drainEvents() {
+	if cap(c.events) > maxEventCap {
+		c.events = nil
+		return
+	}
+	c.events = c.events[:0]
+}
+
 // nodeKeyOf renders a cluster's current control-register valuation.
 func nodeKeyOf(g *cfg.Graph, s *sim.Simulator) string {
 	key := ""
@@ -166,7 +183,7 @@ func (c *CFGCov) Sample(s *sim.Simulator) {
 		}
 		c.Tuples[tuple] = true
 	}
-	c.events = c.events[:0]
+	c.drainEvents()
 	c.hasPrev = true
 }
 
@@ -238,7 +255,7 @@ func (c *CFGCov) ResetPosition() {
 		c.prevNode[i] = -1
 		c.prevKey[i] = ""
 	}
-	c.events = c.events[:0]
+	c.drainEvents()
 }
 
 // SyncPosition re-primes the position tracking to the simulator's
@@ -255,7 +272,7 @@ func (c *CFGCov) SyncPosition(s *sim.Simulator) {
 		}
 	}
 	c.hasPrev = true
-	c.events = c.events[:0]
+	c.drainEvents()
 }
 
 // ---- RFuzz mux coverage ----

@@ -1,0 +1,51 @@
+package designs
+
+// BusArbSource is a two-master bus arbiter whose grant vector is an
+// intentional combinational latch: the grant is only re-evaluated while
+// the bus is free and holds (latches) for the whole transfer. The
+// pattern is common in bus fabrics and is the canonical case where
+// static CFG construction over-approximates: the symbolic transition
+// relation models the held grant as an unconstrained hold variable, so
+// successor enumeration produces grant valuations (2'd3) the RTL never
+// assigns. The lint pass proves gnt's value domain is {0,1,2}, which
+// lets the engine prune those spurious CFG targets before dispatching
+// the solver at them.
+const BusArbSource = `
+module bus_arb (input clk_i, input rst_ni,
+  input req0_i, input req1_i, input ack_i,
+  output [1:0] gnt_o, output busy_o);
+
+  reg [1:0] gnt;
+  reg busy_q;
+
+  // Grant selection: re-evaluated only while the bus is free; the
+  // missing else-branch latches the grant for the transfer duration.
+  always_comb begin : grantSel
+    if (!busy_q) begin
+      if (req0_i) gnt = 2'd1;
+      else if (req1_i) gnt = 2'd2;
+      else gnt = 2'd0;
+    end
+  end
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin : busyFsm
+    if (!rst_ni) busy_q <= 1'b0;
+    else if (!busy_q) begin
+      if (gnt != 2'd0) busy_q <= 1'b1;
+    end else if (ack_i) busy_q <= 1'b0;
+  end
+
+  assign gnt_o = gnt;
+  assign busy_o = busy_q;
+endmodule
+`
+
+// BusArb returns the latched-grant arbiter benchmark (no planted bugs).
+func BusArb() *Benchmark {
+	return &Benchmark{
+		Name:   "bus_arb",
+		Top:    "bus_arb",
+		Source: BusArbSource,
+		LoC:    countLoC(BusArbSource),
+	}
+}

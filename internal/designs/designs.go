@@ -147,6 +147,51 @@ func FindIP(bugID string) (IP, Bug, bool) {
 	return IP{}, Bug{}, false
 }
 
+// AllBenchmarks returns every builtin benchmark in its fixed (bug-free)
+// variant, in a stable order: the ALU, each IP block standalone, the
+// three processor cores, and the assembled SoC. This is the design set
+// static-analysis tooling (cmd/hdllint, the lint-clean tests) runs over.
+func AllBenchmarks() []*Benchmark {
+	out := []*Benchmark{ALU(), BusArb()}
+	for _, ip := range AllIPs() {
+		out = append(out, IPBenchmark(ip, false))
+	}
+	out = append(out,
+		CVA6Mini(false),
+		RocketMini(false),
+		Mor1kxMini(false),
+		OpenTitanMini(map[string]bool{}),
+	)
+	return out
+}
+
+// FindBenchmark returns the builtin benchmark with the given name.
+func FindBenchmark(name string) (*Benchmark, bool) {
+	for _, b := range AllBenchmarks() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// ExternalSignals names the signals the benchmark's bound properties
+// observe; they count as read even when nothing in the RTL reads them.
+func (b *Benchmark) ExternalSignals() map[string]bool {
+	out := map[string]bool{}
+	set := map[string]int{}
+	for _, p := range b.Properties {
+		p.Expr.Signals(set)
+		if p.DisableIff != nil {
+			p.DisableIff.Signals(set)
+		}
+	}
+	for name := range set {
+		out[name] = true
+	}
+	return out
+}
+
 // AllBugs lists every planted SoC bug sorted by ID.
 func AllBugs() []Bug {
 	var out []Bug

@@ -39,6 +39,9 @@ func Elaborate(src *hdl.Source, top string, overrides map[string]uint64) (*Desig
 type elaborator struct {
 	src *hdl.Source
 	d   *Design
+	// curProc is the index of the process whose body is being compiled,
+	// recorded into BranchInfo for diagnostics.
+	curProc int
 }
 
 // scope is the per-instance name environment.
@@ -58,7 +61,7 @@ func (s *scope) hname(local string) string {
 	return s.prefix + "." + local
 }
 
-func (e *elaborator) newSignal(sc *scope, local string, width int, kind SignalKind) (*Signal, error) {
+func (e *elaborator) newSignal(sc *scope, local string, width int, kind SignalKind, pos hdl.Pos) (*Signal, error) {
 	name := sc.hname(local)
 	if _, dup := e.d.ByName[name]; dup {
 		return nil, fmt.Errorf("elab: duplicate signal %q", name)
@@ -66,7 +69,7 @@ func (e *elaborator) newSignal(sc *scope, local string, width int, kind SignalKi
 	if width <= 0 {
 		return nil, fmt.Errorf("elab: signal %q has non-positive width %d", name, width)
 	}
-	sig := &Signal{Index: len(e.d.Signals), Name: name, Width: width, Kind: kind}
+	sig := &Signal{Index: len(e.d.Signals), Name: name, Width: width, Kind: kind, Pos: pos}
 	e.d.Signals = append(e.d.Signals, sig)
 	e.d.ByName[name] = sig
 	sc.signals[local] = sig
@@ -159,7 +162,7 @@ func (e *elaborator) instantiate(mod *hdl.Module, prefix string, paramOverrides 
 				return fmt.Errorf("elab: inout port %s.%s unsupported", mod.Name, p.Name)
 			}
 		}
-		if _, err := e.newSignal(sc, p.Name, w, kind); err != nil {
+		if _, err := e.newSignal(sc, p.Name, w, kind, p.Pos); err != nil {
 			return err
 		}
 	}
@@ -188,7 +191,7 @@ func (e *elaborator) instantiate(mod *hdl.Module, prefix string, paramOverrides 
 			sc.mems[n.Name] = mem
 			continue
 		}
-		sig, err := e.newSignal(sc, n.Name, w, SigInternal)
+		sig, err := e.newSignal(sc, n.Name, w, SigInternal, n.Pos)
 		if err != nil {
 			return err
 		}
@@ -229,7 +232,7 @@ func (e *elaborator) instantiate(mod *hdl.Module, prefix string, paramOverrides 
 		if err != nil {
 			return err
 		}
-		stmt := SAssign{LHS: tgt, RHS: wrapWidth(rhs, tgt.TWidth())}
+		stmt := SAssign{LHS: tgt, RHS: wrapWidth(rhs, tgt.TWidth()), Pos: a.Pos}
 		proc := &Process{
 			Index: len(e.d.Procs),
 			Name:  fmt.Sprintf("%s.assign%d", sc.hname(mod.Name), i),
@@ -263,6 +266,7 @@ func (e *elaborator) instantiate(mod *hdl.Module, prefix string, paramOverrides 
 				proc.Edges = append(proc.Edges, ClockEdge{Signal: sig.Index, Posedge: ev.Edge != hdl.Negedge})
 			}
 		}
+		e.curProc = proc.Index
 		body, err := e.compileStmt(sc, proc.Name, a.Body)
 		if err != nil {
 			return err
@@ -871,7 +875,7 @@ func (e *elaborator) compileStmt(sc *scope, procName string, st hdl.Stmt) ([]Stm
 		if err != nil {
 			return nil, err
 		}
-		return []Stmt{SAssign{LHS: tgt, RHS: wrapWidth(rhs, tgt.TWidth()), NB: n.NonBlocking}}, nil
+		return []Stmt{SAssign{LHS: tgt, RHS: wrapWidth(rhs, tgt.TWidth()), NB: n.NonBlocking, Pos: n.StmtPos()}}, nil
 	case *hdl.If:
 		cond, err := e.compileExpr(sc, n.Cond, 0)
 		if err != nil {
@@ -968,6 +972,8 @@ func (e *elaborator) newBranch(procName, kind string, arms int, cond Expr, pos h
 		Kind:        kind,
 		Arms:        arms,
 		CondSignals: exprReads(cond),
+		Proc:        e.curProc,
+		Pos:         pos,
 	})
 	return id
 }

@@ -12,6 +12,7 @@ package elab
 import (
 	"fmt"
 
+	"repro/internal/hdl"
 	"repro/internal/logic"
 )
 
@@ -37,6 +38,8 @@ type Signal struct {
 	EnumNames map[uint64]string
 	// Init is an optional declaration initializer applied at time zero.
 	Init *logic.BV
+	// Pos is the source position of the declaration.
+	Pos hdl.Pos
 }
 
 // Memory is an unpacked array (register file / RAM).
@@ -101,6 +104,10 @@ type BranchInfo struct {
 	Arms  int    // number of outcomes (2 for if, len(items)+1 for case)
 	// CondSignals are the signals the branch condition reads.
 	CondSignals []int
+	// Proc is the index of the process containing the branch.
+	Proc int
+	// Pos is the source position of the if/case statement.
+	Pos hdl.Pos
 }
 
 // InputSignals returns the top-level input ports in declaration order.
@@ -628,6 +635,9 @@ type SAssign struct {
 	LHS Target
 	RHS Expr
 	NB  bool
+	// Pos is the source position of the assignment (zero for synthesized
+	// continuous assigns such as port connections).
+	Pos hdl.Pos
 }
 
 // Exec evaluates the RHS and assigns it.

@@ -1,0 +1,716 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/elab"
+	"repro/internal/hdl"
+)
+
+// ---- shared IR walkers ----
+
+// collectReads gathers the signal indices an expression reads.
+func collectReads(e elab.Expr, set map[int]bool) {
+	switch n := e.(type) {
+	case elab.Const:
+	case elab.Sig:
+		set[n.Idx] = true
+	case elab.Bin:
+		collectReads(n.X, set)
+		collectReads(n.Y, set)
+	case elab.Un:
+		collectReads(n.X, set)
+	case elab.Cond:
+		collectReads(n.C, set)
+		collectReads(n.T, set)
+		collectReads(n.F, set)
+	case elab.CatE:
+		for _, p := range n.Parts {
+			collectReads(p, set)
+		}
+	case elab.Slice:
+		collectReads(n.X, set)
+	case elab.BitSel:
+		collectReads(n.X, set)
+		collectReads(n.Idx, set)
+	case elab.DynSlice:
+		collectReads(n.X, set)
+		collectReads(n.Start, set)
+	case elab.ZExt:
+		collectReads(n.X, set)
+	case elab.MemRead:
+		collectReads(n.Addr, set)
+	}
+}
+
+// rhsReads returns the signals a process genuinely reads: right-hand
+// sides, branch conditions and index expressions — excluding the
+// implicit read-modify-write of partial assignment targets, which is
+// not a data dependency the author wrote.
+func rhsReads(p *elab.Process) map[int]bool {
+	set := map[int]bool{}
+	var walk func(stmts []elab.Stmt)
+	var walkTarget func(t elab.Target)
+	walkTarget = func(t elab.Target) {
+		switch n := t.(type) {
+		case elab.TBit:
+			collectReads(n.BitE, set)
+		case elab.TMem:
+			collectReads(n.Addr, set)
+		case elab.TCat:
+			for _, part := range n.Parts {
+				walkTarget(part)
+			}
+		}
+	}
+	walk = func(stmts []elab.Stmt) {
+		for _, s := range stmts {
+			switch n := s.(type) {
+			case elab.SAssign:
+				collectReads(n.RHS, set)
+				walkTarget(n.LHS)
+			case elab.SIf:
+				collectReads(n.Cond, set)
+				walk(n.Then)
+				walk(n.Else)
+			case elab.SCase:
+				collectReads(n.Subject, set)
+				for _, item := range n.Items {
+					for _, m := range item.Matches {
+						collectReads(m, set)
+					}
+					walk(item.Body)
+				}
+				walk(n.Default)
+			}
+		}
+	}
+	walk(p.Body)
+	return set
+}
+
+// targetSignals appends the root signal indices a target writes.
+func targetSignals(t elab.Target, out map[int]bool) {
+	switch n := t.(type) {
+	case elab.TSig:
+		out[n.Idx] = true
+	case elab.TRange:
+		out[n.Idx] = true
+	case elab.TBit:
+		out[n.Idx] = true
+	case elab.TCat:
+		for _, p := range n.Parts {
+			targetSignals(p, out)
+		}
+	}
+}
+
+// subjectSignal unwraps a case subject to its root signal, if it is a
+// plain (possibly resized) signal read.
+func subjectSignal(e elab.Expr) (int, bool) {
+	switch n := e.(type) {
+	case elab.Sig:
+		return n.Idx, true
+	case elab.ZExt:
+		return subjectSignal(n.X)
+	}
+	return -1, false
+}
+
+// ---- comb-loop ----
+
+// CombLoopCheck finds combinational feedback: cycles in the
+// signal-dependency graph between combinational processes, and
+// processes that read a signal they themselves drive before assigning
+// it (zero-delay self feedback such as `always_comb x = x + 1`).
+type CombLoopCheck struct{}
+
+// ID implements Check.
+func (CombLoopCheck) ID() string { return "comb-loop" }
+
+// Description implements Check.
+func (CombLoopCheck) Description() string {
+	return "combinational feedback loop across or within processes"
+}
+
+// Run implements Check.
+func (CombLoopCheck) Run(ctx *Context) []Diagnostic {
+	d := ctx.Design
+	var diags []Diagnostic
+
+	// Inter-process loops: edge P -> Q when comb P writes a signal comb
+	// Q reads. Strongly connected components of size > 1 are loops.
+	var combs []int
+	writers := map[int][]int{} // signal -> comb procs writing it
+	reads := map[int]map[int]bool{}
+	for _, p := range d.Procs {
+		if p.Kind != elab.ProcComb {
+			continue
+		}
+		combs = append(combs, p.Index)
+		reads[p.Index] = rhsReads(p)
+		for _, w := range p.Writes {
+			writers[w] = append(writers[w], p.Index)
+		}
+	}
+	succ := map[int][]int{}
+	for _, pi := range combs {
+		for r := range reads[pi] {
+			for _, wp := range writers[r] {
+				if wp != pi {
+					succ[wp] = append(succ[wp], pi)
+				}
+			}
+		}
+	}
+	for _, scc := range sccs(combs, succ) {
+		if len(scc) < 2 {
+			continue
+		}
+		names := make([]string, len(scc))
+		for i, pi := range scc {
+			names[i] = d.Procs[pi].Name
+		}
+		sort.Strings(names)
+		diags = append(diags, Diagnostic{
+			Rule:     "comb-loop",
+			Severity: SevError,
+			Proc:     names[0],
+			Branch:   -1, Arm: -1,
+			Msg: fmt.Sprintf("combinational loop through processes %s", strings.Join(names, " -> ")),
+		})
+	}
+
+	// Intra-process self feedback: a comb process reads one of its own
+	// written signals before any path has assigned it.
+	for _, p := range d.Procs {
+		if p.Kind != elab.ProcComb {
+			continue
+		}
+		writes := map[int]bool{}
+		for _, w := range p.Writes {
+			writes[w] = true
+		}
+		offenders := map[int]bool{}
+		selfReadsBeforeAssign(p.Body, writes, map[int]bool{}, offenders)
+		for _, idx := range sortedInts(offenders) {
+			diags = append(diags, Diagnostic{
+				Rule:     "comb-loop",
+				Severity: SevError,
+				Signal:   d.Signals[idx].Name,
+				Proc:     p.Name,
+				Pos:      d.Signals[idx].Pos,
+				Branch:   -1, Arm: -1,
+				Msg: fmt.Sprintf("combinational process reads %s before driving it (zero-delay feedback)", d.Signals[idx].Name),
+			})
+		}
+	}
+	return diags
+}
+
+// selfReadsBeforeAssign walks statements in execution order, tracking
+// which of the process's own outputs have been assigned on every path,
+// and records reads of not-yet-assigned self-written signals. Returns
+// the must-assigned set after the statement list.
+func selfReadsBeforeAssign(stmts []elab.Stmt, writes, assigned map[int]bool, offenders map[int]bool) map[int]bool {
+	note := func(e elab.Expr) {
+		rs := map[int]bool{}
+		collectReads(e, rs)
+		for idx := range rs {
+			if writes[idx] && !assigned[idx] {
+				offenders[idx] = true
+			}
+		}
+	}
+	cloneSet := func(m map[int]bool) map[int]bool {
+		out := make(map[int]bool, len(m))
+		for k, v := range m {
+			out[k] = v
+		}
+		return out
+	}
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case elab.SAssign:
+			note(n.RHS)
+			tgts := map[int]bool{}
+			targetSignals(n.LHS, tgts)
+			for idx := range tgts {
+				assigned[idx] = true
+			}
+		case elab.SIf:
+			note(n.Cond)
+			thenA := selfReadsBeforeAssign(n.Then, writes, cloneSet(assigned), offenders)
+			elseA := selfReadsBeforeAssign(n.Else, writes, cloneSet(assigned), offenders)
+			for idx := range thenA {
+				if elseA[idx] {
+					assigned[idx] = true
+				}
+			}
+		case elab.SCase:
+			note(n.Subject)
+			var armSets []map[int]bool
+			for _, item := range n.Items {
+				for _, m := range item.Matches {
+					note(m)
+				}
+				armSets = append(armSets, selfReadsBeforeAssign(item.Body, writes, cloneSet(assigned), offenders))
+			}
+			armSets = append(armSets, selfReadsBeforeAssign(n.Default, writes, cloneSet(assigned), offenders))
+			if len(armSets) > 0 {
+				inter := armSets[0]
+				for _, as := range armSets[1:] {
+					for idx := range inter {
+						if !as[idx] {
+							delete(inter, idx)
+						}
+					}
+				}
+				for idx := range inter {
+					assigned[idx] = true
+				}
+			}
+		}
+	}
+	return assigned
+}
+
+// sccs computes strongly connected components (iterative Tarjan).
+func sccs(nodes []int, succ map[int][]int) [][]int {
+	index := map[int]int{}
+	low := map[int]int{}
+	onStack := map[int]bool{}
+	var stack []int
+	var out [][]int
+	next := 0
+
+	type frame struct {
+		v  int
+		ci int
+	}
+	for _, root := range nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		var call []frame
+		call = append(call, frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.ci < len(succ[f.v]) {
+				w := succ[f.v][f.ci]
+				f.ci++
+				if _, seen := index[w]; !seen {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				out = append(out, comp)
+			}
+		}
+	}
+	return out
+}
+
+// ---- latch ----
+
+// LatchCheck finds inferred latches: combinational processes with a
+// path that leaves one of their driven signals unassigned, so the
+// signal holds its previous value. Case statements whose arms provably
+// cover the subject's whole value domain (declared enum values, full
+// encoding space, or the inferred domain) count as exhaustive even
+// without a default.
+type LatchCheck struct{}
+
+// ID implements Check.
+func (LatchCheck) ID() string { return "latch" }
+
+// Description implements Check.
+func (LatchCheck) Description() string {
+	return "combinational process infers a latch (signal not assigned on every path)"
+}
+
+// Run implements Check.
+func (LatchCheck) Run(ctx *Context) []Diagnostic {
+	d := ctx.Design
+	var diags []Diagnostic
+	for _, p := range d.Procs {
+		if p.Kind != elab.ProcComb {
+			continue
+		}
+		must := mustAssign(ctx, p.Body)
+		for _, w := range p.Writes {
+			if must[w] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Rule:     "latch",
+				Severity: SevWarning,
+				Signal:   d.Signals[w].Name,
+				Proc:     p.Name,
+				Pos:      d.Signals[w].Pos,
+				Branch:   -1, Arm: -1,
+				Msg: fmt.Sprintf("latch inferred: %s is not assigned on every path through %s", d.Signals[w].Name, p.Name),
+			})
+		}
+	}
+	return diags
+}
+
+// mustAssign computes the signals assigned on every path through stmts.
+func mustAssign(ctx *Context, stmts []elab.Stmt) map[int]bool {
+	out := map[int]bool{}
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case elab.SAssign:
+			// Partial writes keep the remaining bits latched only at bit
+			// granularity; treat any touch as an assignment to keep the
+			// check at whole-signal altitude.
+			targetSignals(n.LHS, out)
+		case elab.SIf:
+			thenM := mustAssign(ctx, n.Then)
+			elseM := mustAssign(ctx, n.Else)
+			for idx := range thenM {
+				if elseM[idx] {
+					out[idx] = true
+				}
+			}
+		case elab.SCase:
+			sets := make([]map[int]bool, 0, len(n.Items)+1)
+			for _, item := range n.Items {
+				sets = append(sets, mustAssign(ctx, item.Body))
+			}
+			// The default arm participates unless the explicit arms
+			// provably cover the subject's whole value domain.
+			if !caseExhaustive(ctx, n) {
+				sets = append(sets, mustAssign(ctx, n.Default))
+			}
+			if len(sets) == 0 {
+				continue
+			}
+			inter := sets[0]
+			for _, s2 := range sets[1:] {
+				for idx := range inter {
+					if !s2[idx] {
+						delete(inter, idx)
+					}
+				}
+			}
+			for idx := range inter {
+				out[idx] = true
+			}
+		}
+	}
+	return out
+}
+
+// caseExhaustive reports whether the case's explicit arms cover every
+// value the subject can hold.
+func caseExhaustive(ctx *Context, c elab.SCase) bool {
+	w := c.Subject.Width()
+	consts := map[uint64]bool{}
+	for _, item := range c.Items {
+		for _, m := range item.Matches {
+			cv, ok := m.(elab.Const)
+			if !ok {
+				return false // dynamic match expressions: assume partial
+			}
+			v, defined := cv.V.Uint64()
+			if !defined {
+				return false
+			}
+			consts[v&maskOf(w)] = true
+		}
+	}
+	// Full encoding space covered?
+	if w <= 16 && uint64(len(consts)) == uint64(1)<<uint(w) {
+		return true
+	}
+	idx, ok := subjectSignal(c.Subject)
+	if !ok {
+		return false
+	}
+	sig := ctx.Design.Signals[idx]
+	// Declared enum domain covered?
+	if len(sig.EnumNames) > 0 {
+		all := true
+		for v := range sig.EnumNames {
+			if !consts[v&maskOf(w)] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	// Inferred value domain covered?
+	if dom, bounded := ctx.Facts.DomainOf(idx); bounded {
+		all := true
+		for _, v := range dom {
+			if !consts[v&maskOf(w)] {
+				all = false
+				break
+			}
+		}
+		return all
+	}
+	return false
+}
+
+// ---- multi-driver ----
+
+// MultiDriverCheck finds signals written by more than one process; in
+// the supported RTL subset (no tristates) every such signal is a
+// conflict.
+type MultiDriverCheck struct{}
+
+// ID implements Check.
+func (MultiDriverCheck) ID() string { return "multi-driver" }
+
+// Description implements Check.
+func (MultiDriverCheck) Description() string {
+	return "signal driven by more than one process"
+}
+
+// Run implements Check.
+func (MultiDriverCheck) Run(ctx *Context) []Diagnostic {
+	d := ctx.Design
+	writers := map[int][]*elab.Process{}
+	for _, p := range d.Procs {
+		for _, w := range p.Writes {
+			writers[w] = append(writers[w], p)
+		}
+	}
+	var diags []Diagnostic
+	for _, idx := range sortedKeysOf(writers) {
+		ps := writers[idx]
+		if len(ps) < 2 {
+			continue
+		}
+		names := make([]string, len(ps))
+		for i, p := range ps {
+			names[i] = p.Name
+		}
+		sort.Strings(names)
+		diags = append(diags, Diagnostic{
+			Rule:     "multi-driver",
+			Severity: SevError,
+			Signal:   d.Signals[idx].Name,
+			Proc:     names[0],
+			Pos:      d.Signals[idx].Pos,
+			Branch:   -1, Arm: -1,
+			Msg: fmt.Sprintf("%s driven by %d processes: %s", d.Signals[idx].Name, len(ps), strings.Join(names, ", ")),
+		})
+	}
+	return diags
+}
+
+// ---- unused / undriven ----
+
+// UnusedCheck finds signals nothing reads (rule "unused-signal") and
+// read signals nothing drives (rule "undriven-signal", permanently X).
+type UnusedCheck struct{}
+
+// ID implements Check.
+func (UnusedCheck) ID() string { return "unused-signal" }
+
+// Description implements Check.
+func (UnusedCheck) Description() string {
+	return "signal never read (unused-signal) or never driven (undriven-signal)"
+}
+
+// Run implements Check.
+func (UnusedCheck) Run(ctx *Context) []Diagnostic {
+	d := ctx.Design
+	read := map[int]bool{}
+	driven := map[int]bool{}
+	for _, p := range d.Procs {
+		for idx := range rhsReads(p) {
+			read[idx] = true
+		}
+		for _, e := range p.Edges {
+			read[e.Signal] = true // clock/reset sensitivity is a use
+		}
+		for _, w := range p.Writes {
+			driven[w] = true
+		}
+	}
+	var diags []Diagnostic
+	for _, sig := range d.Signals {
+		external := ctx.ExternalReads[sig.Name]
+		switch {
+		case !read[sig.Index] && sig.Kind != elab.SigOutput && !external:
+			diags = append(diags, Diagnostic{
+				Rule:     "unused-signal",
+				Severity: SevWarning,
+				Signal:   sig.Name,
+				Pos:      sig.Pos,
+				Branch:   -1, Arm: -1,
+				Msg: fmt.Sprintf("%s is never read", sig.Name),
+			})
+		case !driven[sig.Index] && sig.Kind != elab.SigInput && sig.Init == nil &&
+			(read[sig.Index] || sig.Kind == elab.SigOutput || external):
+			diags = append(diags, Diagnostic{
+				Rule:     "undriven-signal",
+				Severity: SevWarning,
+				Signal:   sig.Name,
+				Pos:      sig.Pos,
+				Branch:   -1, Arm: -1,
+				Msg: fmt.Sprintf("%s is read but never driven (always X)", sig.Name),
+			})
+		}
+	}
+	return diags
+}
+
+// ---- width-trunc ----
+
+// WidthTruncCheck finds implicit width truncations the elaborator
+// inserted to fit an expression into a narrower context.
+type WidthTruncCheck struct{}
+
+// ID implements Check.
+func (WidthTruncCheck) ID() string { return "width-trunc" }
+
+// Description implements Check.
+func (WidthTruncCheck) Description() string {
+	return "expression implicitly truncated to a narrower width"
+}
+
+// Run implements Check.
+func (WidthTruncCheck) Run(ctx *Context) []Diagnostic {
+	d := ctx.Design
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for _, p := range d.Procs {
+		var walkExpr func(e elab.Expr, pos hdl.Pos)
+		walkExpr = func(e elab.Expr, pos hdl.Pos) {
+			switch n := e.(type) {
+			case elab.ZExt:
+				if n.W < n.X.Width() {
+					key := fmt.Sprintf("%s|%v|%d>%d", p.Name, pos, n.X.Width(), n.W)
+					if !seen[key] {
+						seen[key] = true
+						diags = append(diags, Diagnostic{
+							Rule:     "width-trunc",
+							Severity: SevWarning,
+							Proc:     p.Name,
+							Pos:      pos,
+							Branch:   -1, Arm: -1,
+							Msg: fmt.Sprintf("expression truncated from %d to %d bits", n.X.Width(), n.W),
+						})
+					}
+				}
+				walkExpr(n.X, pos)
+			case elab.Bin:
+				walkExpr(n.X, pos)
+				walkExpr(n.Y, pos)
+			case elab.Un:
+				walkExpr(n.X, pos)
+			case elab.Cond:
+				walkExpr(n.C, pos)
+				walkExpr(n.T, pos)
+				walkExpr(n.F, pos)
+			case elab.CatE:
+				for _, part := range n.Parts {
+					walkExpr(part, pos)
+				}
+			case elab.Slice:
+				walkExpr(n.X, pos)
+			case elab.BitSel:
+				walkExpr(n.X, pos)
+				walkExpr(n.Idx, pos)
+			case elab.DynSlice:
+				walkExpr(n.X, pos)
+				walkExpr(n.Start, pos)
+			case elab.MemRead:
+				walkExpr(n.Addr, pos)
+			}
+		}
+		var walk func(stmts []elab.Stmt)
+		walk = func(stmts []elab.Stmt) {
+			for _, s := range stmts {
+				switch n := s.(type) {
+				case elab.SAssign:
+					walkExpr(n.RHS, n.Pos)
+				case elab.SIf:
+					walkExpr(n.Cond, branchPos(d, n.BranchID))
+					walk(n.Then)
+					walk(n.Else)
+				case elab.SCase:
+					pos := branchPos(d, n.BranchID)
+					walkExpr(n.Subject, pos)
+					for _, item := range n.Items {
+						for _, m := range item.Matches {
+							walkExpr(m, pos)
+						}
+						walk(item.Body)
+					}
+					walk(n.Default)
+				}
+			}
+		}
+		walk(p.Body)
+	}
+	return diags
+}
+
+func branchPos(d *elab.Design, id int) hdl.Pos {
+	if id >= 0 && id < len(d.BranchInfo) {
+		return d.BranchInfo[id].Pos
+	}
+	return hdl.Pos{}
+}
+
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedKeysOf(m map[int][]*elab.Process) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

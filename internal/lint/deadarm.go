@@ -1,0 +1,381 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/elab"
+	"repro/internal/smt"
+)
+
+// sigVar prefixes the free variables standing in for signal reads in
+// dead-arm queries.
+const sigVar = "s."
+
+// DeadArmCheck proves if/case arms unreachable. Every signal read is a
+// free variable constrained to the signal's declared enum domain and
+// its inferred value domain; an arm whose path condition is UNSAT under
+// those constraints can never execute. Proven-dead arms are recorded in
+// ctx.Facts.DeadArms and used to refine the value domains (assignments
+// inside dead arms cannot contribute values), which is what the fuzzing
+// engine consumes to prune CFG targets.
+type DeadArmCheck struct{}
+
+// ID implements Check.
+func (DeadArmCheck) ID() string { return "dead-arm" }
+
+// Description implements Check.
+func (DeadArmCheck) Description() string {
+	return "if/case arm proven unreachable under enum and inferred value domains"
+}
+
+// Run implements Check.
+func (DeadArmCheck) Run(ctx *Context) []Diagnostic {
+	pr := &armProver{d: ctx.Design, facts: ctx.Facts}
+	var diags []Diagnostic
+	for _, p := range ctx.Design.Procs {
+		diags = append(diags, pr.walk(p.Body, nil)...)
+	}
+	// Refine: re-run domain inference skipping statements inside arms
+	// now proven dead; tighter domains are what node pruning feeds on.
+	if len(ctx.Facts.DeadArms) > 0 {
+		refined := inferDomainsExcluding(ctx.Design, ctx.Facts.DeadArms)
+		ctx.Facts.Domains = refined.Domains
+	}
+	return diags
+}
+
+// AnalyzeReachability runs the reachability analyses (value-domain
+// inference plus the dead-arm prover) standalone and returns the proven
+// facts. This is the entry point the fuzzing engine uses to prune
+// statically unreachable CFG target nodes.
+func AnalyzeReachability(d *elab.Design) *Facts {
+	ctx := &Context{Design: d, Facts: InferDomains(d)}
+	DeadArmCheck{}.Run(ctx)
+	return ctx.Facts
+}
+
+// armProver walks a process, carrying the path condition, and issues
+// one solver query per arm.
+type armProver struct {
+	d       *elab.Design
+	facts   *Facts
+	freshID int
+}
+
+func (pr *armProver) walk(stmts []elab.Stmt, path []*smt.Term) []Diagnostic {
+	var diags []Diagnostic
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case elab.SIf:
+			cond := smt.RedOr(pr.evalExpr(n.Cond))
+			thenDead := pr.unsat(append(path, cond))
+			elseDead := pr.unsat(append(path, smt.Not(cond)))
+			if thenDead {
+				pr.record(n.BranchID, 0)
+				if len(n.Then) > 0 {
+					diags = append(diags, pr.diag(n.BranchID, 0, "then branch can never execute"))
+				}
+			} else {
+				diags = append(diags, pr.walk(n.Then, append(path, cond))...)
+			}
+			if elseDead {
+				pr.record(n.BranchID, 1)
+				if len(n.Else) > 0 {
+					diags = append(diags, pr.diag(n.BranchID, 1, "else branch can never execute"))
+				}
+			} else {
+				diags = append(diags, pr.walk(n.Else, append(path, smt.Not(cond)))...)
+			}
+		case elab.SCase:
+			subj := pr.evalExpr(n.Subject)
+			matches := make([]*smt.Term, len(n.Items))
+			for i, item := range n.Items {
+				var c *smt.Term
+				for _, m := range item.Matches {
+					mc := smt.Eq(subj, smt.ZExt(pr.evalExpr(m), subj.Width()))
+					if c == nil {
+						c = mc
+					} else {
+						c = smt.Or(c, mc)
+					}
+				}
+				if c == nil {
+					c = smt.False()
+				}
+				matches[i] = c
+			}
+			for i, item := range n.Items {
+				// Arm i runs when it matches and no earlier arm did.
+				armCond := []*smt.Term{matches[i]}
+				for j := 0; j < i; j++ {
+					armCond = append(armCond, smt.Not(matches[j]))
+				}
+				armPath := append(append([]*smt.Term{}, path...), armCond...)
+				if pr.unsat(armPath) {
+					pr.record(n.BranchID, i)
+					diags = append(diags, pr.diag(n.BranchID, i,
+						fmt.Sprintf("case arm %d can never match", i)))
+					continue
+				}
+				diags = append(diags, pr.walk(item.Body, armPath)...)
+			}
+			defPath := append([]*smt.Term{}, path...)
+			for _, m := range matches {
+				defPath = append(defPath, smt.Not(m))
+			}
+			if pr.unsat(defPath) {
+				pr.record(n.BranchID, len(n.Items))
+				if len(n.Default) > 0 {
+					diags = append(diags, pr.diag(n.BranchID, len(n.Items),
+						"default arm can never execute (explicit arms are exhaustive)"))
+				}
+			} else {
+				diags = append(diags, pr.walk(n.Default, defPath)...)
+			}
+		}
+	}
+	return diags
+}
+
+func (pr *armProver) record(branch, arm int) {
+	if !pr.facts.ArmDead(branch, arm) {
+		pr.facts.DeadArms[branch] = append(pr.facts.DeadArms[branch], arm)
+		sort.Ints(pr.facts.DeadArms[branch])
+	}
+}
+
+func (pr *armProver) diag(branch, arm int, what string) Diagnostic {
+	bi := pr.d.BranchInfo[branch]
+	proc := ""
+	if bi.Proc >= 0 && bi.Proc < len(pr.d.Procs) {
+		proc = pr.d.Procs[bi.Proc].Name
+	}
+	return Diagnostic{
+		Rule:     "dead-arm",
+		Severity: SevWarning,
+		Proc:     proc,
+		Pos:      bi.Pos,
+		Branch:   branch,
+		Arm:      arm,
+		Msg:      fmt.Sprintf("%s statement: %s", bi.Kind, what),
+	}
+}
+
+// unsat decides whether the conjunction of conds is unsatisfiable under
+// the domain constraints of every signal variable the terms reference.
+func (pr *armProver) unsat(conds []*smt.Term) bool {
+	pr.facts.SolverQueries++
+	s := smt.NewSolver()
+	seen := map[string]bool{}
+	for _, c := range conds {
+		for _, name := range c.Vars() {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			v := pr.declareByTermName(s, c, name)
+			if v == nil {
+				continue
+			}
+			if dc := pr.domainConstraint(s, name, v); dc != nil {
+				s.Assert(dc)
+			}
+		}
+	}
+	for _, c := range conds {
+		s.Assert(c)
+	}
+	return s.Solve() == smt.Unsat
+}
+
+// declareByTermName declares variable name with the width it has inside
+// term t (every variable is built with a single width, so the first
+// occurrence is authoritative).
+func (pr *armProver) declareByTermName(s *smt.Solver, t *smt.Term, name string) *smt.Term {
+	var found *smt.Term
+	var walk func(x *smt.Term)
+	walk = func(x *smt.Term) {
+		if found != nil {
+			return
+		}
+		if x.Kind == smt.KVar && x.Name == name {
+			found = x
+			return
+		}
+		for _, a := range x.Args {
+			walk(a)
+		}
+	}
+	walk(t)
+	if found == nil {
+		return nil
+	}
+	return s.Var(name, found.W)
+}
+
+// domainConstraint builds "v is one of its allowed values" for a signal
+// variable, combining the declared enum domain with the inferred value
+// domain. Returns nil when the signal is unconstrained.
+func (pr *armProver) domainConstraint(s *smt.Solver, name string, v *smt.Term) *smt.Term {
+	if len(name) <= len(sigVar) || name[:len(sigVar)] != sigVar {
+		return nil
+	}
+	sig, ok := pr.d.ByName[name[len(sigVar):]]
+	if !ok || sig.Width > maxDomainWidth {
+		return nil
+	}
+	member := func(vals []uint64) *smt.Term {
+		if len(vals) == 0 || len(vals) > maxDomainValues {
+			return nil
+		}
+		var alts []*smt.Term
+		for _, val := range vals {
+			alts = append(alts, smt.Eq(v, smt.ConstUint(v.Width(), val&maskOf(v.Width()))))
+		}
+		return smt.BoolOr(alts...)
+	}
+	var out *smt.Term
+	if len(sig.EnumNames) > 0 {
+		// Declared enum domain, plus 0 for the X-at-reset canonical state
+		// and any declaration initializer.
+		set := map[uint64]bool{0: true}
+		for ev := range sig.EnumNames {
+			set[ev&maskOf(sig.Width)] = true
+		}
+		if sig.Init != nil {
+			if iv, ok := sig.Init.Uint64(); ok {
+				set[iv&maskOf(sig.Width)] = true
+			}
+		}
+		vals := make([]uint64, 0, len(set))
+		for ev := range set {
+			vals = append(vals, ev)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		out = member(vals)
+	}
+	if dom, bounded := pr.facts.DomainOf(sig.Index); bounded {
+		if m := member(dom); m != nil {
+			if out == nil {
+				out = m
+			} else {
+				out = smt.And(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// evalExpr converts an IR expression into a term. Signal reads become
+// free "s.<name>" variables; memory reads and X constants become
+// per-occurrence fresh variables.
+func (pr *armProver) evalExpr(x elab.Expr) *smt.Term {
+	switch n := x.(type) {
+	case elab.Const:
+		if n.V.IsFullyDefined() {
+			return smt.Const(n.V)
+		}
+		return pr.fresh(n.V.Width())
+	case elab.Sig:
+		return smt.Var(sigVar+pr.d.Signals[n.Idx].Name, n.W)
+	case elab.Bin:
+		xx := pr.evalExpr(n.X)
+		yy := pr.evalExpr(n.Y)
+		switch n.Op {
+		case elab.OpAdd:
+			return smt.Add(xx, yy)
+		case elab.OpSub:
+			return smt.Sub(xx, yy)
+		case elab.OpMul:
+			return smt.Mul(xx, yy)
+		case elab.OpAnd:
+			return smt.And(xx, yy)
+		case elab.OpOr:
+			return smt.Or(xx, yy)
+		case elab.OpXor:
+			return smt.Xor(xx, yy)
+		case elab.OpXnor:
+			return smt.Not(smt.Xor(xx, yy))
+		case elab.OpEq, elab.OpCaseEq:
+			return smt.Eq(xx, yy)
+		case elab.OpNeq, elab.OpCaseNeq:
+			return smt.Ne(xx, yy)
+		case elab.OpLt:
+			return smt.Ult(xx, yy)
+		case elab.OpLe:
+			return smt.Ule(xx, yy)
+		case elab.OpGt:
+			return smt.Ugt(xx, yy)
+		case elab.OpGe:
+			return smt.Uge(xx, yy)
+		case elab.OpShl:
+			return smt.Shl(xx, smt.ZExt(yy, xx.Width()))
+		case elab.OpShr, elab.OpAshr:
+			return smt.Shr(xx, smt.ZExt(yy, xx.Width()))
+		case elab.OpLAnd:
+			return smt.And(smt.RedOr(xx), smt.RedOr(yy))
+		case elab.OpLOr:
+			return smt.Or(smt.RedOr(xx), smt.RedOr(yy))
+		}
+		return pr.fresh(n.W)
+	case elab.Un:
+		xx := pr.evalExpr(n.X)
+		switch n.Op {
+		case elab.OpNot:
+			return smt.Not(xx)
+		case elab.OpLNot:
+			return smt.Not(smt.RedOr(xx))
+		case elab.OpNeg:
+			return smt.Neg(xx)
+		case elab.OpRedAnd:
+			return smt.RedAnd(xx)
+		case elab.OpRedOr:
+			return smt.RedOr(xx)
+		case elab.OpRedXor:
+			return smt.RedXor(xx)
+		case elab.OpRedNand:
+			return smt.Not(smt.RedAnd(xx))
+		case elab.OpRedNor:
+			return smt.Not(smt.RedOr(xx))
+		case elab.OpRedXnor:
+			return smt.Not(smt.RedXor(xx))
+		}
+		return pr.fresh(n.W)
+	case elab.Cond:
+		return smt.Ite(smt.RedOr(pr.evalExpr(n.C)), pr.evalExpr(n.T), pr.evalExpr(n.F))
+	case elab.CatE:
+		parts := make([]*smt.Term, len(n.Parts))
+		for i, p := range n.Parts {
+			parts[i] = pr.evalExpr(p)
+		}
+		return smt.Concat(parts...)
+	case elab.Slice:
+		return smt.Extract(pr.evalExpr(n.X), n.Hi, n.Lo)
+	case elab.BitSel:
+		xx := pr.evalExpr(n.X)
+		idx := pr.evalExpr(n.Idx)
+		return smt.Extract(smt.Shr(xx, smt.ZExt(idx, xx.Width())), 0, 0)
+	case elab.DynSlice:
+		xx := pr.evalExpr(n.X)
+		start := pr.evalExpr(n.Start)
+		shifted := smt.Shr(xx, smt.ZExt(start, xx.Width()))
+		if n.W <= xx.Width() {
+			return smt.Extract(shifted, n.W-1, 0)
+		}
+		return smt.ZExt(shifted, n.W)
+	case elab.ZExt:
+		return smt.ZExt(pr.evalExpr(n.X), n.W)
+	case elab.MemRead:
+		return pr.fresh(n.W)
+	}
+	return pr.fresh(x.Width())
+}
+
+func (pr *armProver) fresh(w int) *smt.Term {
+	pr.freshID++
+	if w <= 0 {
+		w = 1
+	}
+	return smt.Var(fmt.Sprintf("f.%d", pr.freshID), w)
+}

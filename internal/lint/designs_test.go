@@ -1,0 +1,105 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/lint"
+)
+
+// TestBuiltinDesignsLintClean asserts every bundled benchmark lints
+// clean under its documented waiver list. A new finding in any design —
+// or a waiver that no longer matches anything real — fails here.
+func TestBuiltinDesignsLintClean(t *testing.T) {
+	for _, b := range designs.AllBenchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			d, err := b.Elaborate()
+			if err != nil {
+				t.Fatalf("elaborate: %v", err)
+			}
+			res := lint.Run(d, lint.Options{
+				ExternalReads: b.ExternalSignals(),
+				Waivers:       lint.BuiltinWaivers(b.Name),
+			})
+			if !res.Clean() {
+				var buf bytes.Buffer
+				res.WriteText(&buf)
+				t.Fatalf("design not lint-clean:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+// TestBuiltinWaiversAllUsed guards against stale waiver entries: every
+// design with waivers must actually waive at least one finding, so the
+// registry cannot silently mask nothing (or hide a fixed design).
+func TestBuiltinWaiversAllUsed(t *testing.T) {
+	for _, b := range designs.AllBenchmarks() {
+		ws := lint.BuiltinWaivers(b.Name)
+		if len(ws) == 0 {
+			continue
+		}
+		d, err := b.Elaborate()
+		if err != nil {
+			t.Fatalf("elaborate %s: %v", b.Name, err)
+		}
+		res := lint.Run(d, lint.Options{
+			ExternalReads: b.ExternalSignals(),
+			Waivers:       ws,
+		})
+		if res.Waived == 0 {
+			t.Errorf("%s: waiver list present but nothing waived — stale registry entry", b.Name)
+		}
+	}
+}
+
+// TestJSONOutputStable asserts -json output is deterministic across
+// runs and round-trips through encoding/json with the documented field
+// names intact.
+func TestJSONOutputStable(t *testing.T) {
+	lintAll := func() []byte {
+		var results []*lint.Result
+		for _, b := range designs.AllBenchmarks() {
+			d, err := b.Elaborate()
+			if err != nil {
+				t.Fatalf("elaborate %s: %v", b.Name, err)
+			}
+			results = append(results, lint.Run(d, lint.Options{
+				ExternalReads: b.ExternalSignals(),
+				Waivers:       lint.BuiltinWaivers(b.Name),
+			}))
+		}
+		out, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return out
+	}
+	run1 := lintAll()
+	run2 := lintAll()
+	if !bytes.Equal(run1, run2) {
+		t.Fatalf("JSON output differs between identical runs")
+	}
+	var decoded []struct {
+		Design string `json:"design"`
+		Diags  []struct {
+			Rule     string `json:"rule"`
+			Severity string `json:"severity"`
+		} `json:"diags"`
+		Waived int `json:"waived"`
+	}
+	if err := json.Unmarshal(run1, &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(decoded) != len(designs.AllBenchmarks()) {
+		t.Fatalf("expected one result per benchmark, got %d", len(decoded))
+	}
+	for i, b := range designs.AllBenchmarks() {
+		if decoded[i].Design != b.Top {
+			t.Fatalf("result %d: design %q, want top %q", i, decoded[i].Design, b.Top)
+		}
+	}
+}
