@@ -1,5 +1,9 @@
 // Command benchtab regenerates the paper's evaluation tables and
-// figures (§5) at a configurable budget and prints them as text.
+// figures (§5) at a configurable budget and prints them as text. With
+// -metrics it instead converts a campaign's telemetry snapshot (the
+// JSON written by symbfuzz -metrics / served at /status) into a
+// BENCH_obs.json performance record: vectors/sec, solves/sec, mean
+// solve latency — the repo's bench trajectory format.
 //
 // Usage:
 //
@@ -7,25 +11,38 @@
 //	benchtab -exp table2 -budget 60000 -runs 4
 //	benchtab -exp fig4 -budget 20000
 //	benchtab -exp all
+//	benchtab -metrics metrics.json -obs-out BENCH_obs.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|all")
-		budget = flag.Uint64("budget", 0, "vector budget per IP run (0 = defaults)")
-		soc    = flag.Uint64("soc-budget", 0, "vector budget for SoC curves")
-		runs   = flag.Int("runs", 0, "runs averaged (figure 4, table 2)")
-		seed   = flag.Int64("seed", 1, "base seed")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|all")
+		budget  = flag.Uint64("budget", 0, "vector budget per IP run (0 = defaults)")
+		soc     = flag.Uint64("soc-budget", 0, "vector budget for SoC curves")
+		runs    = flag.Int("runs", 0, "runs averaged (figure 4, table 2)")
+		seed    = flag.Int64("seed", 1, "base seed")
+		metrics = flag.String("metrics", "", "telemetry snapshot JSON (from symbfuzz -metrics); emits a perf record instead of running experiments")
+		obsOut  = flag.String("obs-out", "BENCH_obs.json", "perf record output path (with -metrics)")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		if err := emitObsBench(*metrics, *obsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	c := eval.Config{
 		BudgetIP:  *budget,
@@ -97,4 +114,83 @@ func main() {
 		eval.WriteScalability(os.Stdout, s)
 		return nil
 	})
+}
+
+// ObsBench is the BENCH_obs.json performance record derived from one
+// campaign's telemetry snapshot.
+type ObsBench struct {
+	Schema string `json:"schema"`
+
+	WallNS         int64   `json:"wall_ns"`
+	Vectors        int64   `json:"vectors"`
+	Cycles         int64   `json:"cycles"`
+	CoveragePoints int64   `json:"coverage_points"`
+	VectorsPerSec  float64 `json:"vectors_per_sec"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+
+	SolverDispatches int64   `json:"solver_dispatches"`
+	SolvesPerSec     float64 `json:"solves_per_sec"`
+	MeanSolveNS      int64   `json:"mean_solve_ns"`
+	MeanBlastNS      int64   `json:"mean_blast_ns"`
+	MeanIntervalNS   int64   `json:"mean_interval_ns"`
+
+	Rollbacks       int64 `json:"rollbacks"`
+	MeanRollbackNS  int64 `json:"mean_rollback_ns"`
+	Checkpoints     int64 `json:"checkpoints"`
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	CovDropped      int64 `json:"cov_events_dropped"`
+	BugsFound       int64 `json:"bugs_found"`
+}
+
+// emitObsBench converts a telemetry snapshot into the perf record.
+func emitObsBench(metricsPath, outPath string) error {
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		return err
+	}
+	var snap obs.StatusSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: %w", metricsPath, err)
+	}
+	if snap.Schema != obs.SnapshotSchema {
+		return fmt.Errorf("%s: schema %q, want %q", metricsPath, snap.Schema, obs.SnapshotSchema)
+	}
+	m := snap.Metrics
+	perSec := func(n int64) float64 {
+		if snap.UptimeNS == 0 {
+			return 0
+		}
+		return float64(n) / (float64(snap.UptimeNS) / 1e9)
+	}
+	hist := func(name string) obs.HistogramSnapshot { return m.Histograms[name] }
+	b := ObsBench{
+		Schema:           "symbfuzz-bench-obs/v1",
+		WallNS:           snap.UptimeNS,
+		Vectors:          m.Gauges["vectors_applied"],
+		Cycles:           m.Gauges["cycles"],
+		CoveragePoints:   m.Gauges["coverage_points"],
+		VectorsPerSec:    perSec(m.Gauges["vectors_applied"]),
+		CyclesPerSec:     perSec(m.Gauges["cycles"]),
+		SolverDispatches: m.Counters["solver_dispatches"],
+		SolvesPerSec:     perSec(m.Counters["solver_dispatches"]),
+		MeanSolveNS:      hist("solver_cdcl_ns").Mean + hist("solver_blast_ns").Mean,
+		MeanBlastNS:      hist("solver_blast_ns").Mean,
+		MeanIntervalNS:   hist("fuzz_interval_ns").Mean,
+		Rollbacks:        m.Counters["rollbacks_snapshot"] + m.Counters["rollbacks_replay"],
+		MeanRollbackNS:   hist("rollback_ns").Mean,
+		Checkpoints:      m.Counters["checkpoints"],
+		CheckpointBytes:  m.Counters["checkpoint_bytes"],
+		CovDropped:       m.Counters["cov_events_dropped"],
+		BugsFound:        m.Counters["bugs_found"],
+	}
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %.0f vectors/sec, %.2f solves/sec, mean solve %dus over %.1fs\n",
+		outPath, b.VectorsPerSec, b.SolvesPerSec, b.MeanSolveNS/1000, float64(b.WallNS)/1e9)
+	return nil
 }

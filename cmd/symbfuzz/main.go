@@ -5,6 +5,7 @@
 //
 //	symbfuzz -bench opentitan_mini -vectors 20000
 //	symbfuzz -src design.sv -top mymodule -vectors 50000
+//	symbfuzz -bench aes -trace out.jsonl -metrics metrics.json -status :6060
 //
 // Built-in benchmarks: alu, opentitan_mini, opentitan_mini_fixed,
 // cva6_mini, rocket_mini, mor1kx_mini, and each SoC IP by module name
@@ -13,10 +14,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	symbfuzz "repro"
 	"repro/internal/designs"
@@ -55,6 +58,9 @@ func main() {
 		fixed     = flag.Bool("fixed", false, "use the bug-free design variant")
 		replay    = flag.Bool("replay", false, "use reset+replay instead of snapshots")
 		keepGoing = flag.Bool("keep-going", true, "continue after full CFG coverage")
+		traceOut  = flag.String("trace", "", "write the JSONL campaign event trace to this file")
+		metricOut = flag.String("metrics", "", "write the final metrics/status snapshot JSON to this file")
+		statusOn  = flag.String("status", "", "serve the live status+pprof endpoint on this address (e.g. :6060)")
 	)
 	flag.Var(&extraProps, "prop",
 		`extra security property, repeatable: -prop 'name=err |-> en;!rst_ni'`)
@@ -66,6 +72,32 @@ func main() {
 		os.Exit(1)
 	}
 	b.Properties = append(b.Properties, extraProps...)
+
+	// Telemetry: build an observer when any observability flag is set;
+	// nil otherwise (the engine's zero-overhead fast path).
+	var o *symbfuzz.Observer
+	if *traceOut != "" || *metricOut != "" || *statusOn != "" {
+		opts := symbfuzz.ObserverOptions{}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "symbfuzz:", err)
+				os.Exit(1)
+			}
+			opts.Tracer = symbfuzz.NewJSONLTracer(f)
+		}
+		o = symbfuzz.NewObserver(opts)
+		if *statusOn != "" {
+			srv, err := symbfuzz.ServeStatus(*statusOn, o)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "symbfuzz:", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Printf("status endpoint: http://%s/status (pprof at /debug/pprof/)\n", srv.Addr())
+		}
+	}
+
 	rep, err := symbfuzz.Fuzz(b, symbfuzz.Config{
 		Interval:              *interval,
 		Threshold:             *threshold,
@@ -73,10 +105,24 @@ func main() {
 		Seed:                  *seed,
 		UseSnapshots:          !*replay,
 		ContinueAfterCoverage: *keepGoing,
+		Obs:                   o,
 	})
+	if cerr := o.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "symbfuzz: trace:", cerr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "symbfuzz:", err)
 		os.Exit(1)
+	}
+	if *metricOut != "" {
+		data, merr := json.MarshalIndent(o.Snapshot(), "", "  ")
+		if merr == nil {
+			merr = os.WriteFile(*metricOut, append(data, '\n'), 0o644)
+		}
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "symbfuzz: metrics:", merr)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("benchmark: %s (%d LoC)\n", b.Name, b.LoC)
@@ -89,6 +135,11 @@ func main() {
 		rep.SymbolicInvocations, rep.SolvedPlans, rep.Rollbacks)
 	fmt.Printf("static pruning: %d unreachable CFG nodes excluded, %d solver dispatches avoided\n",
 		rep.PrunedTargets, rep.PrunedSolves)
+	if rep.CovEventsDropped > 0 {
+		fmt.Printf("warning: coverage monitor dropped %d branch events (buffer cap); tuple metric undercounts\n",
+			rep.CovEventsDropped)
+	}
+	printTimings(rep)
 	if len(rep.Bugs) == 0 {
 		fmt.Println("no property violations detected")
 		return
@@ -96,6 +147,40 @@ func main() {
 	fmt.Printf("\n%-36s %-12s %10s %8s\n", "property", "CWE", "vectors", "cycle")
 	for _, bug := range rep.Bugs {
 		fmt.Printf("%-36s %-12s %10d %8d\n", bug.Property, bug.CWE, bug.Vectors, bug.Cycle)
+	}
+}
+
+// printTimings renders the phase-time table: where the campaign's wall
+// clock went (Fig. 4's time axis) and the aggregate solver statistics.
+func printTimings(rep *symbfuzz.Report) {
+	t := rep.Timings
+	dur := func(ns int64) string { return time.Duration(ns).Round(time.Microsecond).String() }
+	pct := func(ns int64) float64 {
+		if t.TotalNS == 0 {
+			return 0
+		}
+		return 100 * float64(ns) / float64(t.TotalNS)
+	}
+	fmt.Println("phase times:")
+	fmt.Printf("  %-22s %12s %7s\n", "phase", "wall", "%")
+	fmt.Printf("  %-22s %12s %7.1f\n", "fuzz intervals", dur(t.FuzzNS), pct(t.FuzzNS))
+	fmt.Printf("  %-22s %12s %7.1f\n", "symbolic guidance", dur(t.SymbolicNS), pct(t.SymbolicNS))
+	fmt.Printf("  %-22s %12s %7.1f\n", "  rollback (subset)", dur(t.RollbackNS), pct(t.RollbackNS))
+	if t.VCDNS > 0 {
+		fmt.Printf("  %-22s %12s %7.1f\n", "vcd round trip", dur(t.VCDNS), pct(t.VCDNS))
+	}
+	fmt.Printf("  %-22s %12s %7.1f\n", "total", dur(t.TotalNS), 100.0)
+	s := t.Solve
+	if s.Dispatches > 0 {
+		fmt.Printf("solver: %d dispatches (%d sat, %d unsat), mean latency %s (blast %s, cdcl %s)\n",
+			s.Dispatches, s.Sat, s.Unsat, dur(s.MeanSolveNS()),
+			dur(s.BlastNS/int64(s.Dispatches)), dur(s.CDCLNS/int64(s.Dispatches)))
+		fmt.Printf("solver: %d conflicts, %d decisions, %d propagations; %d clauses, %d vars summed over dispatches\n",
+			s.Conflicts, s.Decisions, s.Propagations, s.Clauses, s.Vars)
+	}
+	if t.CheckpointBytes > 0 {
+		fmt.Printf("checkpoint store: %.1f KiB architectural state across snapshots\n",
+			float64(t.CheckpointBytes)/1024)
 	}
 }
 

@@ -1,0 +1,87 @@
+// Command tracecheck validates a SymbFuzz campaign trace (the JSONL
+// stream written by symbfuzz -trace) against the event schema: every
+// line a known typed event, monotonic timestamps and vector counts,
+// campaign_start/campaign_end framing. With -metrics it additionally
+// cross-checks the trace's final coverage_points against the metrics
+// snapshot's coverage_points gauge, so trace and registry reconcile.
+//
+// Usage:
+//
+//	tracecheck trace.jsonl
+//	tracecheck -metrics metrics.json trace.jsonl
+//	symbfuzz ... -trace /dev/stdout | tracecheck -
+//
+// Exit status 0 on a schema-valid trace, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	metrics := flag.String("metrics", "", "metrics snapshot JSON to reconcile coverage_points against")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-metrics metrics.json] <trace.jsonl | ->")
+		os.Exit(1)
+	}
+
+	var r io.Reader
+	if flag.Arg(0) == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	sum, err := obs.ValidateTrace(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: INVALID:", err)
+		os.Exit(1)
+	}
+
+	if *metrics != "" {
+		data, err := os.ReadFile(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+		var snap obs.StatusSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck: metrics:", err)
+			os.Exit(1)
+		}
+		if got := snap.Metrics.Gauges["coverage_points"]; got != int64(sum.FinalPoints) {
+			fmt.Fprintf(os.Stderr, "tracecheck: INVALID: trace final coverage_points %d != metrics gauge %d\n",
+				sum.FinalPoints, got)
+			os.Exit(1)
+		}
+		if got := snap.Metrics.Gauges["vectors_applied"]; got != int64(sum.FinalVectors) {
+			fmt.Fprintf(os.Stderr, "tracecheck: INVALID: trace final vectors %d != metrics gauge %d\n",
+				sum.FinalVectors, got)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("valid trace: %d events, %d vectors, %d coverage points, %d bugs\n",
+		sum.Events, sum.FinalVectors, sum.FinalPoints, sum.Bugs)
+	for _, typ := range []string{
+		obs.EvIntervalEnd, obs.EvStagnation, obs.EvSolverDisp, obs.EvPlanApplied,
+		obs.EvRollback, obs.EvCheckpoint, obs.EvPruneSkip, obs.EvBugFound, obs.EvCovDropped,
+	} {
+		if n := sum.ByType[typ]; n > 0 {
+			fmt.Printf("  %-20s %6d\n", typ, n)
+		}
+	}
+}

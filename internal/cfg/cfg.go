@@ -484,6 +484,15 @@ type StepPlan struct {
 // "substitutes concrete register values" (§3) — which makes plans exact
 // on multi-cluster designs. Returns nil when no such input exists.
 func (g *Graph) SolveStep(cur, want, context map[int]logic.BV, seed int64) *StepPlan {
+	plan, _ := g.SolveStepStats(cur, want, context, seed)
+	return plan
+}
+
+// SolveStepStats is SolveStep plus the dispatch's solver statistics
+// (conflicts, decisions, propagations, formula size, bit-blast and CDCL
+// wall time), which the engine surfaces through the telemetry layer and
+// the campaign report.
+func (g *Graph) SolveStepStats(cur, want, context map[int]logic.BV, seed int64) (*StepPlan, smt.SolveStats) {
 	node := &Node{Vals: map[int]logic.BV{}}
 	for _, cr := range g.Regs {
 		if v, ok := cur[cr.Sig.Index]; ok {
@@ -519,7 +528,7 @@ func (g *Graph) SolveStep(cur, want, context map[int]logic.BV, seed int64) *Step
 		}
 	}
 	if s.Solve() != smt.Sat {
-		return nil
+		return nil, s.LastStats()
 	}
 	m := s.Model()
 	plan := &StepPlan{Inputs: map[string]logic.BV{}}
@@ -528,7 +537,7 @@ func (g *Graph) SolveStep(cur, want, context map[int]logic.BV, seed int64) *Step
 			plan.Inputs[name[len(InVar):]] = v
 		}
 	}
-	return plan
+	return plan, s.LastStats()
 }
 
 // NodeOf returns the node ID matching the given control valuation, or -1.

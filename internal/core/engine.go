@@ -13,16 +13,20 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"log"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/cov"
 	"repro/internal/elab"
 	"repro/internal/lint"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/sim"
+	"repro/internal/smt"
 	"repro/internal/uvm"
 	"repro/internal/vcd"
 )
@@ -64,6 +68,10 @@ type Config struct {
 	// lint pass proved unreachable, before any solver dispatch (the
 	// ablation keeps them and lets the solver fail on each).
 	DisablePruning bool
+	// Obs receives campaign telemetry: phase metrics, the typed event
+	// trace, and live status gauges. nil disables (the fast path —
+	// coarse Report.Timings are still collected).
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +114,77 @@ type BugRecord struct {
 	Vectors uint64
 }
 
+// SolveTotals aggregates per-dispatch solver statistics over a campaign
+// (Table 3's constraint counts; the §5 solve-latency breakdown).
+type SolveTotals struct {
+	Dispatches int
+	Sat        int
+	Unsat      int
+
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	// Clauses / Vars sum the formula size at each dispatch.
+	Clauses int64
+	Vars    int64
+
+	// BlastNS / CDCLNS split solve wall time between Tseitin
+	// bit-blasting and the CDCL search.
+	BlastNS int64
+	CDCLNS  int64
+}
+
+func (t *SolveTotals) add(st smt.SolveStats) {
+	t.Dispatches++
+	if st.Outcome == smt.Sat {
+		t.Sat++
+	} else {
+		t.Unsat++
+	}
+	t.Conflicts += st.Conflicts
+	t.Decisions += st.Decisions
+	t.Propagations += st.Propagations
+	t.Clauses += int64(st.Clauses)
+	t.Vars += int64(st.Vars)
+	t.BlastNS += st.BlastNS
+	t.CDCLNS += st.SolveNS
+}
+
+// MeanSolveNS is the mean wall time of one solver dispatch.
+func (t SolveTotals) MeanSolveNS() int64 {
+	if t.Dispatches == 0 {
+		return 0
+	}
+	return (t.BlastNS + t.CDCLNS) / int64(t.Dispatches)
+}
+
+// Timings breaks a campaign's wall time down by engine phase — where
+// Fig. 4's vectors went — plus the solver aggregate and checkpoint
+// memory cost. Collected unconditionally (one clock read per phase
+// boundary); the fine-grained histograms live on the optional Observer.
+type Timings struct {
+	// TotalNS is the whole Run call.
+	TotalNS int64
+	// FuzzNS is time spent applying constrained-random vectors
+	// (Algorithm 1 line 8), including checkpoint capture.
+	FuzzNS int64
+	// SymbolicNS is time in the guidance stage (lines 14–22):
+	// solver dispatches, plan application and backtracking.
+	SymbolicNS int64
+	// RollbackNS is checkpoint re-entry cost (snapshot restore or
+	// reset+replay), a subset of SymbolicNS.
+	RollbackNS int64
+	// VCDNS is the dump-file write+read round trip (line 9).
+	VCDNS int64
+
+	// CheckpointBytes sums the architectural bytes of every snapshot
+	// retained by the checkpoint store (0 in replay mode).
+	CheckpointBytes int64
+
+	// Solve aggregates the per-dispatch SMT statistics.
+	Solve SolveTotals
+}
+
 // Report is Algorithm 1's output R plus run statistics.
 type Report struct {
 	Bugs        []BugRecord
@@ -132,6 +211,15 @@ type Report struct {
 	// edge list dropped edges into pruned targets.
 	PrunedSolves int
 
+	// CovEventsDropped counts coverage branch events discarded at the
+	// monitor's event-buffer cap; nonzero means the interaction-tuple
+	// metric undercounts (see cov.EventCap).
+	CovEventsDropped uint64
+
+	// Timings is the campaign's phase-time and solver-statistics
+	// breakdown.
+	Timings Timings
+
 	GraphStats cfg.Stats
 }
 
@@ -154,6 +242,15 @@ type Engine struct {
 	rng         *rand.Rand
 	vcdBuf      bytes.Buffer
 	vcdWriter   *vcd.Writer
+
+	// obs is the telemetry sink; nil disables (all call sites are
+	// nil-safe).
+	obs *obs.Observer
+	// lastDrops / dropWarned track the coverage monitor's drop counter
+	// between intervals so drops are reported incrementally and the
+	// warning fires once.
+	lastDrops  uint64
+	dropWarned bool
 }
 
 // New builds the engine: UVM environment, reset, transition relation,
@@ -207,7 +304,9 @@ func New(d *elab.Design, properties []*props.Property, c Config) (*Engine, error
 		checkpoints: map[[2]int]*checkpoint{},
 		report:      &Report{GraphStats: part.Stats()},
 		rng:         rand.New(rand.NewSource(c.Seed ^ 0x51bb)),
+		obs:         c.Obs,
 	}
+	env.Agent.Sequencer.Obs = c.Obs
 	if !c.DisablePruning {
 		e.markPruned(d, resetVals)
 	}
@@ -267,9 +366,14 @@ func (e *Engine) Run() (*Report, error) {
 	bugSeen := 0
 	var nextCurve uint64
 
+	runStart := time.Now()
+	e.obs.CampaignStart(e.report.Vectors, e.cover.Points())
+
 	for e.report.Vectors < c.MaxVectors &&
 		(c.ContinueAfterCoverage || !e.cover.AllEdgesCovered()) {
 		// --- one interval of I cycles (Alg. 1 line 8) ---
+		e.obs.IntervalStart(e.report.Vectors, e.cover.Points())
+		ivStart := time.Now()
 		for i := 0; i < c.Interval && e.report.Vectors < c.MaxVectors; i++ {
 			it := seq.NextItem()
 			if err := e.env.Agent.Driver.Apply(it); err != nil {
@@ -280,9 +384,12 @@ func (e *Engine) Run() (*Report, error) {
 			e.maybeCheckpoint()
 			if e.report.Vectors >= nextCurve {
 				e.report.Curve = append(e.report.Curve, CurvePoint{Vectors: e.report.Vectors, Points: e.cover.Points()})
+				e.obs.AddCurvePoint(e.report.Vectors, e.cover.Points())
 				nextCurve += c.CurveStride
 			}
 		}
+		ivNS := int64(time.Since(ivStart))
+		e.report.Timings.FuzzNS += ivNS
 		if c.DumpVCD {
 			e.scanDump()
 		}
@@ -290,9 +397,13 @@ func (e *Engine) Run() (*Report, error) {
 		vs := e.env.Violations()
 		for ; bugSeen < len(vs); bugSeen++ {
 			e.report.Bugs = append(e.report.Bugs, BugRecord{Violation: vs[bugSeen], Vectors: e.report.Vectors})
+			e.obs.BugFound(vs[bugSeen].Property, e.report.Vectors, e.cover.Points())
 		}
 		// --- stagnation bookkeeping (lines 13–22) ---
 		points := e.cover.Points()
+		e.obs.IntervalEnd(e.report.Vectors, points, ivNS)
+		e.obs.Cycles(e.report.Cycles)
+		e.checkDrops(points)
 		if points > lastPoints {
 			lastPoints = points
 			stagnant = 0
@@ -304,15 +415,41 @@ func (e *Engine) Run() (*Report, error) {
 		}
 		stagnant = 0
 		e.report.SymbolicInvocations++
+		e.obs.Stagnation(e.report.Vectors, points)
+		symStart := time.Now()
 		e.guide()
+		e.report.Timings.SymbolicNS += int64(time.Since(symStart))
 	}
 	// Collect violations raised after the last interval boundary.
 	vs := e.env.Violations()
 	for ; bugSeen < len(vs); bugSeen++ {
 		e.report.Bugs = append(e.report.Bugs, BugRecord{Violation: vs[bugSeen], Vectors: e.report.Vectors})
+		e.obs.BugFound(vs[bugSeen].Property, e.report.Vectors, e.cover.Points())
 	}
 	e.finishReport()
+	e.report.Timings.TotalNS = int64(time.Since(runStart))
+	e.obs.Cycles(e.report.Cycles)
+	// Mirror finishReport's closing curve sample so the live curve's
+	// final point matches the report (and the campaign_end event).
+	e.obs.AddCurvePoint(e.report.Vectors, e.report.FinalPoints)
+	e.obs.CampaignEnd(e.report.Vectors, e.report.FinalPoints)
 	return e.report, nil
+}
+
+// checkDrops reports coverage-monitor buffer overflow incrementally:
+// each interval's newly dropped branch events feed the
+// cov_events_dropped metric, and the first occurrence warns once.
+func (e *Engine) checkDrops(points int) {
+	d := e.cover.Dropped
+	if d <= e.lastDrops {
+		return
+	}
+	e.obs.CovDropped(int64(d-e.lastDrops), e.report.Vectors, points)
+	e.lastDrops = d
+	if !e.dropWarned {
+		e.dropWarned = true
+		log.Printf("core: coverage monitor dropped %d branch events at the %d-event buffer cap; interaction tuples undercount this campaign", d, cov.EventCap)
+	}
 }
 
 // maybeCheckpoint records the revisit state the first time each CFG
@@ -331,13 +468,17 @@ func (e *Engine) maybeCheckpoint() {
 			continue
 		}
 		ck := &checkpoint{graph: gi, node: node, prefix: append([]*uvm.Item(nil), e.prefix...)}
+		var snapBytes int64
 		if e.cfgc.UseSnapshots {
 			if snap == nil {
 				snap = e.env.Sim.Snapshot()
 			}
 			ck.snap = snap
+			snapBytes = snap.Bytes()
 		}
 		e.checkpoints[key] = ck
+		e.report.Timings.CheckpointBytes += snapBytes
+		e.obs.CheckpointTaken(snapBytes, e.report.Vectors, e.cover.Points())
 		if g.Checkpoints[node] {
 			e.report.CheckpointsTaken++
 		}
@@ -414,6 +555,7 @@ func (e *Engine) uncoveredFrom(gi, node int, count bool) []cfg.Edge {
 		if e.pruned[gi][edge.To] {
 			if count {
 				e.report.PrunedSolves++
+				e.obs.PruneSkip(gi, edge.To, e.report.Vectors, e.cover.Points())
 			}
 			continue
 		}
@@ -536,13 +678,25 @@ func (e *Engine) tryEdges(gi, node int) bool {
 		for _, sig := range e.part.Design.Registers() {
 			context[sig.Index] = e.env.Sim.Get(sig.Index)
 		}
-		plan := g.SolveStep(curVals, g.Nodes[edge.To].Vals, context,
+		plan, st := g.SolveStepStats(curVals, g.Nodes[edge.To].Vals, context,
 			e.cfgc.Seed+int64(e.report.SymbolicInvocations))
+		e.report.Timings.Solve.add(st)
+		e.obs.SolverDispatch(gi, e.report.Vectors, e.cover.Points(), obs.SolveStats{
+			Outcome:      st.Outcome.String(),
+			Conflicts:    st.Conflicts,
+			Decisions:    st.Decisions,
+			Propagations: st.Propagations,
+			Clauses:      st.Clauses,
+			Vars:         st.Vars,
+			BlastNS:      st.BlastNS,
+			SolveNS:      st.SolveNS,
+		})
 		if plan == nil {
 			continue
 		}
 		e.report.SolvedPlans++
 		if e.applyPlan(gi, plan, edge) {
+			e.obs.PlanApplied(gi, edge.ID, e.report.Vectors, e.cover.Points())
 			return true
 		}
 	}
@@ -602,6 +756,7 @@ func (e *Engine) findTarget(gi, cur int) *checkpoint {
 // rollback re-enters a checkpoint: snapshot restore in the fast path, or
 // reset plus input-prefix replay (the recorded path of §4.5).
 func (e *Engine) rollback(ck *checkpoint) {
+	start := time.Now()
 	e.report.Rollbacks++
 	e.env.Agent.Sequencer.ClearPinned()
 	if e.cfgc.UseSnapshots && ck.snap != nil {
@@ -609,6 +764,9 @@ func (e *Engine) rollback(ck *checkpoint) {
 		e.prefix = append(e.prefix[:0], ck.prefix...)
 		e.cover.SyncPosition(e.env.Sim)
 		e.resetCheckerHistory()
+		d := int64(time.Since(start))
+		e.report.Timings.RollbackNS += d
+		e.obs.Rollback("snapshot", d, e.report.Vectors, e.cover.Points())
 		return
 	}
 	_ = e.env.Reset()
@@ -623,6 +781,9 @@ func (e *Engine) rollback(ck *checkpoint) {
 	}
 	e.prefix = append(e.prefix[:0], ck.prefix...)
 	e.cover.SyncPosition(e.env.Sim)
+	d := int64(time.Since(start))
+	e.report.Timings.RollbackNS += d
+	e.obs.Rollback("replay", d, e.report.Vectors, e.cover.Points())
 }
 
 // applyPlan drives the solved stimulus vector directly, reporting
@@ -693,15 +854,21 @@ func (e *Engine) scanDump() {
 	if e.vcdWriter == nil {
 		return
 	}
+	start := time.Now()
 	_ = e.vcdWriter.Flush()
-	e.report.VCDBytes += e.vcdBuf.Len()
-	if e.vcdBuf.Len() > 0 {
+	n := e.vcdBuf.Len()
+	e.report.VCDBytes += n
+	if n > 0 {
 		_, _ = vcd.Read(bytes.NewReader(e.vcdBuf.Bytes()))
 	}
 	e.vcdBuf.Reset()
+	d := int64(time.Since(start))
+	e.report.Timings.VCDNS += d
+	e.obs.VCDRoundTrip(int64(n), d)
 }
 
 func (e *Engine) finishReport() {
+	e.report.CovEventsDropped = e.cover.Dropped
 	e.report.FinalPoints = e.cover.Points()
 	e.report.NodesCovered, e.report.NodesTotal = e.cover.NodeCoverage()
 	e.report.EdgesCovered, e.report.EdgesTotal = e.cover.EdgeCoverage()

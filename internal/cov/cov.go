@@ -64,6 +64,12 @@ type CFGCov struct {
 	// Cartesian state space.
 	Tuples map[string]bool
 
+	// Dropped counts branch events discarded at the event-buffer cap;
+	// dropped events lose their interaction tuples for the cycle, so a
+	// nonzero count means the tuple metric undercounts. The engine
+	// reports it as the cov_events_dropped metric.
+	Dropped uint64
+
 	// branchRegs[id] lists the control registers branch id reads.
 	branchRegs [][]int
 
@@ -112,15 +118,27 @@ func NewCFGCov(p *cfg.Partition) *CFGCov {
 // Name implements Monitor.
 func (c *CFGCov) Name() string { return "symbfuzz-cfg" }
 
-// Branch implements Monitor.
-func (c *CFGCov) Branch(id, arm int) { c.events = append(c.events, [2]int{id, arm}) }
+// Branch implements Monitor. The event buffer is hard-capped at
+// maxEventCap per drain window; events past the cap are dropped and
+// counted in Dropped rather than silently discarded, so the engine can
+// surface a cov_events_dropped metric and warn.
+func (c *CFGCov) Branch(id, arm int) {
+	if len(c.events) >= maxEventCap {
+		c.Dropped++
+		return
+	}
+	c.events = append(c.events, [2]int{id, arm})
+}
 
-// maxEventCap bounds the branch-event buffer's retained capacity. A
-// cycle with an unusually deep branch cascade (or a burst of cycles
-// before a Sample) can balloon the buffer; shrinking it back on drain
-// keeps a long campaign's footprint proportional to a typical cycle
-// instead of its worst one.
+// maxEventCap bounds the branch-event buffer. A cycle with an
+// unusually deep branch cascade (or a burst of cycles before a Sample)
+// would otherwise balloon the buffer; capping it keeps a long
+// campaign's footprint proportional to a typical cycle instead of its
+// worst one. Overflow is counted, not silent (see Branch/Dropped).
 const maxEventCap = 4096
+
+// EventCap exposes the branch-event buffer cap (engine warnings).
+const EventCap = maxEventCap
 
 // drainEvents empties the event buffer, releasing oversized backing
 // arrays instead of retaining them for the rest of the run.

@@ -207,3 +207,23 @@ func TestMultiFansOut(t *testing.T) {
 		t.Error("name")
 	}
 }
+
+func TestBranchEventCapCountsDrops(t *testing.T) {
+	f := setup(t)
+	c := NewCFGCov(f.g)
+	// Flood one drain window past the cap: overflow must be counted in
+	// Dropped, not silently discarded.
+	const extra = 37
+	for i := 0; i < EventCap+extra; i++ {
+		c.Branch(0, 0)
+	}
+	if c.Dropped != extra {
+		t.Errorf("Dropped = %d, want %d", c.Dropped, extra)
+	}
+	// Draining the buffer reopens the window; Dropped stays cumulative.
+	c.Sample(f.s)
+	c.Branch(0, 0)
+	if c.Dropped != extra {
+		t.Errorf("Dropped after drain = %d, want %d", c.Dropped, extra)
+	}
+}

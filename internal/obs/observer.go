@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SolveStats mirrors one solver dispatch's statistics for telemetry
+// (the engine converts from smt.SolveStats so this package stays
+// dependency-free).
+type SolveStats struct {
+	Outcome      string // "sat" or "unsat"
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Clauses      int
+	Vars         int
+	BlastNS      int64
+	SolveNS      int64
+}
+
+// CurvePoint is one live coverage-curve sample.
+type CurvePoint struct {
+	Vectors uint64 `json:"vectors"`
+	Points  int    `json:"points"`
+}
+
+// StatusSnapshot is the live status surface's JSON document: registry
+// state plus the coverage curve so far.
+type StatusSnapshot struct {
+	Schema   string           `json:"schema"`
+	UptimeNS int64            `json:"uptime_ns"`
+	Metrics  RegistrySnapshot `json:"metrics"`
+	Curve    []CurvePoint     `json:"curve,omitempty"`
+}
+
+// SnapshotSchema versions the status/metrics JSON document.
+const SnapshotSchema = "symbfuzz-obs/v1"
+
+// Options configures an Observer.
+type Options struct {
+	// Registry for metrics; nil creates a fresh one.
+	Registry *Registry
+	// Tracer for the event stream; nil disables tracing (metrics only).
+	Tracer Tracer
+	// Now returns monotonic nanoseconds since an arbitrary origin;
+	// nil uses the real clock. Tests inject a deterministic clock.
+	Now func() int64
+}
+
+// Observer is the engine-facing telemetry facade: a metrics registry
+// with pre-bound instruments plus an optional event tracer. All
+// methods are safe on a nil receiver — a nil *Observer is the zero-cost
+// disabled state — and safe for concurrent use.
+type Observer struct {
+	reg    *Registry
+	tracer Tracer
+	now    func() int64
+	origin int64
+
+	mu    sync.Mutex
+	curve []CurvePoint
+
+	// Pre-bound instruments (resolved once; lock-free afterwards).
+	cIntervals *Counter
+	hInterval  *Histogram
+	cSolves    *Counter
+	cSat       *Counter
+	cUnsat     *Counter
+	hBlast     *Histogram
+	hCDCL      *Histogram
+	cConflicts *Counter
+	cDecisions *Counter
+	cProps     *Counter
+	cClauses   *Counter
+	cVars      *Counter
+	cPlans     *Counter
+	hRollback  *Histogram
+	cRollSnap  *Counter
+	cRollRepl  *Counter
+	cCkpts     *Counter
+	cCkptBytes *Counter
+	cCovDrop   *Counter
+	cVCDBytes  *Counter
+	hVCD       *Histogram
+	cStagnant  *Counter
+	cPruneSkip *Counter
+	cBugs      *Counter
+	cSeqItems  *Counter
+	hSeqSolve  *Histogram
+	gVectors   *Gauge
+	gPoints    *Gauge
+	gCycles    *Gauge
+}
+
+// New builds an Observer. The zero Options value yields a metrics-only
+// observer on a fresh registry with the real clock.
+func New(opts Options) *Observer {
+	reg := opts.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	now := opts.Now
+	if now == nil {
+		start := time.Now()
+		now = func() int64 { return int64(time.Since(start)) }
+	}
+	o := &Observer{reg: reg, tracer: opts.Tracer, now: now}
+	o.origin = now()
+	o.cIntervals = reg.Counter("fuzz_intervals")
+	o.hInterval = reg.Histogram("fuzz_interval_ns", nil)
+	o.cSolves = reg.Counter("solver_dispatches")
+	o.cSat = reg.Counter("solver_sat")
+	o.cUnsat = reg.Counter("solver_unsat")
+	o.hBlast = reg.Histogram("solver_blast_ns", nil)
+	o.hCDCL = reg.Histogram("solver_cdcl_ns", nil)
+	o.cConflicts = reg.Counter("solver_conflicts")
+	o.cDecisions = reg.Counter("solver_decisions")
+	o.cProps = reg.Counter("solver_propagations")
+	o.cClauses = reg.Counter("solver_clauses")
+	o.cVars = reg.Counter("solver_vars")
+	o.cPlans = reg.Counter("plans_applied")
+	o.hRollback = reg.Histogram("rollback_ns", nil)
+	o.cRollSnap = reg.Counter("rollbacks_snapshot")
+	o.cRollRepl = reg.Counter("rollbacks_replay")
+	o.cCkpts = reg.Counter("checkpoints")
+	o.cCkptBytes = reg.Counter("checkpoint_bytes")
+	o.cCovDrop = reg.Counter("cov_events_dropped")
+	o.cVCDBytes = reg.Counter("vcd_bytes")
+	o.hVCD = reg.Histogram("vcd_roundtrip_ns", nil)
+	o.cStagnant = reg.Counter("stagnation_events")
+	o.cPruneSkip = reg.Counter("prune_skips")
+	o.cBugs = reg.Counter("bugs_found")
+	o.cSeqItems = reg.Counter("seq_items")
+	o.hSeqSolve = reg.Histogram("seq_solve_ns", nil)
+	o.gVectors = reg.Gauge("vectors_applied")
+	o.gPoints = reg.Gauge("coverage_points")
+	o.gCycles = reg.Gauge("cycles")
+	return o
+}
+
+// Registry exposes the observer's registry (nil-safe).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Now returns monotonic nanoseconds since campaign start (0 when nil).
+func (o *Observer) Now() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.now() - o.origin
+}
+
+func (o *Observer) emit(ev *Event) {
+	if o.tracer != nil {
+		o.tracer.Emit(ev)
+	}
+}
+
+// Close closes the tracer, flushing any buffered events.
+func (o *Observer) Close() error {
+	if o == nil || o.tracer == nil {
+		return nil
+	}
+	return o.tracer.Close()
+}
+
+// progress updates the live vectors/points gauges.
+func (o *Observer) progress(vectors uint64, points int) {
+	o.gVectors.Set(int64(vectors))
+	o.gPoints.Set(int64(points))
+}
+
+// CampaignStart marks the campaign's first event.
+func (o *Observer) CampaignStart(vectors uint64, points int) {
+	if o == nil {
+		return
+	}
+	o.progress(vectors, points)
+	o.emit(&Event{TNS: o.Now(), Type: EvCampaignStart, Vectors: vectors, Points: points})
+}
+
+// CampaignEnd marks the campaign's final event; Points must equal the
+// report's FinalPoints so offline analyses reconcile with the report.
+func (o *Observer) CampaignEnd(vectors uint64, points int) {
+	if o == nil {
+		return
+	}
+	o.progress(vectors, points)
+	o.emit(&Event{TNS: o.Now(), Type: EvCampaignEnd, Vectors: vectors, Points: points})
+}
+
+// IntervalStart marks the start of one I-cycle fuzz interval.
+func (o *Observer) IntervalStart(vectors uint64, points int) {
+	if o == nil {
+		return
+	}
+	o.emit(&Event{TNS: o.Now(), Type: EvIntervalStart, Vectors: vectors, Points: points})
+}
+
+// IntervalEnd records one completed fuzz interval and its wall time.
+func (o *Observer) IntervalEnd(vectors uint64, points int, durNS int64) {
+	if o == nil {
+		return
+	}
+	o.cIntervals.Inc()
+	o.hInterval.Observe(durNS)
+	o.progress(vectors, points)
+	o.emit(&Event{TNS: o.Now(), Type: EvIntervalEnd, Vectors: vectors, Points: points, DurNS: durNS})
+}
+
+// Stagnation records a Th-interval coverage stall triggering symbolic
+// guidance.
+func (o *Observer) Stagnation(vectors uint64, points int) {
+	if o == nil {
+		return
+	}
+	o.cStagnant.Inc()
+	o.emit(&Event{TNS: o.Now(), Type: EvStagnation, Vectors: vectors, Points: points})
+}
+
+// SolverDispatch records one dependency-equation solve with its
+// per-solve SAT statistics.
+func (o *Observer) SolverDispatch(graph int, vectors uint64, points int, st SolveStats) {
+	if o == nil {
+		return
+	}
+	o.cSolves.Inc()
+	if st.Outcome == "sat" {
+		o.cSat.Inc()
+	} else {
+		o.cUnsat.Inc()
+	}
+	o.hBlast.Observe(st.BlastNS)
+	o.hCDCL.Observe(st.SolveNS)
+	o.cConflicts.Add(st.Conflicts)
+	o.cDecisions.Add(st.Decisions)
+	o.cProps.Add(st.Propagations)
+	o.cClauses.Add(int64(st.Clauses))
+	o.cVars.Add(int64(st.Vars))
+	o.emit(&Event{
+		TNS: o.Now(), Type: EvSolverDisp, Vectors: vectors, Points: points,
+		Graph: graph, Outcome: st.Outcome,
+		Conflicts: st.Conflicts, Decisions: st.Decisions, Propagations: st.Propagations,
+		Clauses: st.Clauses, Vars: st.Vars,
+		BlastNS: st.BlastNS, SolveNS: st.SolveNS, DurNS: st.BlastNS + st.SolveNS,
+	})
+}
+
+// PlanApplied records a solved stimulus plan driven into the DUV that
+// exercised its targeted CFG edge.
+func (o *Observer) PlanApplied(graph, edge int, vectors uint64, points int) {
+	if o == nil {
+		return
+	}
+	o.cPlans.Inc()
+	o.emit(&Event{TNS: o.Now(), Type: EvPlanApplied, Vectors: vectors, Points: points, Graph: graph, Edge: edge})
+}
+
+// Rollback records one checkpoint re-entry; mode is "snapshot" or
+// "replay".
+func (o *Observer) Rollback(mode string, durNS int64, vectors uint64, points int) {
+	if o == nil {
+		return
+	}
+	if mode == "snapshot" {
+		o.cRollSnap.Inc()
+	} else {
+		o.cRollRepl.Inc()
+	}
+	o.hRollback.Observe(durNS)
+	o.emit(&Event{TNS: o.Now(), Type: EvRollback, Vectors: vectors, Points: points, Outcome: mode, DurNS: durNS})
+}
+
+// CheckpointTaken records one recorded revisit state and its
+// architectural snapshot size in bytes (0 in replay mode).
+func (o *Observer) CheckpointTaken(bytes int64, vectors uint64, points int) {
+	if o == nil {
+		return
+	}
+	o.cCkpts.Inc()
+	o.cCkptBytes.Add(bytes)
+	o.emit(&Event{TNS: o.Now(), Type: EvCheckpoint, Vectors: vectors, Points: points, Count: bytes})
+}
+
+// CovDropped counts coverage-monitor branch events dropped at the
+// event-buffer cap, emitting one trace event per report batch.
+func (o *Observer) CovDropped(n int64, vectors uint64, points int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.cCovDrop.Add(n)
+	o.emit(&Event{TNS: o.Now(), Type: EvCovDropped, Vectors: vectors, Points: points, Count: n})
+}
+
+// VCDRoundTrip records one interval's VCD write+read round trip.
+func (o *Observer) VCDRoundTrip(bytes int64, durNS int64) {
+	if o == nil {
+		return
+	}
+	o.cVCDBytes.Add(bytes)
+	o.hVCD.Observe(durNS)
+}
+
+// PruneSkip records a solver dispatch avoided because static
+// reachability facts pruned the target node.
+func (o *Observer) PruneSkip(graph, node int, vectors uint64, points int) {
+	if o == nil {
+		return
+	}
+	o.cPruneSkip.Inc()
+	o.emit(&Event{TNS: o.Now(), Type: EvPruneSkip, Vectors: vectors, Points: points, Graph: graph, Node: node})
+}
+
+// BugFound records one property violation.
+func (o *Observer) BugFound(property string, vectors uint64, points int) {
+	if o == nil {
+		return
+	}
+	o.cBugs.Inc()
+	o.emit(&Event{TNS: o.Now(), Type: EvBugFound, Vectors: vectors, Points: points, Property: property})
+}
+
+// SeqItem counts one sequencer-generated stimulus item.
+func (o *Observer) SeqItem() {
+	if o == nil {
+		return
+	}
+	o.cSeqItems.Inc()
+}
+
+// SeqSolve records one constrained-randomization solve's latency.
+func (o *Observer) SeqSolve(durNS int64) {
+	if o == nil {
+		return
+	}
+	o.hSeqSolve.Observe(durNS)
+}
+
+// Cycles updates the live simulated-cycle gauge.
+func (o *Observer) Cycles(n uint64) {
+	if o == nil {
+		return
+	}
+	o.gCycles.Set(int64(n))
+}
+
+// AddCurvePoint appends a live coverage-curve sample and refreshes the
+// progress gauges.
+func (o *Observer) AddCurvePoint(vectors uint64, points int) {
+	if o == nil {
+		return
+	}
+	o.progress(vectors, points)
+	o.mu.Lock()
+	o.curve = append(o.curve, CurvePoint{Vectors: vectors, Points: points})
+	o.mu.Unlock()
+}
+
+// Curve returns a copy of the live coverage curve.
+func (o *Observer) Curve() []CurvePoint {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]CurvePoint, len(o.curve))
+	copy(out, o.curve)
+	return out
+}
+
+// Snapshot captures the full status document: registry state plus the
+// coverage curve (nil-safe; returns an empty document when disabled).
+func (o *Observer) Snapshot() StatusSnapshot {
+	if o == nil {
+		return StatusSnapshot{Schema: SnapshotSchema}
+	}
+	return StatusSnapshot{
+		Schema:   SnapshotSchema,
+		UptimeNS: o.Now(),
+		Metrics:  o.reg.Snapshot(),
+		Curve:    o.Curve(),
+	}
+}

@@ -1,0 +1,241 @@
+// Package obs is the campaign telemetry layer: a low-overhead metrics
+// registry (atomic counters, gauges and fixed-bucket duration
+// histograms), a typed span/event tracer with a JSONL sink, and a live
+// HTTP status surface, threaded through the engine, solver, simulator
+// and fuzz loop. Everything is dependency-free (stdlib only) and safe
+// for concurrent use; the engine-facing Observer facade is nil-safe so
+// the disabled path costs a single pointer check.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DurationBuckets are the default histogram bucket upper bounds in
+// nanoseconds: a 1-2-5 ladder from 1µs to 10s. Observations above the
+// last bound land in the overflow bucket.
+var DurationBuckets = []int64{
+	1_000, 2_000, 5_000, // 1µs 2µs 5µs
+	10_000, 20_000, 50_000, // 10µs 20µs 50µs
+	100_000, 200_000, 500_000, // 100µs 200µs 500µs
+	1_000_000, 2_000_000, 5_000_000, // 1ms 2ms 5ms
+	10_000_000, 20_000_000, 50_000_000, // 10ms 20ms 50ms
+	100_000_000, 200_000_000, 500_000_000, // 100ms 200ms 500ms
+	1_000_000_000, 2_000_000_000, 5_000_000_000, // 1s 2s 5s
+	10_000_000_000, // 10s
+}
+
+// Histogram is a fixed-bucket histogram with atomic cells. Bounds are
+// inclusive upper edges; a value v lands in the first bucket with
+// v <= bound, or in the overflow bucket past the last bound.
+type Histogram struct {
+	bounds []int64
+	cells  []atomic.Int64 // len(bounds)+1, last is overflow
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // valid only when count > 0
+	max    atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given sorted upper bounds
+// (nil selects DurationBuckets).
+func NewHistogram(bounds []int64) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	h := &Histogram{bounds: bounds, cells: make([]atomic.Int64, len(bounds)+1)}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.cells[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.Load() / n
+}
+
+// Bounds returns the bucket upper bounds.
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// BucketCount returns the count of bucket i (len(Bounds()) = overflow).
+func (h *Histogram) BucketCount(i int) int64 { return h.cells[i].Load() }
+
+// HistogramSnapshot is a point-in-time serializable histogram state.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	Mean  int64 `json:"mean"`
+	// Buckets maps inclusive upper bounds to cumulative-free counts;
+	// the entry with Upper == -1 is the overflow bucket.
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one histogram cell: values <= Upper (ns); Upper == -1
+// marks the overflow bucket.
+type BucketCount struct {
+	Upper int64 `json:"upper"`
+	Count int64 `json:"n"`
+}
+
+// Snapshot captures the histogram state. Empty buckets are elided.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Mean: h.Mean()}
+	if s.Count > 0 {
+		s.Min, s.Max = h.min.Load(), h.max.Load()
+	}
+	for i := range h.cells {
+		n := h.cells[i].Load()
+		if n == 0 {
+			continue
+		}
+		upper := int64(-1)
+		if i < len(h.bounds) {
+			upper = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, BucketCount{Upper: upper, Count: n})
+	}
+	return s
+}
+
+// Registry is a named-instrument store. Instrument creation takes a
+// lock; the returned instruments are lock-free. Names are flat
+// snake_case strings (e.g. "solver_cdcl_ns").
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gauge map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  map[string]*Counter{},
+		gauge: map[string]*Gauge{},
+		hists: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauge[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauge[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds (nil = DurationBuckets) on first use. Bounds of an existing
+// histogram are not changed.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegistrySnapshot is a serializable point-in-time registry state.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current state.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := RegistrySnapshot{
+		Counters:   make(map[string]int64, len(r.ctrs)),
+		Gauges:     make(map[string]int64, len(r.gauge)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.ctrs {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauge {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}

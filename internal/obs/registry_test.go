@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 50})
+	// Bounds are inclusive upper edges: v <= bound lands in that bucket.
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {9, 0}, {10, 0}, // at and below first edge
+		{11, 1}, {20, 1}, // exactly on an interior edge
+		{21, 2}, {50, 2}, // exactly on the last edge
+		{51, 3}, {1 << 40, 3}, // overflow
+	}
+	for _, c := range cases {
+		before := h.BucketCount(c.bucket)
+		h.Observe(c.v)
+		if got := h.BucketCount(c.bucket); got != before+1 {
+			t.Errorf("Observe(%d): bucket %d count %d, want %d", c.v, c.bucket, got, before+1)
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(cases))
+	}
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != 1<<40 {
+		t.Errorf("Min/Max = %d/%d, want 0/%d", s.Min, s.Max, int64(1<<40))
+	}
+	// Overflow bucket serializes with Upper == -1.
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.Upper != -1 || last.Count != 2 {
+		t.Errorf("overflow bucket = %+v, want {Upper:-1 Count:2}", last)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	s := NewHistogram(nil).Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.Min != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramDefaultBounds(t *testing.T) {
+	h := NewHistogram(nil)
+	if len(h.Bounds()) != len(DurationBuckets) {
+		t.Fatalf("default bounds = %d, want %d", len(h.Bounds()), len(DurationBuckets))
+	}
+	for i := 1; i < len(DurationBuckets); i++ {
+		if DurationBuckets[i] <= DurationBuckets[i-1] {
+			t.Errorf("DurationBuckets[%d]=%d not > DurationBuckets[%d]=%d",
+				i, DurationBuckets[i], i-1, DurationBuckets[i-1])
+		}
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter not idempotent")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge not idempotent")
+	}
+	if r.Histogram("h", nil) != r.Histogram("h", []int64{1}) {
+		t.Error("Histogram not idempotent")
+	}
+}
+
+// TestRegistryConcurrent hammers creation and use from many goroutines;
+// run under -race it proves the lock-free instrument paths are sound.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			g := r.Gauge("gauge")
+			h := r.Histogram("hist", []int64{100, 1000})
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	h := r.Histogram("hist", nil)
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != per-1 {
+		t.Errorf("min/max = %d/%d, want 0/%d", s.Min, s.Max, per-1)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+}

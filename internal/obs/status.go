@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StatusServer is the live status surface: a JSON snapshot of the
+// metrics registry and coverage curve at /status, plus net/http/pprof
+// at /debug/pprof/ for CPU and heap profiling of long campaigns.
+type StatusServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeStatus starts the status server on addr (e.g. ":6060" or
+// "127.0.0.1:0"). The listener is bound synchronously — an address
+// error is returned immediately — and served on a background
+// goroutine.
+func ServeStatus(addr string, o *Observer) (*StatusServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	handleStatus := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(o.Snapshot())
+	}
+	mux.HandleFunc("/status", handleStatus)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		handleStatus(w, r)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &StatusServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *StatusServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *StatusServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event types emitted by the engine. A campaign trace is a JSONL
+// stream: one Event per line, timestamps monotonic from campaign start.
+const (
+	EvCampaignStart = "campaign_start"
+	EvIntervalStart = "interval_start"
+	EvIntervalEnd   = "interval_end"
+	EvStagnation    = "stagnation_detected"
+	EvSolverDisp    = "solver_dispatch"
+	EvPlanApplied   = "plan_applied"
+	EvRollback      = "rollback"
+	EvCheckpoint    = "checkpoint"
+	EvBugFound      = "bug_found"
+	EvPruneSkip     = "prune_skip"
+	EvCovDropped    = "cov_events_dropped"
+	EvCampaignEnd   = "campaign_end"
+)
+
+// knownEvents is the trace schema's closed event-type set.
+var knownEvents = map[string]bool{
+	EvCampaignStart: true, EvIntervalStart: true, EvIntervalEnd: true,
+	EvStagnation: true, EvSolverDisp: true, EvPlanApplied: true,
+	EvRollback: true, EvCheckpoint: true, EvBugFound: true,
+	EvPruneSkip: true, EvCovDropped: true, EvCampaignEnd: true,
+}
+
+// Event is one typed trace record. Every event carries the monotonic
+// campaign timestamp, the vectors applied so far, and the covering
+// point count; the remaining fields are per-type payloads.
+type Event struct {
+	TNS     int64  `json:"t_ns"`
+	Type    string `json:"type"`
+	Vectors uint64 `json:"vectors"`
+	Points  int    `json:"coverage_points"`
+
+	// Graph/Node/Edge locate solver_dispatch / plan_applied /
+	// prune_skip events on the clustered CFG (Graph is -1 when unset,
+	// so cluster 0 still serializes).
+	Graph int `json:"graph,omitempty"`
+	Node  int `json:"node,omitempty"`
+	Edge  int `json:"edge,omitempty"`
+
+	// Outcome is "sat"/"unsat" for solver_dispatch and
+	// "snapshot"/"replay" for rollback.
+	Outcome string `json:"outcome,omitempty"`
+	// Property names the violated property of a bug_found event.
+	Property string `json:"property,omitempty"`
+	// Count carries sized payloads: dropped events, checkpoint bytes.
+	Count int64 `json:"count,omitempty"`
+	// DurNS is the event's wall-clock cost where one is measured
+	// (interval_end, rollback, solver_dispatch total).
+	DurNS int64 `json:"dur_ns,omitempty"`
+
+	// Per-dispatch solver statistics (solver_dispatch only).
+	Conflicts    int64 `json:"conflicts,omitempty"`
+	Decisions    int64 `json:"decisions,omitempty"`
+	Propagations int64 `json:"propagations,omitempty"`
+	Clauses      int   `json:"clauses,omitempty"`
+	Vars         int   `json:"vars,omitempty"`
+	BlastNS      int64 `json:"blast_ns,omitempty"`
+	SolveNS      int64 `json:"cdcl_ns,omitempty"`
+}
+
+// Tracer receives typed events. Implementations must be safe for
+// concurrent Emit calls.
+type Tracer interface {
+	Emit(ev *Event)
+	Close() error
+}
+
+// JSONLTracer writes one JSON object per event line to a writer.
+type JSONLTracer struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONLTracer wraps a writer; if it is also an io.Closer it is
+// closed by Close after the final flush.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	t := &JSONLTracer{w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// Emit implements Tracer.
+func (t *JSONLTracer) Emit(ev *Event) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.err = t.w.WriteByte('\n')
+}
+
+// Close flushes buffered events and closes the underlying writer.
+func (t *JSONLTracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}
+
+// TraceSummary is ValidateTrace's digest of a schema-valid trace.
+type TraceSummary struct {
+	Events       int            `json:"events"`
+	ByType       map[string]int `json:"by_type"`
+	FinalVectors uint64         `json:"final_vectors"`
+	FinalPoints  int            `json:"final_coverage_points"`
+	WallNS       int64          `json:"wall_ns"`
+	Bugs         int            `json:"bugs"`
+}
+
+// ValidateTrace checks a JSONL event stream against the trace schema:
+// every line is a valid Event of a known type, timestamps and vector
+// counts are monotonically non-decreasing, the stream opens with
+// campaign_start and closes with campaign_end. It returns a summary of
+// the valid trace, or the first violation.
+func ValidateTrace(r io.Reader) (*TraceSummary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sum := &TraceSummary{ByType: map[string]int{}}
+	var lastT int64
+	var lastV uint64
+	lastType := ""
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("trace line %d: invalid JSON: %w", line, err)
+		}
+		if !knownEvents[ev.Type] {
+			return nil, fmt.Errorf("trace line %d: unknown event type %q", line, ev.Type)
+		}
+		if sum.Events == 0 && ev.Type != EvCampaignStart {
+			return nil, fmt.Errorf("trace line %d: first event is %q, want %q", line, ev.Type, EvCampaignStart)
+		}
+		if ev.TNS < lastT {
+			return nil, fmt.Errorf("trace line %d: timestamp regressed (%d < %d)", line, ev.TNS, lastT)
+		}
+		if ev.Vectors < lastV {
+			return nil, fmt.Errorf("trace line %d: vector count regressed (%d < %d)", line, ev.Vectors, lastV)
+		}
+		lastT, lastV, lastType = ev.TNS, ev.Vectors, ev.Type
+		sum.Events++
+		sum.ByType[ev.Type]++
+		sum.FinalVectors = ev.Vectors
+		sum.FinalPoints = ev.Points
+		sum.WallNS = ev.TNS
+		if ev.Type == EvBugFound {
+			sum.Bugs++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if sum.Events == 0 {
+		return nil, fmt.Errorf("trace: empty stream")
+	}
+	if lastType != EvCampaignEnd {
+		return nil, fmt.Errorf("trace: last event is %q, want %q", lastType, EvCampaignEnd)
+	}
+	return sum, nil
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONLTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	tr.Emit(&Event{TNS: 0, Type: EvCampaignStart})
+	tr.Emit(&Event{TNS: 10, Type: EvIntervalStart, Vectors: 0})
+	tr.Emit(&Event{TNS: 20, Type: EvIntervalEnd, Vectors: 50, Points: 3, DurNS: 20})
+	tr.Emit(&Event{TNS: 25, Type: EvStagnation, Vectors: 50, Points: 3})
+	tr.Emit(&Event{TNS: 30, Type: EvSolverDisp, Vectors: 50, Points: 3,
+		Graph: 1, Outcome: "sat", Conflicts: 2, Decisions: 9, Clauses: 40, Vars: 12,
+		BlastNS: 7, SolveNS: 3, DurNS: 10})
+	tr.Emit(&Event{TNS: 40, Type: EvBugFound, Vectors: 60, Points: 4, Property: "no_leak"})
+	tr.Emit(&Event{TNS: 50, Type: EvCampaignEnd, Vectors: 60, Points: 4})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := ValidateTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != 7 || sum.Bugs != 1 {
+		t.Errorf("events/bugs = %d/%d, want 7/1", sum.Events, sum.Bugs)
+	}
+	if sum.FinalVectors != 60 || sum.FinalPoints != 4 || sum.WallNS != 50 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.ByType[EvSolverDisp] != 1 || sum.ByType[EvIntervalEnd] != 1 {
+		t.Errorf("by-type = %v", sum.ByType)
+	}
+}
+
+func TestValidateTraceRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		trace string
+		want  string
+	}{
+		{"empty", "", "empty stream"},
+		{"bad json", "{nope\n", "invalid JSON"},
+		{"unknown type", `{"t_ns":0,"type":"campaign_start"}` + "\n" + `{"t_ns":1,"type":"warp_drive"}` + "\n", "unknown event type"},
+		{"bad first", `{"t_ns":0,"type":"interval_start"}` + "\n", `first event is "interval_start"`},
+		{"time regress", `{"t_ns":5,"type":"campaign_start"}` + "\n" + `{"t_ns":4,"type":"campaign_end"}` + "\n", "timestamp regressed"},
+		{"vector regress", `{"t_ns":0,"type":"campaign_start","vectors":10}` + "\n" + `{"t_ns":1,"type":"campaign_end","vectors":9}` + "\n", "vector count regressed"},
+		{"no end", `{"t_ns":0,"type":"campaign_start"}` + "\n", `want "campaign_end"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ValidateTrace(strings.NewReader(c.trace))
+			if err == nil {
+				t.Fatal("accepted invalid trace")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateTraceSkipsBlankLines(t *testing.T) {
+	trace := `{"t_ns":0,"type":"campaign_start"}` + "\n\n" + `{"t_ns":1,"type":"campaign_end"}` + "\n"
+	sum, err := ValidateTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != 2 {
+		t.Errorf("events = %d, want 2", sum.Events)
+	}
+}
+
+// errWriter fails after n writes, exercising the tracer's sticky error.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestJSONLTracerStickyError(t *testing.T) {
+	tr := NewJSONLTracer(&errWriter{n: 0})
+	for i := 0; i < 64*1024; i++ { // overflow the 64KB buffer to force a flush
+		tr.Emit(&Event{TNS: int64(i), Type: EvIntervalEnd})
+	}
+	if err := tr.Close(); err == nil {
+		t.Error("Close did not surface the write error")
+	}
+}

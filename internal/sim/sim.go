@@ -532,6 +532,24 @@ func (s *Simulator) Snapshot() *Snapshot {
 	return snap
 }
 
+// Bytes approximates the snapshot's architectural footprint: two
+// 64-bit planes per bit-vector word plus slice headers. The engine
+// accounts checkpoint memory cost with it (the §5 snapshot-vs-replay
+// ablation's space axis).
+func (snap *Snapshot) Bytes() int64 {
+	const header = 48 // BV: width int + two slice headers
+	total := int64(0)
+	for _, v := range snap.Vals {
+		total += header + 2*8*int64((v.Width()+63)/64)
+	}
+	for _, m := range snap.Mems {
+		for _, v := range m {
+			total += header + 2*8*int64((v.Width()+63)/64)
+		}
+	}
+	return total
+}
+
 // Restore rewinds the simulator to a snapshot. Pending events are
 // discarded; the state is exactly as captured.
 func (s *Simulator) Restore(snap *Snapshot) {

@@ -3,6 +3,7 @@ package smt
 import (
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/logic"
 )
@@ -24,6 +25,23 @@ func (r Result) String() string {
 	return "unsat"
 }
 
+// SolveStats are the statistics of one Solve call: the CDCL search
+// counters (deltas over the call, not running totals), the formula size
+// at decision time, and the wall-clock split between Tseitin
+// bit-blasting (accumulated over the Assert calls since the previous
+// Solve) and the CDCL search itself. Table 3's "constraints generated"
+// is Clauses; the paper's per-dispatch solve latency is BlastNS+SolveNS.
+type SolveStats struct {
+	Outcome      Result
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Clauses      int
+	Vars         int
+	BlastNS      int64
+	SolveNS      int64
+}
+
 // Solver is the user-facing QF_BV solver. Assertions accumulate; each
 // Solve call decides the conjunction. Models are extracted for all
 // declared variables.
@@ -32,6 +50,9 @@ type Solver struct {
 	b    *blaster
 	vars map[string]*Term
 	rng  *rand.Rand
+
+	blastNS int64 // bit-blast time accumulated since the last Solve
+	last    SolveStats
 }
 
 // NewSolver returns an empty solver.
@@ -67,16 +88,38 @@ func (s *Solver) Assert(t *Term) {
 			panic("smt: assertion references undeclared variable " + name)
 		}
 	}
+	start := time.Now()
 	s.b.assertTrue(t)
+	s.blastNS += int64(time.Since(start))
 }
 
-// Solve decides the accumulated constraints.
+// Solve decides the accumulated constraints and records the call's
+// SolveStats (readable via LastStats until the next Solve).
 func (s *Solver) Solve() Result {
+	c0, d0, p0 := s.sat.Stats()
+	start := time.Now()
+	res := Unsat
 	if s.sat.Solve() {
-		return Sat
+		res = Sat
 	}
-	return Unsat
+	c1, d1, p1 := s.sat.Stats()
+	s.last = SolveStats{
+		Outcome:      res,
+		Conflicts:    c1 - c0,
+		Decisions:    d1 - d0,
+		Propagations: p1 - p0,
+		Clauses:      len(s.sat.clauses),
+		Vars:         s.sat.NumVars(),
+		BlastNS:      s.blastNS,
+		SolveNS:      int64(time.Since(start)),
+	}
+	s.blastNS = 0
+	return res
 }
+
+// LastStats returns the statistics of the most recent Solve call (the
+// zero value before any Solve).
+func (s *Solver) LastStats() SolveStats { return s.last }
 
 // Model returns the satisfying assignment for every declared variable.
 // Valid only immediately after a Sat result.

@@ -1,0 +1,56 @@
+package smt
+
+import "testing"
+
+func TestLastStatsPerSolveDeltas(t *testing.T) {
+	s := NewSolver()
+	if st := s.LastStats(); st != (SolveStats{}) {
+		t.Errorf("LastStats before any Solve = %+v, want zero", st)
+	}
+
+	x := s.Var("x", 8)
+	y := s.Var("y", 8)
+	s.Assert(Eq(Add(x, y), ConstUint(8, 200)))
+	s.Assert(Ult(x, ConstUint(8, 100)))
+	if s.Solve() != Sat {
+		t.Fatal("should be sat")
+	}
+	st1 := s.LastStats()
+	if st1.Outcome != Sat {
+		t.Errorf("outcome = %v, want Sat", st1.Outcome)
+	}
+	if st1.Clauses == 0 || st1.Vars == 0 {
+		t.Errorf("formula size not recorded: %+v", st1)
+	}
+	if st1.BlastNS <= 0 || st1.SolveNS <= 0 {
+		t.Errorf("timings not recorded: %+v", st1)
+	}
+	if st1.Clauses != s.NumClauses() || st1.Vars != s.NumVars() {
+		t.Errorf("stats %d clauses / %d vars disagree with solver %d / %d",
+			st1.Clauses, st1.Vars, s.NumClauses(), s.NumVars())
+	}
+
+	// A forced-unsat follow-up: counters must be per-call deltas, and
+	// blast time must reset (no new Assert between the two solves would
+	// accumulate stale time).
+	s.Assert(Eq(x, ConstUint(8, 250)))
+	if s.Solve() != Unsat {
+		t.Fatal("should be unsat")
+	}
+	st2 := s.LastStats()
+	if st2.Outcome != Unsat {
+		t.Errorf("outcome = %v, want Unsat", st2.Outcome)
+	}
+	if st2.Conflicts < 0 || st2.Decisions < 0 || st2.Propagations < 0 {
+		t.Errorf("negative deltas: %+v", st2)
+	}
+	if st2.Clauses < st1.Clauses {
+		t.Errorf("clause count shrank: %d -> %d", st1.Clauses, st2.Clauses)
+	}
+
+	// A third Solve with no intervening Assert spends zero blast time.
+	s.Solve()
+	if st3 := s.LastStats(); st3.BlastNS != 0 {
+		t.Errorf("blast time not reset between solves: %+v", st3)
+	}
+}

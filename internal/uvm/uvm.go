@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/elab"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/smt"
 )
 
@@ -135,6 +137,9 @@ type Sequencer struct {
 	pinned      []*Item // exact next items, FIFO
 	// Generated counts items produced (the "# of input vectors" metric).
 	Generated uint64
+	// Obs receives item-generation telemetry (seq_items counter and
+	// constrained-randomization solve latency); nil disables.
+	Obs *obs.Observer
 }
 
 // NewSequencer builds a sequencer over the given fields.
@@ -178,6 +183,7 @@ func (s *Sequencer) ClearPinned() { s.pinned = nil }
 // NextItem produces the next stimulus item.
 func (s *Sequencer) NextItem() *Item {
 	s.Generated++
+	s.Obs.SeqItem()
 	if len(s.pinned) > 0 {
 		it := s.pinned[0]
 		s.pinned = s.pinned[1:]
@@ -205,6 +211,10 @@ func (s *Sequencer) randomItem() *Item {
 // solveItem runs the SMT solver with random decision polarity so that
 // repeated calls explore diverse solutions of the same constraints.
 func (s *Sequencer) solveItem() *Item {
+	if s.Obs != nil {
+		start := time.Now()
+		defer func() { s.Obs.SeqSolve(int64(time.Since(start))) }()
+	}
 	sol := smt.NewSolver()
 	sol.SetRand(rand.New(rand.NewSource(s.rng.Int63())))
 	vars := map[string]*smt.Term{}

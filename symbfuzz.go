@@ -34,6 +34,7 @@ import (
 	"repro/internal/fuzzers"
 	"repro/internal/hdl"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/sim"
 	"repro/internal/smt"
@@ -337,6 +338,38 @@ var (
 	EvalFigure4     = eval.RunFigure4
 	EvalSection54   = eval.RunSection54
 	EvalScalability = eval.RunScalability
+)
+
+// ---- observability (campaign telemetry) ----
+
+// Observer is the campaign telemetry facade: a metrics registry of
+// named counters/gauges/duration histograms plus an optional typed
+// event tracer. Pass one via Config.Obs; a nil Observer disables
+// telemetry at negligible cost.
+type Observer = obs.Observer
+
+// ObserverOptions configures NewObserver.
+type ObserverOptions = obs.Options
+
+// TraceEvent is one typed JSONL trace record.
+type TraceEvent = obs.Event
+
+// TraceSummary digests a validated trace.
+type TraceSummary = obs.TraceSummary
+
+// StatusSnapshot is the live status endpoint's JSON document.
+type StatusSnapshot = obs.StatusSnapshot
+
+// Observability constructors and helpers.
+var (
+	// NewObserver builds an observer (zero Options = metrics only).
+	NewObserver = obs.New
+	// NewJSONLTracer wraps a writer as a JSONL event sink.
+	NewJSONLTracer = obs.NewJSONLTracer
+	// ServeStatus starts the live status + pprof HTTP endpoint.
+	ServeStatus = obs.ServeStatus
+	// ValidateTrace checks a JSONL event stream against the schema.
+	ValidateTrace = obs.ValidateTrace
 )
 
 // ---- UVM testbench (Figure 2) ----
