@@ -26,19 +26,32 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|all")
-		budget  = flag.Uint64("budget", 0, "vector budget per IP run (0 = defaults)")
-		soc     = flag.Uint64("soc-budget", 0, "vector budget for SoC curves")
-		runs    = flag.Int("runs", 0, "runs averaged (figure 4, table 2)")
-		seed    = flag.Int64("seed", 1, "base seed")
-		metrics = flag.String("metrics", "", "telemetry snapshot JSON (from symbfuzz -metrics); emits a perf record instead of running experiments")
-		obsOut  = flag.String("obs-out", "BENCH_obs.json", "perf record output path (with -metrics)")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|par|all (par never runs under all)")
+		budget     = flag.Uint64("budget", 0, "vector budget per IP run (0 = defaults)")
+		soc        = flag.Uint64("soc-budget", 0, "vector budget for SoC curves")
+		runs       = flag.Int("runs", 0, "runs averaged (figure 4, table 2)")
+		seed       = flag.Int64("seed", 1, "base seed")
+		metrics    = flag.String("metrics", "", "telemetry snapshot JSON (from symbfuzz -metrics); emits a perf record instead of running experiments")
+		obsOut     = flag.String("obs-out", "BENCH_obs.json", "perf record output path (with -metrics)")
+		parWorkers = flag.Int("par-workers", 4, "worker count for -exp par")
+		parOut     = flag.String("par-out", "BENCH_par.json", "scaling record output path (with -exp par)")
 	)
 	flag.Parse()
 
 	if *metrics != "" {
 		if err := emitObsBench(*metrics, *obsOut); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// The par experiment is wall-clock-sensitive (it times campaigns
+	// against each other), so it only runs when asked for by name —
+	// never as part of -exp all.
+	if *exp == "par" {
+		if err := runPar(*parWorkers, *seed, *parOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab: par:", err)
 			os.Exit(1)
 		}
 		return

@@ -55,6 +55,7 @@ func main() {
 		interval  = flag.Int("interval", 300, "Algorithm 1 interval I (cycles)")
 		threshold = flag.Int("threshold", 3, "Algorithm 1 stagnation threshold Th")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 1, "parallel campaign workers (1 = single-engine)")
 		fixed     = flag.Bool("fixed", false, "use the bug-free design variant")
 		replay    = flag.Bool("replay", false, "use reset+replay instead of snapshots")
 		keepGoing = flag.Bool("keep-going", true, "continue after full CFG coverage")
@@ -98,7 +99,7 @@ func main() {
 		}
 	}
 
-	rep, err := symbfuzz.Fuzz(b, symbfuzz.Config{
+	cfg := symbfuzz.Config{
 		Interval:              *interval,
 		Threshold:             *threshold,
 		MaxVectors:            *vectors,
@@ -106,12 +107,25 @@ func main() {
 		UseSnapshots:          !*replay,
 		ContinueAfterCoverage: *keepGoing,
 		Obs:                   o,
-	})
+	}
+	// -workers 1 takes the single-engine path unchanged; N > 1 runs the
+	// parallel orchestrator and reports the rank-merged campaign.
+	var rep *symbfuzz.Report
+	var prep *symbfuzz.ParallelReport
+	var err2 error
+	if *workers > 1 {
+		prep, err2 = symbfuzz.FuzzParallel(b, symbfuzz.ParallelConfig{Config: cfg, Workers: *workers})
+		if prep != nil {
+			rep = prep.Merged
+		}
+	} else {
+		rep, err2 = symbfuzz.Fuzz(b, cfg)
+	}
 	if cerr := o.Close(); cerr != nil {
 		fmt.Fprintln(os.Stderr, "symbfuzz: trace:", cerr)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "symbfuzz:", err)
+	if err2 != nil {
+		fmt.Fprintln(os.Stderr, "symbfuzz:", err2)
 		os.Exit(1)
 	}
 	if *metricOut != "" {
@@ -128,6 +142,9 @@ func main() {
 	fmt.Printf("benchmark: %s (%d LoC)\n", b.Name, b.LoC)
 	fmt.Printf("CFG: %d nodes, %d edges, %d checkpoints, %d dependency equations\n",
 		rep.GraphStats.Nodes, rep.GraphStats.Edges, rep.GraphStats.Checkpoints, rep.GraphStats.DepEqns)
+	if prep != nil {
+		printWorkers(prep)
+	}
 	fmt.Printf("vectors applied: %d (cycles: %d)\n", rep.Vectors, rep.Cycles)
 	fmt.Printf("coverage: %d points; nodes %d/%d; edges %d/%d\n",
 		rep.FinalPoints, rep.NodesCovered, rep.NodesTotal, rep.EdgesCovered, rep.EdgesTotal)
@@ -147,6 +164,25 @@ func main() {
 	fmt.Printf("\n%-36s %-12s %10s %8s\n", "property", "CWE", "vectors", "cycle")
 	for _, bug := range rep.Bugs {
 		fmt.Printf("%-36s %-12s %10d %8d\n", bug.Property, bug.CWE, bug.Vectors, bug.Cycle)
+	}
+}
+
+// printWorkers renders the per-worker breakdown of a parallel campaign
+// followed by the shared-cache tallies.
+func printWorkers(prep *symbfuzz.ParallelReport) {
+	fmt.Printf("parallel campaign: %d workers, wall %s\n",
+		prep.Workers, time.Duration(prep.WallNS).Round(time.Millisecond))
+	fmt.Printf("  %-7s %12s %10s %8s %10s %6s\n", "worker", "seed", "vectors", "points", "edges", "bugs")
+	for r, wr := range prep.PerWorker {
+		fmt.Printf("  w%-6d %12d %10d %8d %6d/%-3d %6d\n",
+			r+1, prep.Seeds[r], wr.Vectors, wr.FinalPoints, wr.EdgesCovered, wr.EdgesTotal, len(wr.Bugs))
+	}
+	if prep.CacheHits+prep.CacheMisses > 0 {
+		fmt.Printf("  plan cache: %d hits, %d misses\n", prep.CacheHits, prep.CacheMisses)
+	}
+	if prep.TargetPoints > 0 && prep.TimeToTargetNS > 0 {
+		fmt.Printf("  reached %d points in %s\n", prep.TargetPoints,
+			time.Duration(prep.TimeToTargetNS).Round(time.Millisecond))
 	}
 }
 

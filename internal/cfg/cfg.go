@@ -509,16 +509,25 @@ func (g *Graph) SolveStepStats(cur, want, context map[int]logic.BV, seed int64) 
 	for _, cr := range g.Regs {
 		inCluster[cr.Sig.Index] = true
 	}
-	for idx, v := range context {
+	// Pin the context registers in sorted index order: assertion order
+	// fixes the solver's variable numbering, and with it which of
+	// several satisfying models a seeded solve returns — map order here
+	// would make the whole campaign trajectory run-to-run nondeterministic.
+	ctxIdx := make([]int, 0, len(context))
+	for idx := range context {
 		if inCluster[idx] {
 			continue
 		}
-		sig := g.Design.Signals[idx]
-		if !sig.IsReg {
+		if !g.Design.Signals[idx].IsReg {
 			continue
 		}
+		ctxIdx = append(ctxIdx, idx)
+	}
+	sort.Ints(ctxIdx)
+	for _, idx := range ctxIdx {
+		sig := g.Design.Signals[idx]
 		cv := s.Var(CurVar+sig.Name, sig.Width)
-		s.Assert(smt.Eq(cv, ConstBV(v)))
+		s.Assert(smt.Eq(cv, ConstBV(context[idx])))
 		g.Constraints++
 	}
 	for _, cr := range g.Regs {

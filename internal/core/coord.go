@@ -1,0 +1,101 @@
+package core
+
+// Cross-engine coordination hooks for parallel campaigns (internal/par).
+//
+// A parallel campaign runs N engines concurrently, each on its own
+// elaborated design instance. Determinism for a fixed seed set —
+// regardless of goroutine interleaving — is the hard requirement, so
+// every cross-worker coupling that could steer a worker's trajectory is
+// a pure function of (seed set, static design):
+//
+//   - The shared work queue is realized as static shard ownership
+//     (ShardSpec): worker r owns edge (graph, id) iff a fixed hash maps
+//     it to r. Two workers never burn solver time on the same frontier
+//     target while their shards still have work; once a worker's entire
+//     in-shard uncovered set is drained (a purely local decision), it
+//     may target out-of-shard edges so the endgame is not serialized.
+//   - The cross-worker constraint cache (PlanCache) is a memoization:
+//     the solver seed for a cached query is canonical per PlanKey, so
+//     any worker solving the same key produces the identical plan and
+//     statistics. A cache hit therefore never changes a trajectory —
+//     it only saves the solver wall time.
+//
+// The Sync hook is the only interleaving-sensitive channel, and it is
+// restricted to publishing coverage and polling opt-in stop conditions.
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/smt"
+)
+
+// ShardSpec statically partitions the CFG edge space across workers.
+// The zero value (Workers 0) disables sharding.
+type ShardSpec struct {
+	// Rank is this worker's index in [0, Workers).
+	Rank int
+	// Workers is the campaign's worker count; <= 1 disables sharding.
+	Workers int
+}
+
+// Active reports whether sharding is in effect.
+func (s ShardSpec) Active() bool { return s.Workers > 1 }
+
+// Owns reports whether this shard owns edge eid of cluster graph gi.
+// The assignment is a fixed mix hash so ownership is identical across
+// workers and independent of any run-time state.
+func (s ShardSpec) Owns(gi, eid int) bool {
+	if !s.Active() {
+		return true
+	}
+	h := uint64(gi)*0x9E3779B97F4A7C15 + uint64(eid)*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return int(h%uint64(s.Workers)) == s.Rank
+}
+
+// PlanKey identifies one dependency-equation solve: the cluster graph,
+// the target node, and a hash of the concrete query context (current
+// in-cluster valuation plus the pinned out-of-cluster register values).
+// Cluster graphs are built deterministically, so node and edge IDs —
+// and therefore keys — agree across workers elaborating the same
+// design.
+type PlanKey struct {
+	Graph int
+	To    int
+	Ctx   uint64
+}
+
+// CachedPlan is one memoized solve result: the plan (nil for unsat)
+// plus the producing dispatch's solver statistics, which consumers
+// account identically to a live solve.
+type CachedPlan struct {
+	Plan  *cfg.StepPlan
+	Stats smt.SolveStats
+}
+
+// PlanCache shares solved step plans across engines. Implementations
+// must be safe for concurrent use. Lookup returns the cached result
+// and whether it was present; Store publishes a result (last write
+// wins — with canonical per-key seeds every writer stores an identical
+// value, so the race is benign by construction).
+type PlanCache interface {
+	Lookup(PlanKey) (CachedPlan, bool)
+	Store(PlanKey, CachedPlan)
+}
+
+// fnvOffset/fnvPrime are the FNV-1a constants used for context hashing.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvInt(h uint64, v int) uint64 {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(u>>(8*i)))
+	}
+	return h
+}

@@ -72,6 +72,26 @@ type Config struct {
 	// trace, and live status gauges. nil disables (the fast path —
 	// coarse Report.Timings are still collected).
 	Obs *obs.Observer
+
+	// Shard restricts solver-guided edge targeting to this worker's
+	// statically owned slice of the CFG edge space (parallel campaigns;
+	// see coord.go). The zero value disables sharding.
+	Shard ShardSpec
+	// PlanCache shares solved step plans across concurrent engines.
+	// When set, solver seeds become canonical per query (derived from
+	// SharedSeed and the PlanKey) so a cache hit returns exactly what a
+	// live solve would have produced. nil disables.
+	PlanCache PlanCache
+	// SharedSeed is the campaign-wide base seed used for canonical
+	// cache-query seeding; 0 falls back to Seed. Only consulted when
+	// PlanCache is set.
+	SharedSeed int64
+	// Sync, when set, is called at every interval boundary with the
+	// live coverage monitor and the in-progress report (the engine is
+	// quiescent for the duration of the call). Returning true stops the
+	// campaign. Parallel campaigns use it to publish coverage deltas to
+	// the global frontier and poll stop conditions.
+	Sync func(*cov.CFGCov, *Report) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -204,6 +224,14 @@ type Report struct {
 	CheckpointsTaken    int
 	VCDBytes            int
 
+	// SolveCacheHits / SolveCacheMisses count shared plan-cache
+	// consultations (0 unless Config.PlanCache is set). The sum is
+	// deterministic for a fixed seed set; the split between hit and
+	// miss depends on which worker solved a key first and is the one
+	// scheduling artifact the report carries.
+	SolveCacheHits   int
+	SolveCacheMisses int
+
 	// PrunedTargets counts CFG nodes statically proven unreachable by
 	// the lint pass's value-domain facts and excluded from guidance.
 	PrunedTargets int
@@ -246,6 +274,10 @@ type Engine struct {
 	// obs is the telemetry sink; nil disables (all call sites are
 	// nil-safe).
 	obs *obs.Observer
+	// shardAll is true when edge sharding is off or this worker's
+	// entire in-shard uncovered set is locally drained, unlocking
+	// out-of-shard targets; recomputed at each guidance entry.
+	shardAll bool
 	// lastDrops / dropWarned track the coverage monitor's drop counter
 	// between intervals so drops are reported incrementally and the
 	// warning fires once.
@@ -305,6 +337,7 @@ func New(d *elab.Design, properties []*props.Property, c Config) (*Engine, error
 		report:      &Report{GraphStats: part.Stats()},
 		rng:         rand.New(rand.NewSource(c.Seed ^ 0x51bb)),
 		obs:         c.Obs,
+		shardAll:    true,
 	}
 	env.Agent.Sequencer.Obs = c.Obs
 	if !c.DisablePruning {
@@ -404,6 +437,9 @@ func (e *Engine) Run() (*Report, error) {
 		e.obs.IntervalEnd(e.report.Vectors, points, ivNS)
 		e.obs.Cycles(e.report.Cycles)
 		e.checkDrops(points)
+		if c.Sync != nil && c.Sync(e.cover, e.report) {
+			break
+		}
 		if points > lastPoints {
 			lastPoints = points
 			stagnant = 0
@@ -525,6 +561,78 @@ func (e *Engine) markPruned(d *elab.Design, resetVals map[int]logic.BV) {
 	}
 }
 
+// planKey builds the shared-cache key for one dependency-equation
+// query: (cluster graph, target node) plus an FNV-1a hash over exactly
+// the concrete values SolveStepStats constrains — the in-cluster
+// current valuation (canonicalized: X/Z bits read as 0, matching the
+// solver's ConstBV encoding) and the pinned out-of-cluster register
+// context, both in deterministic signal order.
+func (e *Engine) planKey(gi, to int, curVals, context map[int]logic.BV) PlanKey {
+	g := e.part.Graphs[gi]
+	inCluster := map[int]bool{}
+	h := uint64(fnvOffset)
+	h = fnvInt(h, gi)
+	for _, cr := range g.Regs {
+		inCluster[cr.Sig.Index] = true
+		h = fnvInt(h, cr.Sig.Index)
+		h = hashCanonBV(h, curVals[cr.Sig.Index], cr.Sig.Width)
+	}
+	h = fnvByte(h, 0xFF) // section separator
+	for _, sig := range e.part.Design.Registers() {
+		if inCluster[sig.Index] {
+			continue
+		}
+		v, ok := context[sig.Index]
+		if !ok {
+			continue
+		}
+		h = fnvInt(h, sig.Index)
+		h = hashCanonBV(h, v, sig.Width)
+	}
+	return PlanKey{Graph: gi, To: to, Ctx: h}
+}
+
+// hashCanonBV folds a bit-vector's canonical two-state form (X/Z as 0)
+// into an FNV-1a hash.
+func hashCanonBV(h uint64, v logic.BV, width int) uint64 {
+	h = fnvInt(h, width)
+	var acc byte
+	for i := 0; i < v.Width(); i++ {
+		acc <<= 1
+		if v.Bit(i) == logic.L1 {
+			acc |= 1
+		}
+		if i%8 == 7 {
+			h = fnvByte(h, acc)
+			acc = 0
+		}
+	}
+	if v.Width()%8 != 0 {
+		h = fnvByte(h, acc)
+	}
+	return h
+}
+
+// cacheSeed derives the canonical solver seed for a shared-cache query
+// from the campaign-wide base seed and the key, so every worker solving
+// the same key draws the same model. Never 0 (SolveStepStats treats a
+// zero seed as "no randomization").
+func (e *Engine) cacheSeed(k PlanKey) int64 {
+	base := e.cfgc.SharedSeed
+	if base == 0 {
+		base = e.cfgc.Seed
+	}
+	h := uint64(fnvOffset)
+	h = fnvInt(h, k.Graph)
+	h = fnvInt(h, k.To)
+	h = fnvInt(h, int(k.Ctx))
+	s := base ^ int64(h)
+	if s == 0 {
+		s = base | 1
+	}
+	return s
+}
+
 // canonUint64 converts a register value to the engine's canonical
 // two-state form (X/Z bits read as 0); ok is false above 64 bits.
 func canonUint64(v logic.BV) (uint64, bool) {
@@ -547,21 +655,55 @@ func canonUint64(v logic.BV) (uint64, bool) {
 func (e *Engine) uncoveredFrom(gi, node int, count bool) []cfg.Edge {
 	g := e.part.Graphs[gi]
 	edges := g.UncoveredFrom(node, e.cover.EdgesSeen[gi])
-	if e.pruned == nil || len(e.pruned[gi]) == 0 {
-		return edges
-	}
-	kept := edges[:0]
-	for _, edge := range edges {
-		if e.pruned[gi][edge.To] {
-			if count {
-				e.report.PrunedSolves++
-				e.obs.PruneSkip(gi, edge.To, e.report.Vectors, e.cover.Points())
+	if e.pruned != nil && len(e.pruned[gi]) > 0 {
+		kept := edges[:0]
+		for _, edge := range edges {
+			if e.pruned[gi][edge.To] {
+				if count {
+					e.report.PrunedSolves++
+					e.obs.PruneSkip(gi, edge.To, e.report.Vectors, e.cover.Points())
+				}
+				continue
 			}
-			continue
+			kept = append(kept, edge)
 		}
-		kept = append(kept, edge)
+		edges = kept
 	}
-	return kept
+	// Shard filter: while this worker's in-shard frontier has work,
+	// out-of-shard edges are someone else's target (not counted as
+	// pruned — they are merely deferred).
+	if e.cfgc.Shard.Active() && !e.shardAll {
+		kept := edges[:0]
+		for _, edge := range edges {
+			if e.cfgc.Shard.Owns(gi, edge.ID) {
+				kept = append(kept, edge)
+			}
+		}
+		edges = kept
+	}
+	return edges
+}
+
+// shardDrained reports whether every un-pruned static edge owned by
+// this worker's shard is locally covered. The decision reads only
+// local coverage, so it is deterministic regardless of what other
+// workers have covered globally.
+func (e *Engine) shardDrained() bool {
+	s := e.cfgc.Shard
+	for gi, g := range e.part.Graphs {
+		for _, edge := range g.Edges {
+			if !s.Owns(gi, edge.ID) {
+				continue
+			}
+			if e.pruned != nil && e.pruned[gi][edge.To] {
+				continue
+			}
+			if !e.cover.EdgesSeen[gi][edge.ID] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // guideSteps bounds the chained guided transitions per symbolic phase,
@@ -579,6 +721,9 @@ const (
 // make progress — the paper's inner while-loop that walks the DUV along
 // unexplored paths.
 func (e *Engine) guide() {
+	if e.cfgc.Shard.Active() {
+		e.shardAll = e.shardDrained()
+	}
 	for step := 0; step < guideSteps && e.report.Vectors < e.cfgc.MaxVectors; step++ {
 		progressed := false
 		// Solve in place: clusters whose current node has unexplored
@@ -678,8 +823,26 @@ func (e *Engine) tryEdges(gi, node int) bool {
 		for _, sig := range e.part.Design.Registers() {
 			context[sig.Index] = e.env.Sim.Get(sig.Index)
 		}
-		plan, st := g.SolveStepStats(curVals, g.Nodes[edge.To].Vals, context,
-			e.cfgc.Seed+int64(e.report.SymbolicInvocations))
+		var plan *cfg.StepPlan
+		var st smt.SolveStats
+		if cache := e.cfgc.PlanCache; cache != nil {
+			// Shared-cache mode: the solve seed is canonical per query,
+			// so any worker producing this key computes the identical
+			// plan and statistics, and a hit is indistinguishable from
+			// a live solve (modulo saved wall time).
+			key := e.planKey(gi, edge.To, curVals, context)
+			if c, ok := cache.Lookup(key); ok {
+				plan, st = c.Plan, c.Stats
+				e.report.SolveCacheHits++
+			} else {
+				plan, st = g.SolveStepStats(curVals, g.Nodes[edge.To].Vals, context, e.cacheSeed(key))
+				cache.Store(key, CachedPlan{Plan: plan, Stats: st})
+				e.report.SolveCacheMisses++
+			}
+		} else {
+			plan, st = g.SolveStepStats(curVals, g.Nodes[edge.To].Vals, context,
+				e.cfgc.Seed+int64(e.report.SymbolicInvocations))
+		}
 		e.report.Timings.Solve.add(st)
 		e.obs.SolverDispatch(gi, e.report.Vectors, e.cover.Points(), obs.SolveStats{
 			Outcome:      st.Outcome.String(),

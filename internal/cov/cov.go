@@ -254,6 +254,44 @@ func (c *CFGCov) AllEdgesCovered() bool {
 	return total > 0 && covered >= total
 }
 
+// Merge unions another monitor's observed coverage into c. Both
+// monitors must watch isomorphic partitions (the same design built with
+// the same options): static hits are matched positionally by (cluster,
+// ID), which holds because partition construction is deterministic.
+//
+// Merging is a set union — idempotent and commutative — so an edge
+// covered both locally and globally counts exactly once and repeated
+// publishes of the same monitor are safe: Merge(a, a) leaves a
+// unchanged, and Points never double-counts. The Dropped counter and
+// the position-tracking state (prevNode, the event buffer) are local
+// simulation artifacts, not coverage, and are deliberately untouched.
+// Merge must not run concurrently with either monitor's Sample.
+func (c *CFGCov) Merge(o *CFGCov) {
+	if o == nil {
+		return
+	}
+	for gi := range c.NodesSeen {
+		if gi >= len(o.NodesSeen) {
+			break
+		}
+		for id := range o.NodesSeen[gi] {
+			c.NodesSeen[gi][id] = true
+		}
+		for id := range o.EdgesSeen[gi] {
+			c.EdgesSeen[gi][id] = true
+		}
+	}
+	for k := range o.DynNodes {
+		c.DynNodes[k] = true
+	}
+	for k := range o.DynEdges {
+		c.DynEdges[k] = true
+	}
+	for k := range o.Tuples {
+		c.Tuples[k] = true
+	}
+}
+
 // PrevNode returns the last mapped node of cluster gi (-1 off-graph).
 func (c *CFGCov) PrevNode(gi int) int {
 	if gi < 0 || gi >= len(c.prevNode) {

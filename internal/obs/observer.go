@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -46,6 +47,14 @@ type Options struct {
 	// Now returns monotonic nanoseconds since an arbitrary origin;
 	// nil uses the real clock. Tests inject a deterministic clock.
 	Now func() int64
+	// Prefix is prepended to every instrument name (e.g. "w1_" for a
+	// parallel worker's lane), keeping per-worker metrics separate in a
+	// shared registry. Empty for campaign-level instruments.
+	Prefix string
+	// Worker stamps every emitted trace event with this 1-based worker
+	// lane; 0 (the default) leaves events unstamped so single-engine
+	// traces are unchanged.
+	Worker int
 }
 
 // Observer is the engine-facing telemetry facade: a metrics registry
@@ -57,6 +66,7 @@ type Observer struct {
 	tracer Tracer
 	now    func() int64
 	origin int64
+	worker int
 
 	mu    sync.Mutex
 	curve []CurvePoint
@@ -105,38 +115,61 @@ func New(opts Options) *Observer {
 		start := time.Now()
 		now = func() int64 { return int64(time.Since(start)) }
 	}
-	o := &Observer{reg: reg, tracer: opts.Tracer, now: now}
+	o := &Observer{reg: reg, tracer: opts.Tracer, now: now, worker: opts.Worker}
 	o.origin = now()
-	o.cIntervals = reg.Counter("fuzz_intervals")
-	o.hInterval = reg.Histogram("fuzz_interval_ns", nil)
-	o.cSolves = reg.Counter("solver_dispatches")
-	o.cSat = reg.Counter("solver_sat")
-	o.cUnsat = reg.Counter("solver_unsat")
-	o.hBlast = reg.Histogram("solver_blast_ns", nil)
-	o.hCDCL = reg.Histogram("solver_cdcl_ns", nil)
-	o.cConflicts = reg.Counter("solver_conflicts")
-	o.cDecisions = reg.Counter("solver_decisions")
-	o.cProps = reg.Counter("solver_propagations")
-	o.cClauses = reg.Counter("solver_clauses")
-	o.cVars = reg.Counter("solver_vars")
-	o.cPlans = reg.Counter("plans_applied")
-	o.hRollback = reg.Histogram("rollback_ns", nil)
-	o.cRollSnap = reg.Counter("rollbacks_snapshot")
-	o.cRollRepl = reg.Counter("rollbacks_replay")
-	o.cCkpts = reg.Counter("checkpoints")
-	o.cCkptBytes = reg.Counter("checkpoint_bytes")
-	o.cCovDrop = reg.Counter("cov_events_dropped")
-	o.cVCDBytes = reg.Counter("vcd_bytes")
-	o.hVCD = reg.Histogram("vcd_roundtrip_ns", nil)
-	o.cStagnant = reg.Counter("stagnation_events")
-	o.cPruneSkip = reg.Counter("prune_skips")
-	o.cBugs = reg.Counter("bugs_found")
-	o.cSeqItems = reg.Counter("seq_items")
-	o.hSeqSolve = reg.Histogram("seq_solve_ns", nil)
-	o.gVectors = reg.Gauge("vectors_applied")
-	o.gPoints = reg.Gauge("coverage_points")
-	o.gCycles = reg.Gauge("cycles")
+	p := func(name string) string { return opts.Prefix + name }
+	o.cIntervals = reg.Counter(p("fuzz_intervals"))
+	o.hInterval = reg.Histogram(p("fuzz_interval_ns"), nil)
+	o.cSolves = reg.Counter(p("solver_dispatches"))
+	o.cSat = reg.Counter(p("solver_sat"))
+	o.cUnsat = reg.Counter(p("solver_unsat"))
+	o.hBlast = reg.Histogram(p("solver_blast_ns"), nil)
+	o.hCDCL = reg.Histogram(p("solver_cdcl_ns"), nil)
+	o.cConflicts = reg.Counter(p("solver_conflicts"))
+	o.cDecisions = reg.Counter(p("solver_decisions"))
+	o.cProps = reg.Counter(p("solver_propagations"))
+	o.cClauses = reg.Counter(p("solver_clauses"))
+	o.cVars = reg.Counter(p("solver_vars"))
+	o.cPlans = reg.Counter(p("plans_applied"))
+	o.hRollback = reg.Histogram(p("rollback_ns"), nil)
+	o.cRollSnap = reg.Counter(p("rollbacks_snapshot"))
+	o.cRollRepl = reg.Counter(p("rollbacks_replay"))
+	o.cCkpts = reg.Counter(p("checkpoints"))
+	o.cCkptBytes = reg.Counter(p("checkpoint_bytes"))
+	o.cCovDrop = reg.Counter(p("cov_events_dropped"))
+	o.cVCDBytes = reg.Counter(p("vcd_bytes"))
+	o.hVCD = reg.Histogram(p("vcd_roundtrip_ns"), nil)
+	o.cStagnant = reg.Counter(p("stagnation_events"))
+	o.cPruneSkip = reg.Counter(p("prune_skips"))
+	o.cBugs = reg.Counter(p("bugs_found"))
+	o.cSeqItems = reg.Counter(p("seq_items"))
+	o.hSeqSolve = reg.Histogram(p("seq_solve_ns"), nil)
+	o.gVectors = reg.Gauge(p("vectors_applied"))
+	o.gPoints = reg.Gauge(p("coverage_points"))
+	o.gCycles = reg.Gauge(p("cycles"))
 	return o
+}
+
+// ForWorker derives a per-worker observer for a parallel campaign: it
+// shares this observer's registry, tracer, clock and time origin, but
+// binds instruments under a "w<id>_" prefix and stamps every emitted
+// event with the (1-based) worker lane. /status therefore shows
+// per-worker coverage alongside the campaign totals, and the merged
+// trace keeps each worker's event stream separable. Nil-safe: a nil
+// base yields a nil (disabled) observer.
+func (o *Observer) ForWorker(id int) *Observer {
+	if o == nil {
+		return nil
+	}
+	w := New(Options{
+		Registry: o.reg,
+		Tracer:   o.tracer,
+		Now:      o.now,
+		Prefix:   fmt.Sprintf("w%d_", id),
+		Worker:   id,
+	})
+	w.origin = o.origin // timestamps align with the campaign origin
+	return w
 }
 
 // Registry exposes the observer's registry (nil-safe).
@@ -157,6 +190,9 @@ func (o *Observer) Now() int64 {
 
 func (o *Observer) emit(ev *Event) {
 	if o.tracer != nil {
+		if o.worker != 0 {
+			ev.Worker = o.worker
+		}
 		o.tracer.Emit(ev)
 	}
 }

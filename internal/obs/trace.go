@@ -42,6 +42,12 @@ type Event struct {
 	Vectors uint64 `json:"vectors"`
 	Points  int    `json:"coverage_points"`
 
+	// Worker identifies the emitting worker lane in a parallel
+	// campaign (1-based; 0/omitted = the single-engine or
+	// campaign-level lane, keeping single-worker traces byte-identical
+	// to the pre-parallel schema).
+	Worker int `json:"worker,omitempty"`
+
 	// Graph/Node/Edge locate solver_dispatch / plan_applied /
 	// prune_skip events on the clustered CFG (Graph is -1 when unset,
 	// so cluster 0 still serializes).
@@ -136,19 +142,25 @@ type TraceSummary struct {
 	FinalPoints  int            `json:"final_coverage_points"`
 	WallNS       int64          `json:"wall_ns"`
 	Bugs         int            `json:"bugs"`
+	// Workers counts the distinct worker lanes seen (0 for a
+	// single-engine trace with no worker-stamped events).
+	Workers int `json:"workers,omitempty"`
 }
 
 // ValidateTrace checks a JSONL event stream against the trace schema:
-// every line is a valid Event of a known type, timestamps and vector
-// counts are monotonically non-decreasing, the stream opens with
-// campaign_start and closes with campaign_end. It returns a summary of
-// the valid trace, or the first violation.
+// every line is a valid Event of a known type, the stream opens with
+// campaign_start and closes with campaign_end, and within each worker
+// lane timestamps and vector counts are monotonically non-decreasing.
+// (A parallel campaign interleaves lanes in emit order, so cross-lane
+// monotonicity cannot hold; lane 0 is the single-engine or
+// campaign-level stream.) It returns a summary of the valid trace, or
+// the first violation.
 func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	sum := &TraceSummary{ByType: map[string]int{}}
-	var lastT int64
-	var lastV uint64
+	lastT := map[int]int64{}
+	lastV := map[int]uint64{}
 	lastType := ""
 	line := 0
 	for sc.Scan() {
@@ -164,16 +176,19 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 		if !knownEvents[ev.Type] {
 			return nil, fmt.Errorf("trace line %d: unknown event type %q", line, ev.Type)
 		}
+		if ev.Worker < 0 {
+			return nil, fmt.Errorf("trace line %d: negative worker id %d", line, ev.Worker)
+		}
 		if sum.Events == 0 && ev.Type != EvCampaignStart {
 			return nil, fmt.Errorf("trace line %d: first event is %q, want %q", line, ev.Type, EvCampaignStart)
 		}
-		if ev.TNS < lastT {
-			return nil, fmt.Errorf("trace line %d: timestamp regressed (%d < %d)", line, ev.TNS, lastT)
+		if ev.TNS < lastT[ev.Worker] {
+			return nil, fmt.Errorf("trace line %d: worker %d timestamp regressed (%d < %d)", line, ev.Worker, ev.TNS, lastT[ev.Worker])
 		}
-		if ev.Vectors < lastV {
-			return nil, fmt.Errorf("trace line %d: vector count regressed (%d < %d)", line, ev.Vectors, lastV)
+		if ev.Vectors < lastV[ev.Worker] {
+			return nil, fmt.Errorf("trace line %d: worker %d vector count regressed (%d < %d)", line, ev.Worker, ev.Vectors, lastV[ev.Worker])
 		}
-		lastT, lastV, lastType = ev.TNS, ev.Vectors, ev.Type
+		lastT[ev.Worker], lastV[ev.Worker], lastType = ev.TNS, ev.Vectors, ev.Type
 		sum.Events++
 		sum.ByType[ev.Type]++
 		sum.FinalVectors = ev.Vectors
@@ -181,6 +196,11 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 		sum.WallNS = ev.TNS
 		if ev.Type == EvBugFound {
 			sum.Bugs++
+		}
+	}
+	for w := range lastT {
+		if w > 0 {
+			sum.Workers++
 		}
 	}
 	if err := sc.Err(); err != nil {

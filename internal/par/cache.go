@@ -1,0 +1,80 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// SolveCache is the cross-worker constraint cache: solved (or proven
+// unsat) step plans keyed by (graph, target node, query-context hash),
+// striped by key hash to keep publisher contention low. Because the
+// engine seeds cached queries canonically (see core.Config.PlanCache),
+// every worker computing the same key produces the identical value, so
+// concurrent Stores of one key are benign and a Lookup hit returns
+// exactly what a live solve would have.
+type SolveCache struct {
+	stripes [cacheStripes]cacheStripe
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+const cacheStripes = 16
+
+type cacheStripe struct {
+	mu sync.Mutex
+	m  map[core.PlanKey]core.CachedPlan
+}
+
+// NewSolveCache returns an empty cache.
+func NewSolveCache() *SolveCache {
+	c := &SolveCache{}
+	for i := range c.stripes {
+		c.stripes[i].m = map[core.PlanKey]core.CachedPlan{}
+	}
+	return c
+}
+
+func (c *SolveCache) stripe(k core.PlanKey) *cacheStripe {
+	h := k.Ctx ^ uint64(k.Graph)*0x9E3779B97F4A7C15 ^ uint64(k.To)*0xBF58476D1CE4E5B9
+	return &c.stripes[h%cacheStripes]
+}
+
+// Lookup implements core.PlanCache.
+func (c *SolveCache) Lookup(k core.PlanKey) (core.CachedPlan, bool) {
+	s := c.stripe(k)
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Store implements core.PlanCache.
+func (c *SolveCache) Store(k core.PlanKey, v core.CachedPlan) {
+	s := c.stripe(k)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// Hits and Misses report the global lookup tallies. The sum is
+// deterministic for a fixed seed set; the split depends on scheduling.
+func (c *SolveCache) Hits() int64   { return c.hits.Load() }
+func (c *SolveCache) Misses() int64 { return c.misses.Load() }
+
+// Len returns the number of distinct cached queries.
+func (c *SolveCache) Len() int {
+	n := 0
+	for i := range c.stripes {
+		c.stripes[i].mu.Lock()
+		n += len(c.stripes[i].m)
+		c.stripes[i].mu.Unlock()
+	}
+	return n
+}

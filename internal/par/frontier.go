@@ -1,0 +1,171 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cov"
+	"repro/internal/obs"
+)
+
+// frontier is the shared global coverage view of a parallel campaign:
+// per-cluster-graph mutex-protected node/edge sets plus striped
+// interaction-tuple shards, with an atomic point counter that is only
+// advanced on genuinely-new inserts — an edge covered both locally and
+// globally counts exactly once, no matter how many workers publish it.
+//
+// The frontier is a sink and a stop signal, never a steering input:
+// worker trajectories read only their local coverage, so the campaign
+// result is independent of publish interleaving. The deterministic
+// merged report is computed separately (merge-by-rank over the worker
+// monitors after join); the frontier exists for live status, the
+// campaign curve, and the opt-in stop conditions.
+type frontier struct {
+	start time.Time
+
+	graphs  []*graphShard
+	stripes [tupleStripes]stripeSet
+
+	points     atomic.Int64
+	edges      atomic.Int64
+	edgesTotal int64
+
+	// target > 0 stops the campaign when the global point count first
+	// reaches it (bench mode: time-to-target); stopAll stops once every
+	// static edge is globally covered. Both are opt-in and make the
+	// stop vector-count nondeterministic — a fixed-budget campaign
+	// leaves both unset and stays fully deterministic.
+	target   int64
+	stopAll  bool
+	stopped  atomic.Bool
+	targetNS atomic.Int64
+
+	o          *obs.Observer
+	workerVecs []atomic.Uint64
+
+	curveMu sync.Mutex
+	curve   []obs.CurvePoint
+}
+
+type graphShard struct {
+	mu    sync.Mutex
+	nodes map[int]bool
+	edges map[int]bool
+}
+
+const tupleStripes = 16
+
+type stripeSet struct {
+	mu  sync.Mutex
+	set map[string]bool
+}
+
+func newFrontier(nGraphs int, edgesTotal int, workers int, target int, stopAll bool, o *obs.Observer) *frontier {
+	f := &frontier{
+		graphs:     make([]*graphShard, nGraphs),
+		edgesTotal: int64(edgesTotal),
+		target:     int64(target),
+		stopAll:    stopAll,
+		o:          o,
+		workerVecs: make([]atomic.Uint64, workers),
+		start:      time.Now(),
+	}
+	for i := range f.graphs {
+		f.graphs[i] = &graphShard{nodes: map[int]bool{}, edges: map[int]bool{}}
+	}
+	for i := range f.stripes {
+		f.stripes[i].set = map[string]bool{}
+	}
+	return f
+}
+
+// tupleStripe picks a stripe by FNV-1a hash so concurrent publishers
+// rarely contend on the same lock.
+func tupleStripe(k string) int {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(k); i++ {
+		h = (h ^ uint64(k[i])) * 0x100000001b3
+	}
+	return int(h % tupleStripes)
+}
+
+// publish merges one worker's local coverage into the global view and
+// refreshes the live campaign curve. Dynamic (off-graph) observations
+// are excluded, matching CFGCov.Points.
+func (f *frontier) publish(rank int, cv *cov.CFGCov, vectors uint64) {
+	var added, addedEdges int64
+	for gi := range cv.NodesSeen {
+		if gi >= len(f.graphs) {
+			break
+		}
+		gs := f.graphs[gi]
+		gs.mu.Lock()
+		for id := range cv.NodesSeen[gi] {
+			if !gs.nodes[id] {
+				gs.nodes[id] = true
+				added++
+			}
+		}
+		for id := range cv.EdgesSeen[gi] {
+			if !gs.edges[id] {
+				gs.edges[id] = true
+				added++
+				addedEdges++
+			}
+		}
+		gs.mu.Unlock()
+	}
+	for t := range cv.Tuples {
+		st := &f.stripes[tupleStripe(t)]
+		st.mu.Lock()
+		if !st.set[t] {
+			st.set[t] = true
+			added++
+		}
+		st.mu.Unlock()
+	}
+	f.workerVecs[rank].Store(vectors)
+	pts := f.points.Add(added)
+	edges := f.edges.Add(addedEdges)
+
+	total := uint64(0)
+	for i := range f.workerVecs {
+		total += f.workerVecs[i].Load()
+	}
+	f.o.AddCurvePoint(total, int(pts))
+	f.curveMu.Lock()
+	f.curve = append(f.curve, obs.CurvePoint{Vectors: total, Points: int(pts)})
+	f.curveMu.Unlock()
+
+	if f.target > 0 && pts >= f.target {
+		if f.stopped.CompareAndSwap(false, true) {
+			f.targetNS.Store(int64(time.Since(f.start)))
+		}
+	}
+	if f.stopAll && f.edgesTotal > 0 && edges >= f.edgesTotal {
+		f.stopped.CompareAndSwap(false, true)
+	}
+}
+
+// shouldStop reports whether a stop condition has fired (workers poll
+// it at interval boundaries through the engine Sync hook).
+func (f *frontier) shouldStop() bool { return f.stopped.Load() }
+
+// forceStop trips the stop signal (worker error paths).
+func (f *frontier) forceStop() { f.stopped.Store(true) }
+
+// timeToTargetNS is the wall time at which the global point count first
+// reached the configured target (0 if never reached or no target).
+func (f *frontier) timeToTargetNS() int64 { return f.targetNS.Load() }
+
+// Curve returns a copy of the live campaign coverage curve. Samples
+// are wall-clock ordered (publish order), so the curve is a live-view
+// artifact, not part of the deterministic merged report.
+func (f *frontier) Curve() []obs.CurvePoint {
+	f.curveMu.Lock()
+	defer f.curveMu.Unlock()
+	out := make([]obs.CurvePoint, len(f.curve))
+	copy(out, f.curve)
+	return out
+}

@@ -1,0 +1,326 @@
+// Package par is the parallel campaign orchestrator: N core.Engine
+// workers run concurrently — each with its own elaborated design
+// instance, simulator, and seed-derived RNG — against a shared global
+// coverage frontier, a statically sharded work queue over the CFG edge
+// space, and a cross-worker solved-plan cache.
+//
+// The merged report is deterministic for a fixed seed set regardless
+// of goroutine interleaving. That property is engineered, not assumed:
+//
+//   - Workers run the unmodified Algorithm-1 loop against their LOCAL
+//     coverage. The global frontier is a sink (status, curve, opt-in
+//     stop conditions), never a steering input.
+//   - The "shared work queue" is static shard ownership (core.ShardSpec):
+//     each uncovered CFG edge belongs to exactly one worker until that
+//     worker's whole shard is locally drained, so no two workers burn
+//     solver time on the same frontier target and claim order cannot
+//     depend on scheduling.
+//   - The solved-plan cache is a pure memoization with canonical
+//     per-query seeds: a hit returns byte-for-byte what the live solve
+//     would have produced, so cache warmth changes wall time only.
+//   - The merge is by worker rank, not arrival order: coverage is a
+//     set union (idempotent), numeric stats are commutative sums, bugs
+//     are concatenated in rank order and deduped by (property, cycle).
+//
+// The only nondeterministic outputs are wall-clock values (Timings NS
+// fields, TimeToTargetNS) and the live campaign curve, which is
+// publish-ordered by design.
+package par
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cov"
+	"repro/internal/elab"
+	"repro/internal/logic"
+	"repro/internal/obs"
+	"repro/internal/props"
+)
+
+// Config parameterizes a parallel campaign. The embedded core.Config
+// is the per-worker Algorithm-1 configuration; Seed is the campaign
+// base seed (worker r runs with WorkerSeed(Seed, r)) and Obs, when
+// set, is the campaign-level observer — workers derive per-lane
+// observers from it via ForWorker.
+type Config struct {
+	core.Config
+
+	// Workers is the worker count; <= 1 runs a single worker (whose
+	// trajectory is identical to a plain engine run with the same
+	// core.Config, since sharding and plan sharing are disabled).
+	Workers int
+
+	// StopAtPoints, when > 0, stops every worker at the first interval
+	// boundary after the global point count reaches the target
+	// (benchmarking time-to-coverage). The stop vector count depends
+	// on scheduling; leave 0 for deterministic fixed-budget campaigns.
+	StopAtPoints int
+	// StopWhenAllCovered stops once every static CFG edge is globally
+	// covered (also scheduling-dependent; off by default).
+	StopWhenAllCovered bool
+	// SplitBudget divides MaxVectors across workers instead of giving
+	// each worker the full budget.
+	SplitBudget bool
+	// DisableSolveSharing turns the cross-worker plan cache off.
+	DisableSolveSharing bool
+}
+
+// Report is a parallel campaign's outcome: the deterministic merged
+// report plus per-worker reports (by rank) and campaign-level stats.
+type Report struct {
+	Workers int
+	// Seeds lists each worker's derived seed, by rank.
+	Seeds []int64
+	// Merged is the rank-merged campaign report. Coverage fields are
+	// the set union over workers; counters are sums; bugs are deduped
+	// by (property, cycle) in rank order; PrunedTargets and GraphStats
+	// come from worker 0 (static per design); Curve is left empty —
+	// the interleaving-ordered live curve is in Report.Curve.
+	Merged *core.Report
+	// PerWorker holds each worker's own report, by rank.
+	PerWorker []*core.Report
+
+	// WallNS is the campaign wall time (launch to last worker join).
+	WallNS int64
+	// TargetPoints echoes StopAtPoints; TimeToTargetNS is the wall
+	// time at which the global frontier first reached it (0 if not
+	// configured or not reached).
+	TargetPoints   int
+	TimeToTargetNS int64
+
+	// CacheHits / CacheMisses are the shared plan cache's global
+	// tallies (hits+misses is deterministic; the split is not).
+	CacheHits, CacheMisses int64
+
+	// Curve is the live campaign coverage curve (global points vs
+	// summed vectors, publish-ordered — a monitoring artifact).
+	Curve []obs.CurvePoint
+}
+
+// WorkerSeed derives worker r's engine seed from the campaign base
+// seed. Rank 0 keeps the base seed, so a 1-worker campaign reproduces
+// the plain single-engine run.
+func WorkerSeed(base int64, rank int) int64 {
+	if rank == 0 {
+		return base
+	}
+	return base + int64(rank)*0x9E3779B9
+}
+
+// Run executes a parallel campaign. factory elaborates one fresh
+// design instance per worker (instances must not share mutable state);
+// properties are shared (immutable ASTs — checker state is per-env).
+func Run(factory func() (*elab.Design, error), properties []*props.Property, c Config) (*Report, error) {
+	n := c.Workers
+	if n < 1 {
+		n = 1
+	}
+	base := c.Config
+	baseObs := base.Obs
+
+	var cache *SolveCache
+	if n > 1 && !c.DisableSolveSharing {
+		cache = NewSolveCache()
+	}
+
+	// fr is assigned after the engines exist (its shape comes from the
+	// first worker's partition); the Sync closures below only run once
+	// Run is called on each engine, strictly after the assignment.
+	var fr *frontier
+
+	engines := make([]*core.Engine, n)
+	seeds := make([]int64, n)
+	for r := 0; r < n; r++ {
+		d, err := factory()
+		if err != nil {
+			return nil, fmt.Errorf("par: worker %d: %w", r, err)
+		}
+		wc := base
+		wc.Seed = WorkerSeed(base.Seed, r)
+		wc.SharedSeed = base.Seed
+		seeds[r] = wc.Seed
+		if n > 1 {
+			wc.Shard = core.ShardSpec{Rank: r, Workers: n}
+		}
+		if cache != nil {
+			wc.PlanCache = cache
+		}
+		if wc.CFG.Pin != nil {
+			// Each engine writes its reset pin into this map during
+			// construction; give every worker its own copy.
+			pin := make(map[string]logic.BV, len(wc.CFG.Pin))
+			for k, v := range wc.CFG.Pin {
+				pin[k] = v
+			}
+			wc.CFG.Pin = pin
+		}
+		if c.SplitBudget && n > 1 {
+			share := base.MaxVectors / uint64(n)
+			if uint64(r) < base.MaxVectors%uint64(n) {
+				share++
+			}
+			wc.MaxVectors = share
+		}
+		wc.Obs = baseObs.ForWorker(r + 1)
+		rank := r
+		wc.Sync = func(cv *cov.CFGCov, rep *core.Report) bool {
+			fr.publish(rank, cv, rep.Vectors)
+			return fr.shouldStop()
+		}
+		eng, err := core.New(d, properties, wc)
+		if err != nil {
+			return nil, fmt.Errorf("par: worker %d: %w", r, err)
+		}
+		engines[r] = eng
+	}
+
+	part := engines[0].Graph()
+	edgesTotal := 0
+	for _, g := range part.Graphs {
+		edgesTotal += len(g.Edges)
+	}
+	fr = newFrontier(len(part.Graphs), edgesTotal, n, c.StopAtPoints, c.StopWhenAllCovered, baseObs)
+
+	baseObs.CampaignStart(0, 0)
+	start := time.Now()
+	fr.start = start
+
+	reports := make([]*core.Report, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			rep, err := engines[rank].Run()
+			if err != nil {
+				errs[rank] = err
+				fr.forceStop() // let the other workers bail at their next boundary
+				return
+			}
+			reports[rank] = rep
+		}(r)
+	}
+	wg.Wait()
+	wallNS := int64(time.Since(start))
+
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("par: worker %d: %w", r, err)
+		}
+	}
+
+	merged := mergeReports(engines, reports)
+	out := &Report{
+		Workers:        n,
+		Seeds:          seeds,
+		Merged:         merged,
+		PerWorker:      reports,
+		WallNS:         wallNS,
+		TargetPoints:   c.StopAtPoints,
+		TimeToTargetNS: fr.timeToTargetNS(),
+		Curve:          fr.Curve(),
+	}
+	if cache != nil {
+		out.CacheHits, out.CacheMisses = cache.Hits(), cache.Misses()
+	}
+
+	finalizeMetrics(baseObs, merged)
+	baseObs.Cycles(merged.Cycles)
+	baseObs.CampaignEnd(merged.Vectors, merged.FinalPoints)
+	return out, nil
+}
+
+// mergeReports folds the per-worker reports into one campaign report,
+// strictly in rank order so the result is independent of completion
+// order. Coverage is recomputed as a set union of the worker monitors
+// over worker 0's partition (cluster graphs are built
+// deterministically, so IDs agree across workers).
+func mergeReports(engines []*core.Engine, reports []*core.Report) *core.Report {
+	mcov := cov.NewCFGCov(engines[0].Graph())
+	for _, e := range engines {
+		mcov.Merge(e.Coverage())
+	}
+
+	m := &core.Report{}
+	first := reports[0]
+	m.PrunedTargets = first.PrunedTargets
+	m.GraphStats = first.GraphStats
+
+	seen := map[string]bool{}
+	for _, r := range reports {
+		m.Vectors += r.Vectors
+		m.Cycles += r.Cycles
+		m.SymbolicInvocations += r.SymbolicInvocations
+		m.SolvedPlans += r.SolvedPlans
+		m.Rollbacks += r.Rollbacks
+		m.Replays += r.Replays
+		m.CheckpointsTaken += r.CheckpointsTaken
+		m.VCDBytes += r.VCDBytes
+		m.PrunedSolves += r.PrunedSolves
+		m.CovEventsDropped += r.CovEventsDropped
+		m.SolveCacheHits += r.SolveCacheHits
+		m.SolveCacheMisses += r.SolveCacheMisses
+		mergeTimings(&m.Timings, &r.Timings)
+		for _, b := range r.Bugs {
+			key := fmt.Sprintf("%s@%d", b.Property, b.Cycle)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			m.Bugs = append(m.Bugs, b)
+		}
+	}
+
+	m.FinalPoints = mcov.Points()
+	m.NodesCovered, m.NodesTotal = mcov.NodeCoverage()
+	m.EdgesCovered, m.EdgesTotal = mcov.EdgeCoverage()
+	m.TupleCount = len(mcov.Tuples)
+	return m
+}
+
+// mergeTimings sums the phase and solver totals (commutative, so the
+// counts are rank-order independent; the NS fields are wall clock and
+// carry the usual nondeterminism).
+func mergeTimings(dst, src *core.Timings) {
+	dst.TotalNS += src.TotalNS
+	dst.FuzzNS += src.FuzzNS
+	dst.SymbolicNS += src.SymbolicNS
+	dst.RollbackNS += src.RollbackNS
+	dst.VCDNS += src.VCDNS
+	dst.CheckpointBytes += src.CheckpointBytes
+	d, s := &dst.Solve, &src.Solve
+	d.Dispatches += s.Dispatches
+	d.Sat += s.Sat
+	d.Unsat += s.Unsat
+	d.Conflicts += s.Conflicts
+	d.Decisions += s.Decisions
+	d.Propagations += s.Propagations
+	d.Clauses += s.Clauses
+	d.Vars += s.Vars
+	d.BlastNS += s.BlastNS
+	d.CDCLNS += s.CDCLNS
+}
+
+// finalizeMetrics folds the merged campaign totals into the
+// campaign-level (unprefixed) instruments, so /status and downstream
+// consumers (benchtab -metrics) see campaign sums next to the w<N>_
+// per-worker series.
+func finalizeMetrics(o *obs.Observer, m *core.Report) {
+	reg := o.Registry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("solver_dispatches").Add(int64(m.Timings.Solve.Dispatches))
+	reg.Counter("solver_sat").Add(int64(m.Timings.Solve.Sat))
+	reg.Counter("solver_unsat").Add(int64(m.Timings.Solve.Unsat))
+	reg.Counter("plans_applied").Add(int64(m.SolvedPlans))
+	reg.Counter("stagnation_events").Add(int64(m.SymbolicInvocations))
+	reg.Counter("bugs_found").Add(int64(len(m.Bugs)))
+	reg.Counter("cov_events_dropped").Add(int64(m.CovEventsDropped))
+	reg.Counter("checkpoint_bytes").Add(m.Timings.CheckpointBytes)
+	reg.Counter("prune_skips").Add(int64(m.PrunedSolves))
+}

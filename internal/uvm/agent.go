@@ -2,6 +2,7 @@ package uvm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/elab"
 	"repro/internal/logic"
@@ -36,14 +37,25 @@ func NewDriver(name string, s *sim.Simulator, clock int) *Driver {
 
 // Apply drives one item: sets every mapped field, then runs Hold clock
 // cycles (or a single settle when the DUV has no clock).
+//
+// Fields are applied in sorted name order: each Set re-evaluates the
+// dependent combinational cone, and the transient states seen mid-apply
+// feed the branch tracer — map order here would make the coverage
+// event stream (and with it the whole campaign) run-to-run
+// nondeterministic.
 func (d *Driver) Apply(it *Item) error {
-	for name, v := range it.Fields {
+	names := make([]string, 0, len(it.Fields))
+	for name := range it.Fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		idx, ok := d.fieldIdx[name]
 		if !ok {
 			return fmt.Errorf("uvm: item field %q does not match an input port", name)
 		}
 		sig := d.Sim.Design().Signals[idx]
-		d.Sim.Set(idx, v.Resize(sig.Width))
+		d.Sim.Set(idx, it.Fields[name].Resize(sig.Width))
 	}
 	if err := d.Sim.Settle(); err != nil {
 		return err

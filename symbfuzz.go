@@ -35,6 +35,7 @@ import (
 	"repro/internal/hdl"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/props"
 	"repro/internal/sim"
 	"repro/internal/smt"
@@ -218,6 +219,24 @@ func Fuzz(b *Benchmark, c Config) (*Report, error) {
 		return nil, err
 	}
 	return eng.Run()
+}
+
+// ---- parallel campaigns (internal/par) ----
+
+// ParallelConfig parameterizes a multi-worker campaign: the embedded
+// Config is the per-worker Algorithm-1 setup, Workers the fan-out.
+type ParallelConfig = par.Config
+
+// ParallelReport is a parallel campaign's outcome: the deterministic
+// rank-merged Report plus per-worker reports and campaign-level stats.
+type ParallelReport = par.Report
+
+// FuzzParallel runs Workers concurrent SymbFuzz engines on a benchmark
+// against a shared coverage frontier with statically sharded targets
+// and a cross-worker solved-plan cache. The merged report is
+// deterministic for a fixed seed set regardless of scheduling.
+func FuzzParallel(b *Benchmark, c ParallelConfig) (*ParallelReport, error) {
+	return par.Run(b.Elaborate, b.Properties, c)
 }
 
 // ---- benchmark designs (§5 evaluation targets) ----
