@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|par|all (par never runs under all)")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|par|dist|all (par and dist never run under all)")
 		budget     = flag.Uint64("budget", 0, "vector budget per IP run (0 = defaults)")
 		soc        = flag.Uint64("soc-budget", 0, "vector budget for SoC curves")
 		runs       = flag.Int("runs", 0, "runs averaged (figure 4, table 2)")
@@ -35,6 +35,7 @@ func main() {
 		obsOut     = flag.String("obs-out", "BENCH_obs.json", "perf record output path (with -metrics)")
 		parWorkers = flag.Int("par-workers", 4, "worker count for -exp par")
 		parOut     = flag.String("par-out", "BENCH_par.json", "scaling record output path (with -exp par)")
+		distOut    = flag.String("dist-out", "BENCH_dist.json", "wire-overhead record output path (with -exp dist)")
 	)
 	flag.Parse()
 
@@ -52,6 +53,16 @@ func main() {
 	if *exp == "par" {
 		if err := runPar(*parWorkers, *seed, *parOut, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab: par:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Same rule for dist: it races the in-process orchestrator against
+	// the loopback wire protocol, so it is wall-clock-sensitive too.
+	if *exp == "dist" {
+		if err := runDistExp(2, *seed, *distOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab: dist:", err)
 			os.Exit(1)
 		}
 		return

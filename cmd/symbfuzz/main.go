@@ -7,6 +7,17 @@
 //	symbfuzz -src design.sv -top mymodule -vectors 50000
 //	symbfuzz -bench aes -trace out.jsonl -metrics metrics.json -status :6060
 //
+// Distributed campaigns run one coordinator and N workers:
+//
+//	symbfuzz -serve :7070 -bench scmi_mailbox -workers 2 -journal camp.jsonl
+//	symbfuzz -connect host:7070            # on each worker machine
+//	symbfuzz -serve :7070 ... -journal camp.jsonl -resume   # after a crash
+//
+// SIGINT/SIGTERM interrupt any mode gracefully: the engine stops at
+// the next cycle, the JSONL trace and metrics snapshot are flushed,
+// and the partial report is printed (and serialized with
+// "interrupted": true when -report-out is set).
+//
 // Built-in benchmarks: alu, opentitan_mini, opentitan_mini_fixed,
 // cva6_mini, rocket_mini, mor1kx_mini, and each SoC IP by module name
 // (scmi_mailbox, lc_ctrl, aes, otbn_mac, rom_ctrl, pwr_mgr, uart_rx,
@@ -14,21 +25,30 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	symbfuzz "repro"
 	"repro/internal/designs"
+	"repro/internal/dist"
 )
 
-// propFlags collects repeated -prop name=expr[;disable] flags.
-type propFlags []*symbfuzz.Property
+// propFlags collects repeated -prop name=expr[;disable] flags, keeping
+// both the compiled property and its source form (distributed
+// campaigns ship the source strings in the campaign spec).
+type propFlags struct {
+	props []*symbfuzz.Property
+	specs []dist.PropSpec
+}
 
-func (p *propFlags) String() string { return fmt.Sprintf("%d properties", len(*p)) }
+func (p *propFlags) String() string { return fmt.Sprintf("%d properties", len(p.props)) }
 
 func (p *propFlags) Set(v string) error {
 	name, rest, ok := strings.Cut(v, "=")
@@ -36,12 +56,13 @@ func (p *propFlags) Set(v string) error {
 		return fmt.Errorf("use -prop name=expr[;disable-iff-expr]")
 	}
 	exprSrc, disableSrc, _ := strings.Cut(rest, ";")
-	prop, err := symbfuzz.ParseProperty(strings.TrimSpace(name),
-		strings.TrimSpace(exprSrc), strings.TrimSpace(disableSrc))
+	name, exprSrc, disableSrc = strings.TrimSpace(name), strings.TrimSpace(exprSrc), strings.TrimSpace(disableSrc)
+	prop, err := symbfuzz.ParseProperty(name, exprSrc, disableSrc)
 	if err != nil {
 		return err
 	}
-	*p = append(*p, prop)
+	p.props = append(p.props, prop)
+	p.specs = append(p.specs, dist.PropSpec{Name: name, Expr: exprSrc, DisableIff: disableSrc})
 	return nil
 }
 
@@ -62,21 +83,47 @@ func main() {
 		traceOut  = flag.String("trace", "", "write the JSONL campaign event trace to this file")
 		metricOut = flag.String("metrics", "", "write the final metrics/status snapshot JSON to this file")
 		statusOn  = flag.String("status", "", "serve the live status+pprof endpoint on this address (e.g. :6060)")
+		reportOut = flag.String("report-out", "", "write the final (merged) report JSON to this file")
+
+		serveOn  = flag.String("serve", "", "run as distributed-campaign coordinator on this address (e.g. :7070)")
+		connect  = flag.String("connect", "", "run as distributed-campaign worker against this coordinator")
+		rankHint = flag.Int("rank-hint", -1, "preferred shard rank when connecting (-1 = any)")
+		maxRanks = flag.Int("max-ranks", 0, "maximum shard ranks this worker runs (0 = until campaign done)")
+		journal  = flag.String("journal", "", "coordinator journal path (JSONL; enables -resume)")
+		resume   = flag.Bool("resume", false, "resume a coordinator from an existing -journal")
+		leaseTTL = flag.Duration("lease-ttl", 5*time.Second, "coordinator rank-lease TTL")
 	)
 	flag.Var(&extraProps, "prop",
 		`extra security property, repeatable: -prop 'name=err |-> en;!rst_ni'`)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the campaign context: every mode stops at
+	// the next boundary, flushes telemetry, and reports what it has.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *connect != "" {
+		if err := runConnect(ctx, *connect, *rankHint, *maxRanks); err != nil && ctx.Err() == nil {
+			fmt.Fprintln(os.Stderr, "symbfuzz:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	b, err := resolveBenchmark(*bench, *srcFile, *top, *fixed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "symbfuzz:", err)
 		os.Exit(1)
 	}
-	b.Properties = append(b.Properties, extraProps...)
+	b.Properties = append(b.Properties, extraProps.props...)
 
 	// Telemetry: build an observer when any observability flag is set;
 	// nil otherwise (the engine's zero-overhead fast path).
 	var o *symbfuzz.Observer
+	var statusSrv interface {
+		Shutdown(context.Context) error
+		Addr() string
+	}
 	if *traceOut != "" || *metricOut != "" || *statusOn != "" {
 		opts := symbfuzz.ObserverOptions{}
 		if *traceOut != "" {
@@ -94,7 +141,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "symbfuzz:", err)
 				os.Exit(1)
 			}
-			defer srv.Close()
+			statusSrv = srv
 			fmt.Printf("status endpoint: http://%s/status (pprof at /debug/pprof/)\n", srv.Addr())
 		}
 	}
@@ -108,21 +155,50 @@ func main() {
 		ContinueAfterCoverage: *keepGoing,
 		Obs:                   o,
 	}
-	// -workers 1 takes the single-engine path unchanged; N > 1 runs the
-	// parallel orchestrator and reports the rank-merged campaign.
+
 	var rep *symbfuzz.Report
 	var prep *symbfuzz.ParallelReport
 	var err2 error
-	if *workers > 1 {
-		prep, err2 = symbfuzz.FuzzParallel(b, symbfuzz.ParallelConfig{Config: cfg, Workers: *workers})
+	if *serveOn != "" {
+		spec := dist.CampaignSpec{
+			Bench: *bench, Fixed: *fixed, Top: *top,
+			Props:                 extraProps.specs,
+			Interval:              cfg.Interval,
+			Threshold:             cfg.Threshold,
+			MaxVectors:            cfg.MaxVectors,
+			Seed:                  cfg.Seed,
+			Workers:               *workers,
+			UseSnapshots:          cfg.UseSnapshots,
+			ContinueAfterCoverage: cfg.ContinueAfterCoverage,
+		}
+		if *srcFile != "" {
+			spec.Bench = ""
+			spec.Source = b.Source
+		}
+		prep, err2 = runServe(ctx, *serveOn, spec, *journal, *resume, *leaseTTL, o)
+		if prep != nil {
+			rep = prep.Merged
+		}
+	} else if *workers > 1 {
+		// -workers 1 takes the single-engine path unchanged; N > 1 runs
+		// the parallel orchestrator and reports the rank-merged campaign.
+		prep, err2 = symbfuzz.FuzzParallelContext(ctx, b, symbfuzz.ParallelConfig{Config: cfg, Workers: *workers})
 		if prep != nil {
 			rep = prep.Merged
 		}
 	} else {
-		rep, err2 = symbfuzz.Fuzz(b, cfg)
+		rep, err2 = symbfuzz.FuzzContext(ctx, b, cfg)
 	}
+
+	// Flush telemetry before exiting on any path: the trace file ends
+	// with what the campaign managed to emit, interrupted or not.
 	if cerr := o.Close(); cerr != nil {
 		fmt.Fprintln(os.Stderr, "symbfuzz: trace:", cerr)
+	}
+	if statusSrv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = statusSrv.Shutdown(sctx)
+		cancel()
 	}
 	if err2 != nil {
 		fmt.Fprintln(os.Stderr, "symbfuzz:", err2)
@@ -138,7 +214,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *reportOut != "" {
+		data, rerr := json.MarshalIndent(rep, "", "  ")
+		if rerr == nil {
+			rerr = os.WriteFile(*reportOut, append(data, '\n'), 0o644)
+		}
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "symbfuzz: report:", rerr)
+			os.Exit(1)
+		}
+	}
 
+	if rep.Interrupted {
+		fmt.Println("campaign interrupted — partial report:")
+	}
 	fmt.Printf("benchmark: %s (%d LoC)\n", b.Name, b.LoC)
 	fmt.Printf("CFG: %d nodes, %d edges, %d checkpoints, %d dependency equations\n",
 		rep.GraphStats.Nodes, rep.GraphStats.Edges, rep.GraphStats.Checkpoints, rep.GraphStats.DepEqns)
@@ -167,6 +256,45 @@ func main() {
 	}
 }
 
+// runServe hosts the distributed-campaign coordinator until every
+// shard rank has reported (or ctx is interrupted).
+func runServe(ctx context.Context, addr string, spec dist.CampaignSpec,
+	journal string, resume bool, leaseTTL time.Duration, o *symbfuzz.Observer) (*symbfuzz.ParallelReport, error) {
+	co, err := dist.NewCoordinator(addr, dist.CoordConfig{
+		Spec:        spec,
+		LeaseTTL:    leaseTTL,
+		JournalPath: journal,
+		Resume:      resume,
+		Obs:         o,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("coordinator listening on %s (campaign: %d workers, seed %d)\n",
+		co.Addr(), spec.Workers, spec.Seed)
+	rep, err := co.Wait(ctx)
+	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	_ = co.Shutdown(sctx)
+	cancel()
+	return rep, err
+}
+
+// runConnect runs the distributed-campaign worker loop against a
+// remote coordinator.
+func runConnect(ctx context.Context, addr string, rankHint, maxRanks int) error {
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "worker"
+	}
+	id := fmt.Sprintf("%s-%d", host, os.Getpid())
+	fmt.Printf("worker %s connecting to %s\n", id, addr)
+	err := dist.RunWorker(ctx, dist.WorkerConfig{Addr: addr, WorkerID: id, RankHint: rankHint, MaxRanks: maxRanks})
+	if err == nil {
+		fmt.Println("worker done; exiting")
+	}
+	return err
+}
+
 // printWorkers renders the per-worker breakdown of a parallel campaign
 // followed by the shared-cache tallies.
 func printWorkers(prep *symbfuzz.ParallelReport) {
@@ -174,6 +302,10 @@ func printWorkers(prep *symbfuzz.ParallelReport) {
 		prep.Workers, time.Duration(prep.WallNS).Round(time.Millisecond))
 	fmt.Printf("  %-7s %12s %10s %8s %10s %6s\n", "worker", "seed", "vectors", "points", "edges", "bugs")
 	for r, wr := range prep.PerWorker {
+		if wr == nil {
+			fmt.Printf("  w%-6d %12d %10s\n", r+1, prep.Seeds[r], "(no report)")
+			continue
+		}
 		fmt.Printf("  w%-6d %12d %10d %8d %6d/%-3d %6d\n",
 			r+1, prep.Seeds[r], wr.Vectors, wr.FinalPoints, wr.EdgesCovered, wr.EdgesTotal, len(wr.Bugs))
 	}

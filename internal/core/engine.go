@@ -12,6 +12,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -244,6 +245,11 @@ type Report struct {
 	// metric undercounts (see cov.EventCap).
 	CovEventsDropped uint64
 
+	// Interrupted is true when the campaign was cut short by context
+	// cancellation (SIGINT/SIGTERM): the report is a valid partial —
+	// coverage, bugs and counters up to the interruption boundary.
+	Interrupted bool `json:"interrupted,omitempty"`
+
 	// Timings is the campaign's phase-time and solver-statistics
 	// breakdown.
 	Timings Timings
@@ -274,6 +280,10 @@ type Engine struct {
 	// obs is the telemetry sink; nil disables (all call sites are
 	// nil-safe).
 	obs *obs.Observer
+	// ctx is the run's cancellation context (set by RunContext for the
+	// duration of the run; checked at interval boundaries and between
+	// guided steps).
+	ctx context.Context
 	// shardAll is true when edge sharding is off or this worker's
 	// entire in-shard uncovered set is locally drained, unlocking
 	// out-of-shard targets; recomputed at each guidance entry.
@@ -392,7 +402,17 @@ func (e *Engine) Coverage() *cov.CFGCov { return e.cover }
 // Run executes Algorithm 1's fuzzing loop until the vector budget is
 // exhausted or every static CFG edge has been exercised.
 func (e *Engine) Run() (*Report, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the loop
+// stops at the next interval boundary (or between guided steps inside
+// a symbolic phase), the report is finalized as a valid partial with
+// Interrupted=true, and no error is returned — callers flush traces,
+// metrics and the report exactly as on a normal completion.
+func (e *Engine) RunContext(ctx context.Context) (*Report, error) {
 	c := e.cfgc
+	e.ctx = ctx
 	seq := e.env.Agent.Sequencer
 	lastPoints := -1
 	stagnant := 0
@@ -404,6 +424,10 @@ func (e *Engine) Run() (*Report, error) {
 
 	for e.report.Vectors < c.MaxVectors &&
 		(c.ContinueAfterCoverage || !e.cover.AllEdgesCovered()) {
+		if ctx.Err() != nil {
+			e.report.Interrupted = true
+			break
+		}
 		// --- one interval of I cycles (Alg. 1 line 8) ---
 		e.obs.IntervalStart(e.report.Vectors, e.cover.Points())
 		ivStart := time.Now()
@@ -725,6 +749,9 @@ func (e *Engine) guide() {
 		e.shardAll = e.shardDrained()
 	}
 	for step := 0; step < guideSteps && e.report.Vectors < e.cfgc.MaxVectors; step++ {
+		if e.ctx != nil && e.ctx.Err() != nil {
+			return // the run loop records the interruption
+		}
 		progressed := false
 		// Solve in place: clusters whose current node has unexplored
 		// out-edges, most-unexplored first.

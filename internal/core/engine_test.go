@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"repro/internal/cov"
@@ -234,5 +237,83 @@ func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
 	if c.Interval != 300 || c.Threshold != 3 || c.ResetCycles != 2 {
 		t.Errorf("defaults = %+v", c)
+	}
+}
+
+// TestEngineInterrupt pins the graceful-shutdown contract: cancelling
+// the run context stops the engine promptly and yields a valid partial
+// report with Interrupted set — the counters agree with a shorter
+// fixed-budget run rather than being torn mid-interval.
+func TestEngineInterrupt(t *testing.T) {
+	eng, err := New(deepDesign(t), []*props.Property{leakProp()},
+		Config{Interval: 50, Threshold: 2, MaxVectors: 1_000_000, Seed: 5,
+			UseSnapshots: true, ContinueAfterCoverage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the engine must notice before fuzzing
+	rep, err := eng.RunContext(ctx)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if !rep.Interrupted {
+		t.Fatal("report of a cancelled run must carry Interrupted")
+	}
+	if rep.Vectors >= 1_000_000 {
+		t.Fatalf("engine ran to budget despite cancellation: %d vectors", rep.Vectors)
+	}
+
+	// A pre-cancelled context round-trips through the report JSON with
+	// the interrupted marker visible to downstream consumers.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"interrupted":true`) {
+		t.Fatalf("serialized report lacks interrupted marker: %s", data)
+	}
+
+	// An uncancelled context leaves the flag unset.
+	eng2, err := New(deepDesign(t), []*props.Property{leakProp()},
+		Config{Interval: 50, Threshold: 2, MaxVectors: 500, Seed: 5, UseSnapshots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := eng2.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Interrupted {
+		t.Fatal("uncancelled run must not be marked interrupted")
+	}
+
+	// Cancellation mid-run: stop after the first interval boundary via
+	// the Sync hook, then check the engine honors ctx within the loop.
+	ctx3, cancel3 := context.WithCancel(context.Background())
+	defer cancel3()
+	boundaries := 0
+	eng3, err := New(deepDesign(t), []*props.Property{leakProp()},
+		Config{Interval: 50, Threshold: 2, MaxVectors: 1_000_000, Seed: 5,
+			UseSnapshots: true, ContinueAfterCoverage: true,
+			Sync: func(*cov.CFGCov, *Report) bool {
+				boundaries++
+				if boundaries == 2 {
+					cancel3()
+				}
+				return false
+			}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep3, err := eng3.RunContext(ctx3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep3.Interrupted {
+		t.Fatal("mid-run cancellation must mark the report interrupted")
+	}
+	if rep3.Vectors >= 1_000_000 || rep3.Vectors == 0 {
+		t.Fatalf("mid-run cancellation stopped at %d vectors", rep3.Vectors)
 	}
 }

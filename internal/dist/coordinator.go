@@ -1,0 +1,528 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/cov"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// CoordConfig parameterizes a campaign coordinator.
+type CoordConfig struct {
+	Spec CampaignSpec
+
+	// LeaseTTL is how long a rank lease survives without a heartbeat
+	// or publish before the rank becomes claimable by another worker
+	// (default 5s).
+	LeaseTTL time.Duration
+
+	// JournalPath, when set, appends completed-rank reports to an
+	// append-only JSONL journal; Resume replays an existing journal so
+	// a restarted coordinator keeps the ranks that already finished.
+	JournalPath string
+	Resume      bool
+
+	// Obs receives campaign telemetry: the coordinator emits
+	// campaign_start/campaign_end on the campaign lane and re-emits
+	// each rank's worker-lane event stream verbatim when its report
+	// arrives, so the resulting trace validates like an in-process
+	// parallel campaign's.
+	Obs *obs.Observer
+
+	// StopAtPoints / StopWhenAllCovered arm the frontier's opt-in stop
+	// conditions (propagated to workers through publish/heartbeat
+	// responses). Leave unset for deterministic fixed-budget runs.
+	StopAtPoints       int
+	StopWhenAllCovered bool
+}
+
+// rankResult is a completed rank: its report, final coverage
+// snapshot, and telemetry lane.
+type rankResult struct {
+	report *core.Report
+	cov    *cov.CFGCov
+	events []obs.Event
+}
+
+// lease is one live rank assignment.
+type lease struct {
+	worker  string
+	expires time.Time
+}
+
+// Coordinator hosts one distributed campaign: the wire API, the
+// global frontier, the shared plan cache, the lease table, and the
+// journal. Campaign state that must survive a coordinator crash lives
+// either in the journal (completed ranks) or on the workers (their
+// engines, which republish cumulative coverage and retry deliveries
+// until a coordinator — the same or a restarted one — acknowledges).
+type Coordinator struct {
+	cfg        CoordConfig
+	spec       CampaignSpec
+	campaignID string
+
+	part  *cfg.Partition
+	fr    *par.Frontier
+	cache *par.SolveCache
+	jr    *journal
+
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+
+	mu     sync.Mutex
+	leases map[int]*lease
+	done   map[int]*rankResult
+	doneCh chan struct{}
+	ended  bool
+}
+
+// NewCoordinator validates the spec (it must elaborate — better to
+// fail here than on every worker), replays the journal when resuming,
+// and binds the listener. Serve traffic starts immediately.
+func NewCoordinator(addr string, c CoordConfig) (*Coordinator, error) {
+	if c.Spec.Workers < 1 {
+		c.Spec.Workers = 1
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 5 * time.Second
+	}
+
+	// Elaborate a probe engine: it checks that every worker will be
+	// able to build the same campaign, and its partition gives the
+	// frontier its shape and the final merge its graph (cluster graphs
+	// are built deterministically, so worker partitions agree).
+	bench, properties, err := ResolveSpec(c.Spec)
+	if err != nil {
+		return nil, err
+	}
+	d, err := bench.Elaborate()
+	if err != nil {
+		return nil, err
+	}
+	probe, err := core.New(d, properties, specConfig(c.Spec, 0))
+	if err != nil {
+		return nil, err
+	}
+	part := probe.Graph()
+	edgesTotal := 0
+	for _, g := range part.Graphs {
+		edgesTotal += len(g.Edges)
+	}
+
+	co := &Coordinator{
+		cfg:        c,
+		spec:       c.Spec,
+		campaignID: fmt.Sprintf("%s-w%d-seed%d", bench.Name, c.Spec.Workers, c.Spec.Seed),
+		part:       part,
+		cache:      par.NewSolveCache(),
+		leases:     map[int]*lease{},
+		done:       map[int]*rankResult{},
+		doneCh:     make(chan struct{}),
+	}
+	co.fr = par.NewFrontier(len(part.Graphs), edgesTotal, c.Spec.Workers,
+		c.StopAtPoints, c.StopWhenAllCovered, c.Obs)
+
+	if c.JournalPath != "" && c.Resume {
+		st, err := replayJournal(c.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		if st.Spec != nil && !specEqual(*st.Spec, c.Spec) {
+			return nil, fmt.Errorf("dist: journal %s was written by a different campaign spec", c.JournalPath)
+		}
+		for rank, rec := range st.Reports {
+			if rank < 0 || rank >= c.Spec.Workers {
+				continue
+			}
+			cv := CovFromWire(*rec.Coverage)
+			co.done[rank] = &rankResult{report: rec.Report, cov: cv, events: rec.Events}
+			co.fr.Publish(rank, cv, rec.Report.Vectors)
+		}
+		if len(co.done) == c.Spec.Workers {
+			close(co.doneCh)
+		}
+	}
+	if c.JournalPath != "" {
+		co.jr, err = openJournal(c.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := co.jr.append(journalRecord{Kind: "campaign", CampaignID: co.campaignID, Spec: &co.spec}); err != nil {
+			return nil, err
+		}
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/join", co.handleJoin)
+	mux.HandleFunc("/v1/lease", co.handleLease)
+	mux.HandleFunc("/v1/heartbeat", co.handleHeartbeat)
+	mux.HandleFunc("/v1/publish", co.handlePublish)
+	mux.HandleFunc("/v1/cache", co.handleCache)
+	mux.HandleFunc("/v1/report", co.handleReport)
+	co.ln = ln
+	co.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	co.start = time.Now()
+	c.Obs.CampaignStart(0, 0)
+	go func() { _ = co.srv.Serve(ln) }()
+	return co, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
+
+// specEqual compares campaign specs field by field (CampaignSpec
+// holds a slice, so == does not apply).
+func specEqual(a, b CampaignSpec) bool {
+	if len(a.Props) != len(b.Props) {
+		return false
+	}
+	for i := range a.Props {
+		if a.Props[i] != b.Props[i] {
+			return false
+		}
+	}
+	return a.Bench == b.Bench && a.Fixed == b.Fixed &&
+		a.Source == b.Source && a.Top == b.Top &&
+		a.Interval == b.Interval && a.Threshold == b.Threshold &&
+		a.MaxVectors == b.MaxVectors && a.Seed == b.Seed &&
+		a.Workers == b.Workers && a.UseSnapshots == b.UseSnapshots &&
+		a.ContinueAfterCoverage == b.ContinueAfterCoverage
+}
+
+// specConfig builds rank's engine configuration from the campaign
+// spec — the exact recipe par.RunContext uses for its in-process
+// workers, which is what makes the merged reports agree.
+func specConfig(s CampaignSpec, rank int) core.Config {
+	wc := core.Config{
+		Interval:              s.Interval,
+		Threshold:             s.Threshold,
+		MaxVectors:            s.MaxVectors,
+		Seed:                  par.WorkerSeed(s.Seed, rank),
+		SharedSeed:            s.Seed,
+		UseSnapshots:          s.UseSnapshots,
+		ContinueAfterCoverage: s.ContinueAfterCoverage,
+	}
+	if s.Workers > 1 {
+		wc.Shard = core.ShardSpec{Rank: rank, Workers: s.Workers}
+	}
+	return wc
+}
+
+// ---- HTTP plumbing ----
+
+func decode[T any](w http.ResponseWriter, r *http.Request, req *T) bool {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(req); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+}
+
+// ---- endpoints ----
+
+func (co *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Proto != ProtoVersion {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf(
+			"protocol version mismatch: coordinator speaks v%d, worker %q speaks v%d — rebuild the worker from the same revision",
+			ProtoVersion, req.WorkerID, req.Proto))
+		return
+	}
+	writeJSON(w, JoinResponse{Proto: ProtoVersion, CampaignID: co.campaignID, Spec: co.spec})
+}
+
+func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+
+	if len(co.done) == co.spec.Workers {
+		writeJSON(w, LeaseResponse{Rank: -1, Done: true})
+		return
+	}
+	claimable := func(rank int) bool {
+		if co.done[rank] != nil {
+			return false
+		}
+		l := co.leases[rank]
+		return l == nil || now.After(l.expires) || l.worker == req.WorkerID
+	}
+	rank := -1
+	if req.Rank >= 0 && req.Rank < co.spec.Workers && claimable(req.Rank) {
+		rank = req.Rank
+	} else {
+		for r := 0; r < co.spec.Workers; r++ {
+			if claimable(r) {
+				rank = r
+				break
+			}
+		}
+	}
+	if rank < 0 {
+		writeJSON(w, LeaseResponse{Rank: -1, RetryMS: co.cfg.LeaseTTL.Milliseconds() / 2})
+		return
+	}
+	co.leases[rank] = &lease{worker: req.WorkerID, expires: now.Add(co.cfg.LeaseTTL)}
+	writeJSON(w, LeaseResponse{
+		Rank:  rank,
+		Seed:  par.WorkerSeed(co.spec.Seed, rank),
+		TTLMS: co.cfg.LeaseTTL.Milliseconds(),
+	})
+}
+
+// renewLease extends worker's lease on rank, adopting ownerless ranks:
+// after a coordinator restart the lease table is empty, so the first
+// heartbeat or publish from a surviving worker re-establishes its
+// claim. Returns false when the rank is finished or owned by another
+// live worker — the caller must abandon it.
+func (co *Coordinator) renewLease(worker string, rank int) bool {
+	if rank < 0 || rank >= co.spec.Workers {
+		return false
+	}
+	now := time.Now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.done[rank] != nil {
+		return false
+	}
+	l := co.leases[rank]
+	if l != nil && l.worker != worker && now.Before(l.expires) {
+		return false
+	}
+	co.leases[rank] = &lease{worker: worker, expires: now.Add(co.cfg.LeaseTTL)}
+	return true
+}
+
+func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ok := co.renewLease(req.WorkerID, req.Rank)
+	writeJSON(w, HeartbeatResponse{OK: ok, Stop: co.fr.ShouldStop()})
+}
+
+func (co *Coordinator) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var req PublishRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if !co.renewLease(req.WorkerID, req.Rank) {
+		writeJSON(w, PublishResponse{OK: false})
+		return
+	}
+	co.fr.Publish(req.Rank, CovFromWire(req.Coverage), req.Vectors)
+	writeJSON(w, PublishResponse{OK: true, Stop: co.fr.ShouldStop()})
+}
+
+func (co *Coordinator) handleCache(w http.ResponseWriter, r *http.Request) {
+	var req CacheRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	switch req.Op {
+	case "lookup":
+		v, ok := co.cache.Lookup(KeyFromWire(req.Key))
+		if !ok {
+			writeJSON(w, CacheResponse{})
+			return
+		}
+		writeJSON(w, CacheResponse{Found: true, Value: PlanToWire(v)})
+	case "store":
+		if req.Value == nil {
+			writeErr(w, http.StatusBadRequest, "store without value")
+			return
+		}
+		v, err := PlanFromWire(req.Value)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		co.cache.Store(KeyFromWire(req.Key), v)
+		writeJSON(w, CacheResponse{})
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown cache op %q", req.Op))
+	}
+}
+
+func (co *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Rank < 0 || req.Rank >= co.spec.Workers {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("rank %d out of range", req.Rank))
+		return
+	}
+
+	co.mu.Lock()
+	if co.done[req.Rank] != nil {
+		// Duplicate delivery: the worker retried a report the previous
+		// coordinator incarnation already journaled. Ack idempotently.
+		n := len(co.done)
+		co.mu.Unlock()
+		writeJSON(w, ReportResponse{OK: true, Done: n == co.spec.Workers})
+		return
+	}
+	l := co.leases[req.Rank]
+	if l != nil && l.worker != req.WorkerID && time.Now().Before(l.expires) {
+		co.mu.Unlock()
+		writeJSON(w, ReportResponse{OK: false})
+		return
+	}
+	co.mu.Unlock()
+
+	// Journal before acknowledging: once the worker sees OK it will
+	// never redeliver, so the record must be durable first.
+	rep := req.Report
+	if err := co.jr.append(journalRecord{
+		Kind: "report", Rank: req.Rank,
+		Report: &rep, Coverage: &req.Coverage, Events: req.Events,
+	}); err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	cv := CovFromWire(req.Coverage)
+	co.fr.Publish(req.Rank, cv, rep.Vectors)
+
+	co.mu.Lock()
+	co.done[req.Rank] = &rankResult{report: &rep, cov: cv, events: req.Events}
+	delete(co.leases, req.Rank)
+	n := len(co.done)
+	if n == co.spec.Workers && !co.ended {
+		co.ended = true
+		close(co.doneCh)
+	}
+	co.mu.Unlock()
+	writeJSON(w, ReportResponse{OK: true, Done: n == co.spec.Workers})
+}
+
+// ---- campaign lifecycle ----
+
+// Wait blocks until every rank has reported, then merges by rank and
+// returns the campaign report — structurally the same par.Report an
+// in-process campaign produces, so callers print and serialize it
+// identically. When ctx is cancelled first, the frontier's stop
+// signal is tripped (workers stop at their next boundary and deliver
+// partial reports), deliveries are drained briefly, and the merge
+// covers whatever ranks completed, marked Interrupted.
+func (co *Coordinator) Wait(ctx context.Context) (*par.Report, error) {
+	interrupted := false
+	select {
+	case <-co.doneCh:
+	case <-ctx.Done():
+		interrupted = true
+		co.fr.ForceStop()
+		select {
+		case <-co.doneCh:
+		case <-time.After(co.cfg.LeaseTTL + 5*time.Second):
+		}
+	}
+
+	co.mu.Lock()
+	ranks := make([]int, 0, len(co.done))
+	for r := 0; r < co.spec.Workers; r++ {
+		if co.done[r] != nil {
+			ranks = append(ranks, r)
+		}
+	}
+	covs := make([]*cov.CFGCov, 0, len(ranks))
+	reports := make([]*core.Report, 0, len(ranks))
+	var events []obs.Event
+	for _, r := range ranks {
+		covs = append(covs, co.done[r].cov)
+		reports = append(reports, co.done[r].report)
+		events = append(events, co.done[r].events...)
+	}
+	co.mu.Unlock()
+
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("dist: campaign interrupted before any rank completed")
+	}
+
+	merged := par.MergeReports(co.part, covs, reports)
+	if interrupted {
+		merged.Interrupted = true
+	}
+
+	// Fold each completed rank's telemetry lane into the campaign
+	// trace, in rank order. Events are re-emitted verbatim (they carry
+	// the worker's own stamps), so each lane stays monotonic even when
+	// a replacement worker produced it.
+	o := co.cfg.Obs
+	for i := range events {
+		o.EmitRaw(&events[i])
+	}
+	par.FinalizeMetrics(o, merged)
+	o.Cycles(merged.Cycles)
+	o.CampaignEnd(merged.Vectors, merged.FinalPoints)
+
+	out := &par.Report{
+		Workers:        co.spec.Workers,
+		Merged:         merged,
+		WallNS:         int64(time.Since(co.start)),
+		TargetPoints:   co.cfg.StopAtPoints,
+		TimeToTargetNS: co.fr.TimeToTargetNS(),
+		CacheHits:      co.cache.Hits(),
+		CacheMisses:    co.cache.Misses(),
+		Curve:          co.fr.Curve(),
+	}
+	for r := 0; r < co.spec.Workers; r++ {
+		out.Seeds = append(out.Seeds, par.WorkerSeed(co.spec.Seed, r))
+	}
+	// PerWorker is indexed by rank; interrupted campaigns may have
+	// holes (nil) for ranks that never reported.
+	out.PerWorker = make([]*core.Report, co.spec.Workers)
+	co.mu.Lock()
+	for r, res := range co.done {
+		out.PerWorker[r] = res.report
+	}
+	co.mu.Unlock()
+	return out, nil
+}
+
+// Shutdown stops serving and closes the journal. Safe after Wait.
+func (co *Coordinator) Shutdown(ctx context.Context) error {
+	err := co.srv.Shutdown(ctx)
+	if cerr := co.jr.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,398 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// mailboxSpec is the shared campaign of the dist tests: the buggy
+// SCMI mailbox, 2 ranks, fixed budget — the same configuration the
+// par determinism tests run in-process.
+func mailboxSpec(seed int64) CampaignSpec {
+	return CampaignSpec{
+		Bench:                 "scmi_mailbox",
+		Interval:              50,
+		Threshold:             2,
+		MaxVectors:            3000,
+		Seed:                  seed,
+		Workers:               2,
+		UseSnapshots:          true,
+		ContinueAfterCoverage: true,
+	}
+}
+
+// normalizeReport mirrors the par test helper: zero wall-clock fields
+// and fold the scheduling-dependent cache hit/miss split.
+func normalizeReport(r *core.Report) core.Report {
+	c := *r
+	c.Timings.TotalNS = 0
+	c.Timings.FuzzNS = 0
+	c.Timings.SymbolicNS = 0
+	c.Timings.RollbackNS = 0
+	c.Timings.VCDNS = 0
+	c.Timings.Solve.BlastNS = 0
+	c.Timings.Solve.CDCLNS = 0
+	c.SolveCacheHits += c.SolveCacheMisses
+	c.SolveCacheMisses = 0
+	return c
+}
+
+// parBaseline runs the fault-free in-process campaign the distributed
+// runs must reproduce. Computed once and shared.
+var (
+	baselineOnce sync.Once
+	baselineRep  *par.Report
+	baselineErr  error
+)
+
+func parBaseline(t *testing.T) *par.Report {
+	t.Helper()
+	baselineOnce.Do(func() {
+		b := designs.IPBenchmark(designs.Mailbox(), true)
+		s := mailboxSpec(7)
+		cc := core.Config{
+			Interval: s.Interval, Threshold: s.Threshold, MaxVectors: s.MaxVectors,
+			Seed: s.Seed, UseSnapshots: s.UseSnapshots, ContinueAfterCoverage: s.ContinueAfterCoverage,
+		}
+		baselineRep, baselineErr = par.Run(b.Elaborate, b.Properties, par.Config{Config: cc, Workers: s.Workers})
+	})
+	if baselineErr != nil {
+		t.Fatalf("par baseline: %v", baselineErr)
+	}
+	return baselineRep
+}
+
+// testClient builds a wire client with test-friendly timeouts.
+func testClient(addr string, seed int64) *Client {
+	cl := NewClient(addr, seed)
+	cl.CallTimeout = 10 * time.Second
+	cl.MaxElapsed = 60 * time.Second
+	return cl
+}
+
+func newTestCoordinator(t *testing.T, c CoordConfig) *Coordinator {
+	t.Helper()
+	co, err := NewCoordinator("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	return co
+}
+
+// requireParity asserts that a distributed campaign's report matches
+// the fault-free in-process baseline: merged report and each rank's
+// report, modulo wall-clock fields.
+func requireParity(t *testing.T, got, want *par.Report) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Seeds, want.Seeds) {
+		t.Fatalf("seed vectors differ: %v vs %v", got.Seeds, want.Seeds)
+	}
+	gm, wm := normalizeReport(got.Merged), normalizeReport(want.Merged)
+	if !reflect.DeepEqual(gm, wm) {
+		t.Errorf("merged report diverged from in-process run:\ndist: %+v\npar:  %+v", gm, wm)
+	}
+	if len(got.PerWorker) != len(want.PerWorker) {
+		t.Fatalf("per-worker report counts differ: %d vs %d", len(got.PerWorker), len(want.PerWorker))
+	}
+	for r := range want.PerWorker {
+		if got.PerWorker[r] == nil {
+			t.Errorf("rank %d never reported", r)
+			continue
+		}
+		gr, wr := normalizeReport(got.PerWorker[r]), normalizeReport(want.PerWorker[r])
+		if !reflect.DeepEqual(gr, wr) {
+			t.Errorf("rank %d report diverged:\ndist: %+v\npar:  %+v", r, gr, wr)
+		}
+	}
+}
+
+// TestLoopbackMatchesPar is the core parity contract: a 2-process
+// loopback campaign (coordinator + two concurrent workers over real
+// HTTP) produces the same merged report as par.Run with 2 in-process
+// workers.
+func TestLoopbackMatchesPar(t *testing.T) {
+	want := parBaseline(t)
+
+	co := newTestCoordinator(t, CoordConfig{Spec: mailboxSpec(7)})
+	defer co.Shutdown(context.Background())
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = RunWorker(ctx, WorkerConfig{
+				Addr:     co.Addr(),
+				WorkerID: []string{"wA", "wB"}[i],
+				RankHint: i,
+				Client:   testClient(co.Addr(), int64(i)),
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	got, err := co.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	requireParity(t, got, want)
+}
+
+// TestWorkerDeathReassignment kills a worker mid-shard (after two
+// coverage publishes) and lets a replacement drain the campaign. The
+// lease expires, the replacement re-derives the same rank seed, and
+// the merged report is identical to the fault-free run.
+func TestWorkerDeathReassignment(t *testing.T) {
+	want := parBaseline(t)
+
+	co := newTestCoordinator(t, CoordConfig{Spec: mailboxSpec(7), LeaseTTL: 500 * time.Millisecond})
+	defer co.Shutdown(context.Background())
+	ctx := context.Background()
+
+	err := RunWorker(ctx, WorkerConfig{
+		Addr: co.Addr(), WorkerID: "victim", RankHint: 0,
+		DieAfterPublishes: 2,
+		Client:            testClient(co.Addr(), 1),
+	})
+	if err != ErrWorkerDied {
+		t.Fatalf("victim: got %v, want induced death", err)
+	}
+
+	if err := RunWorker(ctx, WorkerConfig{
+		Addr: co.Addr(), WorkerID: "healer", RankHint: -1,
+		Client: testClient(co.Addr(), 2),
+	}); err != nil {
+		t.Fatalf("healer: %v", err)
+	}
+	got, err := co.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	requireParity(t, got, want)
+}
+
+// TestCoordinatorKillResume kills the coordinator after rank 0's
+// report landed in the journal, restarts it with Resume on the same
+// journal, and finishes the campaign against the new incarnation. The
+// merged report equals the fault-free run and rank 0 is not re-run.
+func TestCoordinatorKillResume(t *testing.T) {
+	want := parBaseline(t)
+	journal := filepath.Join(t.TempDir(), "campaign.jsonl")
+	ctx := context.Background()
+
+	co1 := newTestCoordinator(t, CoordConfig{Spec: mailboxSpec(7), JournalPath: journal})
+	if err := RunWorker(ctx, WorkerConfig{
+		Addr: co1.Addr(), WorkerID: "early", RankHint: 0, MaxRanks: 1,
+		Client: testClient(co1.Addr(), 1),
+	}); err != nil {
+		t.Fatalf("early worker: %v", err)
+	}
+	// Kill the first coordinator. Its in-memory leases and frontier
+	// die with it; only the journal survives.
+	if err := co1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	co2 := newTestCoordinator(t, CoordConfig{Spec: mailboxSpec(7), JournalPath: journal, Resume: true})
+	defer co2.Shutdown(context.Background())
+	if err := RunWorker(ctx, WorkerConfig{
+		Addr: co2.Addr(), WorkerID: "late", RankHint: -1,
+		Client: testClient(co2.Addr(), 2),
+	}); err != nil {
+		t.Fatalf("late worker: %v", err)
+	}
+	got, err := co2.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	requireParity(t, got, want)
+}
+
+// runDistTraced runs a full 2-worker loopback campaign with a JSONL
+// tracer on the coordinator and returns the report plus trace lines.
+func runDistTraced(t *testing.T, seed int64) (*par.Report, []string) {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.NewJSONLTracer(&buf)
+	o := obs.New(obs.Options{Tracer: tr})
+
+	co := newTestCoordinator(t, CoordConfig{Spec: mailboxSpec(seed), Obs: o})
+	defer co.Shutdown(context.Background())
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = RunWorker(ctx, WorkerConfig{
+				Addr: co.Addr(), WorkerID: []string{"wA", "wB"}[i], RankHint: i,
+				Client: testClient(co.Addr(), int64(i)),
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	rep, err := co.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("tracer close: %v", err)
+	}
+	return rep, strings.Split(strings.TrimSpace(buf.String()), "\n")
+}
+
+// normalizeTrace zeroes wall-clock fields and sorts, turning the
+// stream into a comparable event multiset (par test idiom).
+func normalizeTrace(t *testing.T, lines []string) []string {
+	t.Helper()
+	out := make([]string, 0, len(lines))
+	for i, ln := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("trace line %d: %v", i+1, err)
+		}
+		ev.TNS, ev.DurNS, ev.BlastNS, ev.SolveNS = 0, 0, 0, 0
+		b, err := json.Marshal(&ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, string(b))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestDistDeterminism runs the same-seed loopback campaign twice:
+// merged reports and trace-event multisets must agree, and both
+// traces must validate with two worker lanes. CI runs this under
+// -race.
+func TestDistDeterminism(t *testing.T) {
+	repA, traceA := runDistTraced(t, 7)
+	repB, traceB := runDistTraced(t, 7)
+
+	ma, mb := normalizeReport(repA.Merged), normalizeReport(repB.Merged)
+	if !reflect.DeepEqual(ma, mb) {
+		t.Errorf("merged reports differ across identical campaigns:\n%+v\n%+v", ma, mb)
+	}
+	for r := range repA.PerWorker {
+		wa, wb := normalizeReport(repA.PerWorker[r]), normalizeReport(repB.PerWorker[r])
+		if !reflect.DeepEqual(wa, wb) {
+			t.Errorf("rank %d reports differ:\n%+v\n%+v", r, wa, wb)
+		}
+	}
+
+	na, nb := normalizeTrace(t, traceA), normalizeTrace(t, traceB)
+	if len(na) != len(nb) {
+		t.Fatalf("trace lengths differ: %d vs %d events", len(na), len(nb))
+	}
+	for i := range na {
+		if na[i] != nb[i] {
+			t.Fatalf("trace multisets diverge at sorted index %d:\n%s\n%s", i, na[i], nb[i])
+		}
+	}
+	for i, lines := range [][]string{traceA, traceB} {
+		sum, err := obs.ValidateTrace(strings.NewReader(strings.Join(lines, "\n")))
+		if err != nil {
+			t.Fatalf("campaign %d: trace invalid: %v", i, err)
+		}
+		if sum.Workers != 2 {
+			t.Errorf("campaign %d: trace shows %d worker lanes, want 2", i, sum.Workers)
+		}
+	}
+}
+
+// TestVersionSkew pins the join-time version gate: a worker speaking
+// a different protocol revision is rejected with a clear error, not
+// silently admitted.
+func TestVersionSkew(t *testing.T) {
+	co := newTestCoordinator(t, CoordConfig{Spec: mailboxSpec(7)})
+	defer co.Shutdown(context.Background())
+
+	cl := testClient(co.Addr(), 0)
+	_, err := cl.Join(context.Background(), JoinRequest{Proto: ProtoVersion + 1, WorkerID: "skewed"})
+	if err == nil {
+		t.Fatal("version-skewed join was accepted")
+	}
+	pe, ok := err.(*ProtoError)
+	if !ok {
+		t.Fatalf("got %T (%v), want *ProtoError", err, err)
+	}
+	if pe.Status != 400 || !strings.Contains(pe.Msg, "protocol version mismatch") {
+		t.Fatalf("rejection not explanatory: %v", pe)
+	}
+}
+
+// TestJournalReplayTolerance pins the torn-line contract: a journal
+// whose final line was cut mid-write replays cleanly, keeping every
+// complete record and dropping the torn one.
+func TestJournalReplayTolerance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	jr, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := mailboxSpec(3)
+	if err := jr.append(journalRecord{Kind: "campaign", CampaignID: "c1", Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	rep := &core.Report{Vectors: 100, FinalPoints: 5}
+	cw := CovWire{Nodes: [][]int{{0, 1}}, Edges: [][]int{{2}}}
+	if err := jr.append(journalRecord{Kind: "report", Rank: 0, Report: rep, Coverage: &cw}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: append half a record.
+	f, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.f.WriteString(`{"kind":"report","rank":1,"repo`); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	st, err := replayJournal(path)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if st.CampaignID != "c1" || st.Spec == nil {
+		t.Fatalf("campaign record lost: %+v", st)
+	}
+	if len(st.Reports) != 1 || st.Reports[0] == nil {
+		t.Fatalf("want exactly the complete rank-0 record, got %+v", st.Reports)
+	}
+	if st.Reports[0].Report.Vectors != 100 {
+		t.Fatalf("rank-0 report corrupted: %+v", st.Reports[0].Report)
+	}
+	if _, ok := st.Reports[1]; ok {
+		t.Fatal("torn rank-1 record must be dropped")
+	}
+}

@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// The coordinator journal is an append-only JSONL file recording the
+// durable campaign state: one "campaign" record written at startup
+// (the spec, for sanity-checking a resume) and one "report" record
+// per completed rank (the rank's final report, coverage, and trace
+// lane). In-flight state — leases, partial frontier contents, cache
+// entries — is deliberately NOT journaled: leases are re-established
+// by worker heartbeats/publishes after a restart, frontier contents
+// are restored by the next full-coverage publish (publishes are
+// cumulative), and the plan cache is a pure memoization whose loss
+// costs only repeated solves, never a trajectory change. A restarted
+// coordinator with -resume therefore converges to the same merged
+// report as one that never crashed.
+
+// journalRecord is one JSONL line. Kind selects which payload fields
+// are meaningful.
+type journalRecord struct {
+	Kind string `json:"kind"` // "campaign" | "report"
+
+	// kind == "campaign"
+	CampaignID string        `json:"campaign_id,omitempty"`
+	Spec       *CampaignSpec `json:"spec,omitempty"`
+
+	// kind == "report"
+	Rank     int          `json:"rank,omitempty"`
+	Report   *core.Report `json:"report,omitempty"`
+	Coverage *CovWire     `json:"coverage,omitempty"`
+	Events   []obs.Event  `json:"events,omitempty"`
+}
+
+// journal is the append side. Writes are fsynced per record — rank
+// completion is rare (once per rank per campaign), so durability is
+// cheap here and it is exactly the state a crash must not lose.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dist: open journal: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+func (j *journal) append(rec journalRecord) error {
+	if j == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("dist: journal write: %w", err)
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// journalState is what replay recovers.
+type journalState struct {
+	CampaignID string
+	Spec       *CampaignSpec
+	Reports    map[int]*journalRecord // rank -> last report record
+}
+
+// replayJournal loads a journal written by a previous coordinator
+// incarnation. The reader is tolerant: a trailing torn line (the
+// crash interrupting a write) is skipped, and a later record for the
+// same rank wins. A missing file yields an empty state, so -resume
+// against a fresh path degrades to a cold start.
+func replayJournal(path string) (*journalState, error) {
+	st := &journalState{Reports: make(map[int]*journalRecord)}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: open journal for replay: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 256<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn or corrupt line — almost certainly the write the
+			// crash interrupted. Skip it; the worker will redeliver.
+			continue
+		}
+		switch rec.Kind {
+		case "campaign":
+			st.CampaignID = rec.CampaignID
+			st.Spec = rec.Spec
+		case "report":
+			if rec.Report != nil && rec.Coverage != nil {
+				r := rec
+				st.Reports[rec.Rank] = &r
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dist: journal replay: %w", err)
+	}
+	return st, nil
+}

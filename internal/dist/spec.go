@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/designs"
+	"repro/internal/props"
+)
+
+// ResolveSpec turns a wire campaign spec into the benchmark and the
+// full property set. Both sides of the protocol run it — the
+// coordinator to validate the campaign and shape the frontier, each
+// worker to build its engines — so a registry benchmark resolves from
+// the binary's own designs package and only -src campaigns ship HDL
+// source over the wire.
+func ResolveSpec(s CampaignSpec) (*designs.Benchmark, []*props.Property, error) {
+	var b *designs.Benchmark
+	switch {
+	case s.Source != "":
+		if s.Top == "" {
+			return nil, nil, fmt.Errorf("dist: spec ships source but no top module")
+		}
+		b = &designs.Benchmark{Name: s.Top, Top: s.Top, Source: s.Source}
+	case s.Bench != "":
+		var err error
+		b, err = lookupBench(s.Bench, s.Fixed)
+		if err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("dist: spec names neither a benchmark nor a source file")
+	}
+	properties := make([]*props.Property, 0, len(b.Properties)+len(s.Props))
+	properties = append(properties, b.Properties...)
+	for _, ps := range s.Props {
+		p, err := props.ParseProperty(ps.Name, ps.Expr, ps.DisableIff)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dist: property %q: %w", ps.Name, err)
+		}
+		properties = append(properties, p)
+	}
+	return b, properties, nil
+}
+
+// lookupBench mirrors the symbfuzz CLI's benchmark table.
+func lookupBench(name string, fixed bool) (*designs.Benchmark, error) {
+	buggy := !fixed
+	switch name {
+	case "alu":
+		return designs.ALU(), nil
+	case "opentitan_mini":
+		if fixed {
+			return designs.OpenTitanMini(map[string]bool{}), nil
+		}
+		return designs.OpenTitanMini(nil), nil
+	case "cva6_mini":
+		return designs.CVA6Mini(buggy), nil
+	case "rocket_mini":
+		return designs.RocketMini(buggy), nil
+	case "mor1kx_mini":
+		return designs.Mor1kxMini(buggy), nil
+	}
+	for _, ip := range designs.AllIPs() {
+		if ip.Name == name {
+			return designs.IPBenchmark(ip, buggy), nil
+		}
+	}
+	if b, ok := designs.FindBenchmark(name); ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("dist: unknown benchmark %q", name)
+}

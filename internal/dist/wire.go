@@ -1,0 +1,345 @@
+// Package dist is the fault-tolerant distributed campaign service: a
+// stdlib-only (net/http + encoding/json) coordinator/worker protocol
+// that runs one SymbFuzz campaign across N processes, possibly on N
+// machines.
+//
+// The coordinator owns the campaign state that internal/par keeps in
+// process memory — the global coverage frontier (par.Frontier), the
+// cross-worker solved-plan cache (par.SolveCache), and a lease table
+// mapping core.ShardSpec shard ranks to workers. Workers run the
+// unmodified Algorithm-1 engine (core.Engine) locally and speak a
+// small versioned wire API:
+//
+//	POST /v1/join       handshake: protocol version check, campaign spec
+//	POST /v1/lease      claim a shard rank (lowest available; hint honored)
+//	POST /v1/publish    merge local coverage into the global frontier
+//	POST /v1/cache      lookup/store in the shared solved-plan cache
+//	POST /v1/heartbeat  renew the rank lease; poll stop conditions
+//	POST /v1/report     deliver the rank's final report + coverage + trace lane
+//
+// Determinism transfers from par unchanged because every cross-worker
+// coupling goes through the same three trajectory-neutral interfaces:
+// the frontier is a sink, the plan cache is a canonical-seed
+// memoization (a hit is byte-identical to the live solve), and the
+// merge is by rank. Worker seeds are a pure function of (campaign
+// seed, rank), so a replacement worker leasing a dead worker's rank
+// reproduces the lost trajectory exactly and the merged report equals
+// the fault-free run.
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/cov"
+	"repro/internal/logic"
+	"repro/internal/obs"
+	"repro/internal/smt"
+)
+
+// ProtoVersion is the wire-protocol version. /v1/join rejects any
+// worker whose version differs — both sides must be built from the
+// same protocol revision, since reports and plans cross the wire as
+// structured JSON.
+const ProtoVersion = 1
+
+// PropSpec is a security property shipped over the wire as source
+// strings (the compiled form is not serializable); the worker parses
+// it with props.ParseProperty.
+type PropSpec struct {
+	Name       string `json:"name"`
+	Expr       string `json:"expr"`
+	DisableIff string `json:"disable_iff,omitempty"`
+}
+
+// CampaignSpec is everything a worker needs to reconstruct its
+// per-rank engine configuration. Benchmarks resolve either by
+// registry name (Bench, both binaries built from this repo) or by
+// shipped HDL source (Source/Top, the -src path).
+type CampaignSpec struct {
+	Bench  string `json:"bench,omitempty"`
+	Fixed  bool   `json:"fixed,omitempty"`
+	Source string `json:"source,omitempty"`
+	Top    string `json:"top,omitempty"`
+
+	Props []PropSpec `json:"props,omitempty"`
+
+	Interval              int    `json:"interval"`
+	Threshold             int    `json:"threshold"`
+	MaxVectors            uint64 `json:"max_vectors"`
+	Seed                  int64  `json:"seed"`
+	Workers               int    `json:"workers"`
+	UseSnapshots          bool   `json:"use_snapshots"`
+	ContinueAfterCoverage bool   `json:"continue_after_coverage"`
+}
+
+// JoinRequest opens a worker session. RankHint (-1 for none) asks the
+// coordinator to prefer a specific shard rank at the next lease.
+type JoinRequest struct {
+	Proto    int    `json:"proto"`
+	WorkerID string `json:"worker_id"`
+	RankHint int    `json:"rank_hint"`
+}
+
+// JoinResponse carries the campaign identity and spec.
+type JoinResponse struct {
+	Proto      int          `json:"proto"`
+	CampaignID string       `json:"campaign_id"`
+	Spec       CampaignSpec `json:"spec"`
+}
+
+// LeaseRequest claims a shard rank. Rank -1 asks for any available
+// rank; a specific rank is honored when that rank is claimable.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	Rank     int    `json:"rank"`
+}
+
+// LeaseResponse grants a rank (with its derived seed and the lease
+// TTL), tells the worker the campaign is done, or asks it to retry
+// after RetryMS (every claimable rank is currently leased and live).
+type LeaseResponse struct {
+	Rank    int   `json:"rank"`
+	Seed    int64 `json:"seed,omitempty"`
+	TTLMS   int64 `json:"ttl_ms,omitempty"`
+	Done    bool  `json:"done,omitempty"`
+	RetryMS int64 `json:"retry_ms,omitempty"`
+}
+
+// HeartbeatRequest renews a rank lease.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+	Rank     int    `json:"rank"`
+	Vectors  uint64 `json:"vectors"`
+}
+
+// HeartbeatResponse: OK=false means the lease was lost (expired and
+// reassigned) — the worker must abandon the rank. Stop=true means a
+// campaign-level stop condition fired — the worker should stop at the
+// next boundary and deliver its (partial) report.
+type HeartbeatResponse struct {
+	OK   bool `json:"ok"`
+	Stop bool `json:"stop,omitempty"`
+}
+
+// PublishRequest merges one worker's full local coverage snapshot
+// into the global frontier. Snapshots are cumulative (the frontier
+// insert is an idempotent set union), which makes publishes
+// self-healing across coordinator restarts: the next publish restores
+// everything a crashed coordinator forgot.
+type PublishRequest struct {
+	WorkerID string  `json:"worker_id"`
+	Rank     int     `json:"rank"`
+	Vectors  uint64  `json:"vectors"`
+	Coverage CovWire `json:"coverage"`
+}
+
+// PublishResponse mirrors HeartbeatResponse (a publish renews the
+// lease implicitly).
+type PublishResponse struct {
+	OK   bool `json:"ok"`
+	Stop bool `json:"stop,omitempty"`
+}
+
+// CacheRequest is a shared-plan-cache operation: op "lookup" with a
+// key, or op "store" with a key and value.
+type CacheRequest struct {
+	Op    string      `json:"op"`
+	Key   PlanKeyWire `json:"key"`
+	Value *PlanWire   `json:"value,omitempty"`
+}
+
+// CacheResponse answers a lookup (Found + Value) or acks a store.
+type CacheResponse struct {
+	Found bool      `json:"found,omitempty"`
+	Value *PlanWire `json:"value,omitempty"`
+}
+
+// ReportRequest delivers a rank's final report, its final full
+// coverage snapshot, and the rank's complete telemetry lane (the
+// worker-stamped trace events of the whole run, in emit order).
+type ReportRequest struct {
+	WorkerID string      `json:"worker_id"`
+	Rank     int         `json:"rank"`
+	Report   core.Report `json:"report"`
+	Coverage CovWire     `json:"coverage"`
+	Events   []obs.Event `json:"events,omitempty"`
+}
+
+// ReportResponse acks the report; Done=true means every rank is
+// accounted for and the worker may disconnect.
+type ReportResponse struct {
+	OK   bool `json:"ok"`
+	Done bool `json:"done,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx protocol answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- coverage serialization ----
+
+// CovWire is a CFG coverage snapshot in wire form: per-cluster-graph
+// sorted node and edge ID lists plus the sorted interaction-tuple
+// set. Sorting makes the encoding canonical — equal coverage encodes
+// to equal JSON, which the golden-fixture tests rely on.
+type CovWire struct {
+	Nodes  [][]int  `json:"nodes"`
+	Edges  [][]int  `json:"edges"`
+	Tuples []string `json:"tuples,omitempty"`
+}
+
+// CovToWire serializes a coverage monitor's observed sets.
+func CovToWire(c *cov.CFGCov) CovWire {
+	w := CovWire{
+		Nodes: make([][]int, len(c.NodesSeen)),
+		Edges: make([][]int, len(c.EdgesSeen)),
+	}
+	for gi := range c.NodesSeen {
+		w.Nodes[gi] = sortedKeys(c.NodesSeen[gi])
+		w.Edges[gi] = sortedKeys(c.EdgesSeen[gi])
+	}
+	w.Tuples = make([]string, 0, len(c.Tuples))
+	for t := range c.Tuples {
+		w.Tuples = append(w.Tuples, t)
+	}
+	sort.Strings(w.Tuples)
+	return w
+}
+
+// CovFromWire reconstructs a bare coverage value carrying only the
+// observed sets — exactly what Frontier.Publish and CFGCov.Merge
+// read. It is not attached to a simulator and must not be Sampled.
+func CovFromWire(w CovWire) *cov.CFGCov {
+	c := &cov.CFGCov{
+		NodesSeen: make([]map[int]bool, len(w.Nodes)),
+		EdgesSeen: make([]map[int]bool, len(w.Edges)),
+		Tuples:    make(map[string]bool, len(w.Tuples)),
+	}
+	for gi := range w.Nodes {
+		c.NodesSeen[gi] = make(map[int]bool, len(w.Nodes[gi]))
+		for _, id := range w.Nodes[gi] {
+			c.NodesSeen[gi][id] = true
+		}
+	}
+	for gi := range w.Edges {
+		c.EdgesSeen[gi] = make(map[int]bool, len(w.Edges[gi]))
+		for _, id := range w.Edges[gi] {
+			c.EdgesSeen[gi][id] = true
+		}
+	}
+	for _, t := range w.Tuples {
+		c.Tuples[t] = true
+	}
+	return c
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ---- plan-cache serialization ----
+
+// PlanKeyWire mirrors core.PlanKey.
+type PlanKeyWire struct {
+	Graph int    `json:"graph"`
+	To    int    `json:"to"`
+	Ctx   uint64 `json:"ctx"`
+}
+
+// KeyToWire / KeyFromWire convert cache keys.
+func KeyToWire(k core.PlanKey) PlanKeyWire {
+	return PlanKeyWire{Graph: k.Graph, To: k.To, Ctx: k.Ctx}
+}
+
+// KeyFromWire converts a wire key back to the engine form.
+func KeyFromWire(k PlanKeyWire) core.PlanKey {
+	return core.PlanKey{Graph: k.Graph, To: k.To, Ctx: k.Ctx}
+}
+
+// StatsWire mirrors smt.SolveStats with a readable outcome.
+type StatsWire struct {
+	Outcome      string `json:"outcome"`
+	Conflicts    int64  `json:"conflicts,omitempty"`
+	Decisions    int64  `json:"decisions,omitempty"`
+	Propagations int64  `json:"propagations,omitempty"`
+	Clauses      int    `json:"clauses,omitempty"`
+	Vars         int    `json:"vars,omitempty"`
+	BlastNS      int64  `json:"blast_ns,omitempty"`
+	SolveNS      int64  `json:"cdcl_ns,omitempty"`
+}
+
+// PlanWire is one memoized solve result in wire form. Unsat marks a
+// proven-unsat query (nil plan); Inputs encodes the solved stimulus
+// bit-vectors MSB-first ("10xz", logic.BV.BitString round trip).
+type PlanWire struct {
+	Unsat  bool              `json:"unsat,omitempty"`
+	Inputs map[string]string `json:"inputs,omitempty"`
+	Stats  StatsWire         `json:"stats"`
+}
+
+// PlanToWire serializes a cached plan.
+func PlanToWire(v core.CachedPlan) *PlanWire {
+	w := &PlanWire{
+		Stats: StatsWire{
+			Outcome:      v.Stats.Outcome.String(),
+			Conflicts:    v.Stats.Conflicts,
+			Decisions:    v.Stats.Decisions,
+			Propagations: v.Stats.Propagations,
+			Clauses:      v.Stats.Clauses,
+			Vars:         v.Stats.Vars,
+			BlastNS:      v.Stats.BlastNS,
+			SolveNS:      v.Stats.SolveNS,
+		},
+	}
+	if v.Plan == nil {
+		w.Unsat = true
+		return w
+	}
+	w.Inputs = make(map[string]string, len(v.Plan.Inputs))
+	for name, bv := range v.Plan.Inputs {
+		w.Inputs[name] = bv.BitString()
+	}
+	return w
+}
+
+// PlanFromWire deserializes a cached plan.
+func PlanFromWire(w *PlanWire) (core.CachedPlan, error) {
+	v := core.CachedPlan{
+		Stats: smt.SolveStats{
+			Conflicts:    w.Stats.Conflicts,
+			Decisions:    w.Stats.Decisions,
+			Propagations: w.Stats.Propagations,
+			Clauses:      w.Stats.Clauses,
+			Vars:         w.Stats.Vars,
+			BlastNS:      w.Stats.BlastNS,
+			SolveNS:      w.Stats.SolveNS,
+		},
+	}
+	if w.Stats.Outcome == smt.Sat.String() {
+		v.Stats.Outcome = smt.Sat
+	} else {
+		v.Stats.Outcome = smt.Unsat
+	}
+	if w.Unsat {
+		return v, nil
+	}
+	plan := &cfg.StepPlan{Inputs: make(map[string]logic.BV, len(w.Inputs))}
+	for name, s := range w.Inputs {
+		bv, err := logic.FromString(s)
+		if err != nil {
+			return v, fmt.Errorf("dist: plan input %q: %w", name, err)
+		}
+		plan.Inputs[name] = bv
+	}
+	v.Plan = plan
+	return v, nil
+}

@@ -1,0 +1,337 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cov"
+	"repro/internal/designs"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/props"
+)
+
+// WorkerConfig parameterizes a remote campaign worker.
+type WorkerConfig struct {
+	// Addr is the coordinator's host:port.
+	Addr string
+	// WorkerID must be unique per worker process (the CLI derives one
+	// from hostname+pid).
+	WorkerID string
+	// RankHint, when >= 0, asks for a specific shard rank first.
+	RankHint int
+	// MaxRanks bounds how many ranks this process will run (0 = keep
+	// leasing until the campaign is done; a single worker process can
+	// serially drain every rank of a campaign).
+	MaxRanks int
+
+	// test hooks (zero in production): DieAfterPublishes > 0 makes the
+	// worker return ErrWorkerDied after that many successful publishes
+	// — simulating a crash mid-shard without tearing down the test
+	// process. Client overrides the wire client (tests tighten its
+	// timeouts).
+	DieAfterPublishes int
+	Client            *Client
+}
+
+// ErrWorkerDied is the induced-crash sentinel of the fault tests.
+var ErrWorkerDied = errors.New("dist: worker died (induced)")
+
+// errLeaseLost aborts a rank whose lease was reassigned.
+var errLeaseLost = errors.New("dist: lease lost")
+
+// errCampaignDone ends the lease loop when the worker's own report
+// completed the campaign — the coordinator may already be gone by the
+// time another lease request would reach it.
+var errCampaignDone = errors.New("dist: campaign done")
+
+// bufTracer buffers a rank's telemetry lane for delivery with its
+// report. Shipping the lane whole (instead of streaming events live)
+// keeps the coordinator's trace valid under replacement: a dead
+// worker's partial lane is simply never delivered, so each worker
+// lane in the merged trace is one complete monotonic stream.
+type bufTracer struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (b *bufTracer) Emit(ev *obs.Event) {
+	b.mu.Lock()
+	b.events = append(b.events, *ev)
+	b.mu.Unlock()
+}
+
+func (b *bufTracer) Close() error { return nil }
+
+func (b *bufTracer) take() []obs.Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.events
+	b.events = nil
+	return out
+}
+
+// remoteCache adapts the coordinator's shared plan cache to
+// core.PlanCache, with a local L1 so a worker never re-fetches its
+// own entries. Network failures degrade to cache misses: the engine
+// then solves live, and because cached queries use canonical seeds
+// the result is byte-identical either way — cache availability can
+// change wall time, never a trajectory.
+type remoteCache struct {
+	ctx context.Context
+	c   *Client
+	l1  *par.SolveCache
+}
+
+func (rc *remoteCache) Lookup(k core.PlanKey) (core.CachedPlan, bool) {
+	if v, ok := rc.l1.Lookup(k); ok {
+		return v, true
+	}
+	resp, err := rc.c.Cache(rc.ctx, CacheRequest{Op: "lookup", Key: KeyToWire(k)})
+	if err != nil || !resp.Found || resp.Value == nil {
+		return core.CachedPlan{}, false
+	}
+	v, err := PlanFromWire(resp.Value)
+	if err != nil {
+		return core.CachedPlan{}, false
+	}
+	rc.l1.Store(k, v)
+	return v, true
+}
+
+func (rc *remoteCache) Store(k core.PlanKey, v core.CachedPlan) {
+	rc.l1.Store(k, v)
+	// Best-effort: a lost store only costs other workers a re-solve.
+	_, _ = rc.c.Cache(rc.ctx, CacheRequest{Op: "store", Key: KeyToWire(k), Value: PlanToWire(v)})
+}
+
+// RunWorker joins the coordinator at c.Addr and runs shard ranks
+// until the campaign is done (or MaxRanks is reached, or ctx is
+// cancelled). Each rank runs the unmodified Algorithm-1 engine with
+// the seed the coordinator derived for that rank; coverage publishes
+// ride the engine's interval-boundary Sync hook and lease heartbeats
+// ride a background goroutine while the engine runs.
+func RunWorker(ctx context.Context, c WorkerConfig) error {
+	if c.WorkerID == "" {
+		return fmt.Errorf("dist: WorkerID is required")
+	}
+	cl := c.Client
+	if cl == nil {
+		cl = NewClient(c.Addr, seedFromID(c.WorkerID))
+	}
+
+	join, err := cl.Join(ctx, JoinRequest{Proto: ProtoVersion, WorkerID: c.WorkerID, RankHint: c.RankHint})
+	if err != nil {
+		return err
+	}
+	spec := join.Spec
+	bench, properties, err := ResolveSpec(spec)
+	if err != nil {
+		return err
+	}
+
+	w := &worker{
+		id:            c.WorkerID,
+		cl:            cl,
+		spec:          spec,
+		bench:         bench,
+		properties:    properties,
+		publishesLeft: c.DieAfterPublishes,
+	}
+	if spec.Workers > 1 {
+		w.cache = &remoteCache{ctx: ctx, c: cl, l1: par.NewSolveCache()}
+	}
+
+	hint := c.RankHint
+	for ranksRun := 0; ; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lr, err := cl.Lease(ctx, LeaseRequest{WorkerID: c.WorkerID, Rank: hint})
+		if err != nil {
+			return err
+		}
+		hint = -1
+		if lr.Done {
+			return nil
+		}
+		if lr.Rank < 0 {
+			retry := time.Duration(lr.RetryMS) * time.Millisecond
+			if retry <= 0 {
+				retry = time.Second
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(retry):
+			}
+			continue
+		}
+
+		err = w.runRank(ctx, lr)
+		switch {
+		case errors.Is(err, errLeaseLost):
+			continue // abandon the rank; its replacement reproduces it
+		case errors.Is(err, errCampaignDone):
+			return nil
+		case err != nil:
+			return err
+		}
+		ranksRun++
+		if c.MaxRanks > 0 && ranksRun >= c.MaxRanks {
+			return nil
+		}
+	}
+}
+
+// worker is the per-process state shared across the ranks it runs.
+type worker struct {
+	id         string
+	cl         *Client
+	spec       CampaignSpec
+	bench      *designs.Benchmark
+	properties []*props.Property
+	cache      *remoteCache
+
+	// publishesLeft counts down to the induced crash (test hook);
+	// negative or zero at start means never.
+	publishesLeft int
+}
+
+// runRank executes one leased shard rank end to end: elaborate a
+// fresh design, run the engine with the rank's derived seed, publish
+// coverage at every interval boundary, heartbeat in the background,
+// and deliver the final report + coverage + telemetry lane.
+func (w *worker) runRank(ctx context.Context, lr LeaseResponse) error {
+	d, err := w.bench.Elaborate()
+	if err != nil {
+		return err
+	}
+
+	// The rank's telemetry lane: a lane observer over a local buffer,
+	// delivered whole with the report.
+	buf := &bufTracer{}
+	lane := obs.New(obs.Options{Tracer: buf}).ForWorker(lr.Rank + 1)
+
+	// rankCtx is cancelled when the lease is lost, stopping the engine
+	// at its next cycle; leaseLost distinguishes that from a caller
+	// cancellation.
+	rankCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var leaseLost atomic.Bool
+	abandon := func() {
+		leaseLost.Store(true)
+		cancel()
+	}
+
+	wc := specConfig(w.spec, lr.Rank)
+	wc.Obs = lane
+	if w.cache != nil {
+		wc.PlanCache = w.cache
+	}
+	var publishErr error
+	wc.Sync = func(cv *cov.CFGCov, rep *core.Report) bool {
+		resp, err := w.cl.Publish(rankCtx, PublishRequest{
+			WorkerID: w.id, Rank: lr.Rank, Vectors: rep.Vectors, Coverage: CovToWire(cv),
+		})
+		if err != nil {
+			// Coordinator unreachable past the client's retry budget:
+			// record and stop — the report can't be delivered either.
+			publishErr = err
+			return true
+		}
+		if !resp.OK {
+			abandon()
+			return true
+		}
+		if w.publishesLeft > 0 {
+			w.publishesLeft--
+			if w.publishesLeft == 0 {
+				publishErr = ErrWorkerDied
+				return true
+			}
+		}
+		return resp.Stop
+	}
+
+	eng, err := core.New(d, w.properties, wc)
+	if err != nil {
+		return err
+	}
+
+	// Heartbeat at a third of the TTL until the rank finishes.
+	hbDone := make(chan struct{})
+	hbStopped := make(chan struct{})
+	ttl := time.Duration(lr.TTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 5 * time.Second
+	}
+	go func() {
+		defer close(hbStopped)
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-rankCtx.Done():
+				return
+			case <-tick.C:
+				resp, err := w.cl.Heartbeat(rankCtx, HeartbeatRequest{WorkerID: w.id, Rank: lr.Rank})
+				if err == nil && !resp.OK {
+					abandon()
+					return
+				}
+			}
+		}
+	}()
+
+	rep, err := eng.RunContext(rankCtx)
+	close(hbDone)
+	<-hbStopped
+	if err != nil {
+		return err
+	}
+	if leaseLost.Load() {
+		return errLeaseLost
+	}
+	if publishErr != nil {
+		return publishErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	resp, err := w.cl.Report(ctx, ReportRequest{
+		WorkerID: w.id,
+		Rank:     lr.Rank,
+		Report:   *rep,
+		Coverage: CovToWire(eng.Coverage()),
+		Events:   buf.take(),
+	})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return errLeaseLost
+	}
+	if resp.Done {
+		return errCampaignDone
+	}
+	return nil
+}
+
+// seedFromID hashes a worker ID into a jitter seed (FNV-1a). The
+// value only staggers retry backoff; it never touches a trajectory.
+func seedFromID(id string) int64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * 0x100000001b3
+	}
+	return int64(h)
+}

@@ -197,6 +197,18 @@ func (o *Observer) emit(ev *Event) {
 	}
 }
 
+// EmitRaw forwards an already-stamped event to the tracer verbatim —
+// no timestamping, no worker-lane restamping. The distributed
+// coordinator uses it to fold remote workers' lane streams (whose
+// events carry the emitting worker's lane and clock) into the
+// campaign trace. Nil-safe; a no-op without a tracer.
+func (o *Observer) EmitRaw(ev *Event) {
+	if o == nil || o.tracer == nil {
+		return
+	}
+	o.tracer.Emit(ev)
+}
+
 // Close closes the tracer, flushing any buffered events.
 func (o *Observer) Close() error {
 	if o == nil || o.tracer == nil {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -9,8 +10,15 @@ import (
 )
 
 // StatusServer is the live status surface: a JSON snapshot of the
-// metrics registry and coverage curve at /status, plus net/http/pprof
-// at /debug/pprof/ for CPU and heap profiling of long campaigns.
+// metrics registry and coverage curve at /status, a /healthz liveness
+// probe, plus net/http/pprof at /debug/pprof/ for CPU and heap
+// profiling of long campaigns.
+//
+// /status answers 503 Service Unavailable until the campaign has
+// published its first coverage sample, so a scraper polling a
+// just-launched campaign can distinguish "not producing data yet"
+// from "producing zeros". /healthz answers 200 as soon as the
+// listener is up — it probes the process, not the campaign.
 type StatusServer struct {
 	ln  net.Listener
 	srv *http.Server
@@ -19,7 +27,7 @@ type StatusServer struct {
 // ServeStatus starts the status server on addr (e.g. ":6060" or
 // "127.0.0.1:0"). The listener is bound synchronously — an address
 // error is returned immediately — and served on a background
-// goroutine.
+// goroutine. Stop it with Shutdown (graceful) or Close (immediate).
 func ServeStatus(addr string, o *Observer) (*StatusServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -28,11 +36,22 @@ func ServeStatus(addr string, o *Observer) (*StatusServer, error) {
 	mux := http.NewServeMux()
 	handleStatus := func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		if len(o.Curve()) == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"error": "campaign has not published coverage yet",
+			})
+			return
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(o.Snapshot())
 	}
 	mux.HandleFunc("/status", handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -53,5 +72,11 @@ func ServeStatus(addr string, o *Observer) (*StatusServer, error) {
 // Addr returns the bound listen address (useful with port 0).
 func (s *StatusServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
+// Shutdown stops the server gracefully: the listener closes
+// immediately, in-flight requests are allowed to finish until ctx
+// expires. Campaign teardown paths should prefer this over Close so a
+// scraper's last poll is not cut mid-response.
+func (s *StatusServer) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Close stops the server immediately, dropping in-flight requests.
 func (s *StatusServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestStatusServerReadiness pins the hardening contract: /healthz is
+// live from the start, /status answers 503 until the first coverage
+// publish and 200 with a schema-valid snapshot afterwards, and
+// Shutdown stops the listener gracefully.
+func TestStatusServerReadiness(t *testing.T) {
+	o := New(Options{})
+	srv, err := ServeStatus("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, _ := get(t, base+"/status"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/status before first publish = %d, want 503", code)
+	}
+	if code, _ := get(t, base+"/"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/ before first publish = %d, want 503", code)
+	}
+
+	o.AddCurvePoint(100, 7)
+	code, body := get(t, base+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status after publish = %d, want 200", code)
+	}
+	var snap StatusSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/status body: %v", err)
+	}
+	if snap.Schema != SnapshotSchema {
+		t.Fatalf("schema %q, want %q", snap.Schema, SnapshotSchema)
+	}
+	if len(snap.Curve) != 1 || snap.Curve[0].Points != 7 {
+		t.Fatalf("curve %+v, want one (100,7) sample", snap.Curve)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+}

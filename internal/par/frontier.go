@@ -9,19 +9,26 @@ import (
 	"repro/internal/obs"
 )
 
-// frontier is the shared global coverage view of a parallel campaign:
+// Frontier is the shared global coverage view of a campaign:
 // per-cluster-graph mutex-protected node/edge sets plus striped
 // interaction-tuple shards, with an atomic point counter that is only
 // advanced on genuinely-new inserts — an edge covered both locally and
 // globally counts exactly once, no matter how many workers publish it.
 //
-// The frontier is a sink and a stop signal, never a steering input:
+// The Frontier is a sink and a stop signal, never a steering input:
 // worker trajectories read only their local coverage, so the campaign
 // result is independent of publish interleaving. The deterministic
 // merged report is computed separately (merge-by-rank over the worker
-// monitors after join); the frontier exists for live status, the
+// monitors after join); the Frontier exists for live status, the
 // campaign curve, and the opt-in stop conditions.
-type frontier struct {
+//
+// It is exported so that internal/dist can host the same frontier on a
+// network coordinator: remote workers publish serialized coverage
+// snapshots into it exactly the way in-process workers publish their
+// live monitors, and because inserts are idempotent set unions a
+// re-publish after a reconnect (or a replacement worker reproducing a
+// dead worker's trajectory) never double-counts.
+type Frontier struct {
 	start time.Time
 
 	graphs  []*graphShard
@@ -61,8 +68,13 @@ type stripeSet struct {
 	set map[string]bool
 }
 
-func newFrontier(nGraphs int, edgesTotal int, workers int, target int, stopAll bool, o *obs.Observer) *frontier {
-	f := &frontier{
+// NewFrontier builds a frontier over nGraphs cluster graphs with
+// edgesTotal static edges, accepting publishes from workers ranks
+// [0, workers). target > 0 arms the time-to-target stop; stopAll stops
+// once every static edge is globally covered. o (nil-safe) receives
+// live curve samples.
+func NewFrontier(nGraphs int, edgesTotal int, workers int, target int, stopAll bool, o *obs.Observer) *Frontier {
+	f := &Frontier{
 		graphs:     make([]*graphShard, nGraphs),
 		edgesTotal: int64(edgesTotal),
 		target:     int64(target),
@@ -90,10 +102,12 @@ func tupleStripe(k string) int {
 	return int(h % tupleStripes)
 }
 
-// publish merges one worker's local coverage into the global view and
+// Publish merges one worker's local coverage into the global view and
 // refreshes the live campaign curve. Dynamic (off-graph) observations
-// are excluded, matching CFGCov.Points.
-func (f *frontier) publish(rank int, cv *cov.CFGCov, vectors uint64) {
+// are excluded, matching CFGCov.Points. Publishing the same coverage
+// twice (a worker republishing at the next boundary, a replacement
+// worker re-walking a dead worker's trajectory) is idempotent.
+func (f *Frontier) Publish(rank int, cv *cov.CFGCov, vectors uint64) {
 	var added, addedEdges int64
 	for gi := range cv.NodesSeen {
 		if gi >= len(f.graphs) {
@@ -125,7 +139,9 @@ func (f *frontier) publish(rank int, cv *cov.CFGCov, vectors uint64) {
 		}
 		st.mu.Unlock()
 	}
-	f.workerVecs[rank].Store(vectors)
+	if rank >= 0 && rank < len(f.workerVecs) {
+		f.workerVecs[rank].Store(vectors)
+	}
 	pts := f.points.Add(added)
 	edges := f.edges.Add(addedEdges)
 
@@ -148,21 +164,24 @@ func (f *frontier) publish(rank int, cv *cov.CFGCov, vectors uint64) {
 	}
 }
 
-// shouldStop reports whether a stop condition has fired (workers poll
+// Points returns the current global point count.
+func (f *Frontier) Points() int { return int(f.points.Load()) }
+
+// ShouldStop reports whether a stop condition has fired (workers poll
 // it at interval boundaries through the engine Sync hook).
-func (f *frontier) shouldStop() bool { return f.stopped.Load() }
+func (f *Frontier) ShouldStop() bool { return f.stopped.Load() }
 
-// forceStop trips the stop signal (worker error paths).
-func (f *frontier) forceStop() { f.stopped.Store(true) }
+// ForceStop trips the stop signal (worker error paths, campaign abort).
+func (f *Frontier) ForceStop() { f.stopped.Store(true) }
 
-// timeToTargetNS is the wall time at which the global point count first
+// TimeToTargetNS is the wall time at which the global point count first
 // reached the configured target (0 if never reached or no target).
-func (f *frontier) timeToTargetNS() int64 { return f.targetNS.Load() }
+func (f *Frontier) TimeToTargetNS() int64 { return f.targetNS.Load() }
 
 // Curve returns a copy of the live campaign coverage curve. Samples
 // are wall-clock ordered (publish order), so the curve is a live-view
 // artifact, not part of the deterministic merged report.
-func (f *frontier) Curve() []obs.CurvePoint {
+func (f *Frontier) Curve() []obs.CurvePoint {
 	f.curveMu.Lock()
 	defer f.curveMu.Unlock()
 	out := make([]obs.CurvePoint, len(f.curve))

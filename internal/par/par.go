@@ -16,7 +16,7 @@
 //     solver time on the same frontier target and claim order cannot
 //     depend on scheduling.
 //   - The solved-plan cache is a pure memoization with canonical
-//     per-query seeds: a hit returns byte-for-byte what the live solve
+//     per-key seeds: a hit returns byte-for-byte what the live solve
 //     would have produced, so cache warmth changes wall time only.
 //   - The merge is by worker rank, not arrival order: coverage is a
 //     set union (idempotent), numeric stats are commutative sums, bugs
@@ -25,9 +25,16 @@
 // The only nondeterministic outputs are wall-clock values (Timings NS
 // fields, TimeToTargetNS) and the live campaign curve, which is
 // publish-ordered by design.
+//
+// The frontier, the plan cache, and the rank merge are exported
+// (Frontier, SolveCache, MergeReports) so internal/dist can host the
+// same campaign state on a network coordinator: the determinism
+// argument transfers unchanged because remote workers couple through
+// exactly the same three interfaces.
 package par
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -102,7 +109,10 @@ type Report struct {
 
 // WorkerSeed derives worker r's engine seed from the campaign base
 // seed. Rank 0 keeps the base seed, so a 1-worker campaign reproduces
-// the plain single-engine run.
+// the plain single-engine run. The derivation is a pure function of
+// (base, rank): a distributed replacement worker taking over a dead
+// worker's rank re-derives the same seed and therefore reproduces the
+// lost worker's trajectory exactly.
 func WorkerSeed(base int64, rank int) int64 {
 	if rank == 0 {
 		return base
@@ -114,6 +124,14 @@ func WorkerSeed(base int64, rank int) int64 {
 // design instance per worker (instances must not share mutable state);
 // properties are shared (immutable ASTs — checker state is per-env).
 func Run(factory func() (*elab.Design, error), properties []*props.Property, c Config) (*Report, error) {
+	return RunContext(context.Background(), factory, properties, c)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled every
+// worker stops at its next interval boundary, the partial per-worker
+// reports are merged as usual, and the merged report carries
+// Interrupted=true.
+func RunContext(ctx context.Context, factory func() (*elab.Design, error), properties []*props.Property, c Config) (*Report, error) {
 	n := c.Workers
 	if n < 1 {
 		n = 1
@@ -129,7 +147,7 @@ func Run(factory func() (*elab.Design, error), properties []*props.Property, c C
 	// fr is assigned after the engines exist (its shape comes from the
 	// first worker's partition); the Sync closures below only run once
 	// Run is called on each engine, strictly after the assignment.
-	var fr *frontier
+	var fr *Frontier
 
 	engines := make([]*core.Engine, n)
 	seeds := make([]int64, n)
@@ -167,8 +185,8 @@ func Run(factory func() (*elab.Design, error), properties []*props.Property, c C
 		wc.Obs = baseObs.ForWorker(r + 1)
 		rank := r
 		wc.Sync = func(cv *cov.CFGCov, rep *core.Report) bool {
-			fr.publish(rank, cv, rep.Vectors)
-			return fr.shouldStop()
+			fr.Publish(rank, cv, rep.Vectors)
+			return fr.ShouldStop()
 		}
 		eng, err := core.New(d, properties, wc)
 		if err != nil {
@@ -182,7 +200,7 @@ func Run(factory func() (*elab.Design, error), properties []*props.Property, c C
 	for _, g := range part.Graphs {
 		edgesTotal += len(g.Edges)
 	}
-	fr = newFrontier(len(part.Graphs), edgesTotal, n, c.StopAtPoints, c.StopWhenAllCovered, baseObs)
+	fr = NewFrontier(len(part.Graphs), edgesTotal, n, c.StopAtPoints, c.StopWhenAllCovered, baseObs)
 
 	baseObs.CampaignStart(0, 0)
 	start := time.Now()
@@ -195,10 +213,10 @@ func Run(factory func() (*elab.Design, error), properties []*props.Property, c C
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			rep, err := engines[rank].Run()
+			rep, err := engines[rank].RunContext(ctx)
 			if err != nil {
 				errs[rank] = err
-				fr.forceStop() // let the other workers bail at their next boundary
+				fr.ForceStop() // let the other workers bail at their next boundary
 				return
 			}
 			reports[rank] = rep
@@ -213,7 +231,11 @@ func Run(factory func() (*elab.Design, error), properties []*props.Property, c C
 		}
 	}
 
-	merged := mergeReports(engines, reports)
+	covs := make([]*cov.CFGCov, n)
+	for r, e := range engines {
+		covs[r] = e.Coverage()
+	}
+	merged := MergeReports(part, covs, reports)
 	out := &Report{
 		Workers:        n,
 		Seeds:          seeds,
@@ -221,106 +243,15 @@ func Run(factory func() (*elab.Design, error), properties []*props.Property, c C
 		PerWorker:      reports,
 		WallNS:         wallNS,
 		TargetPoints:   c.StopAtPoints,
-		TimeToTargetNS: fr.timeToTargetNS(),
+		TimeToTargetNS: fr.TimeToTargetNS(),
 		Curve:          fr.Curve(),
 	}
 	if cache != nil {
 		out.CacheHits, out.CacheMisses = cache.Hits(), cache.Misses()
 	}
 
-	finalizeMetrics(baseObs, merged)
+	FinalizeMetrics(baseObs, merged)
 	baseObs.Cycles(merged.Cycles)
 	baseObs.CampaignEnd(merged.Vectors, merged.FinalPoints)
 	return out, nil
-}
-
-// mergeReports folds the per-worker reports into one campaign report,
-// strictly in rank order so the result is independent of completion
-// order. Coverage is recomputed as a set union of the worker monitors
-// over worker 0's partition (cluster graphs are built
-// deterministically, so IDs agree across workers).
-func mergeReports(engines []*core.Engine, reports []*core.Report) *core.Report {
-	mcov := cov.NewCFGCov(engines[0].Graph())
-	for _, e := range engines {
-		mcov.Merge(e.Coverage())
-	}
-
-	m := &core.Report{}
-	first := reports[0]
-	m.PrunedTargets = first.PrunedTargets
-	m.GraphStats = first.GraphStats
-
-	seen := map[string]bool{}
-	for _, r := range reports {
-		m.Vectors += r.Vectors
-		m.Cycles += r.Cycles
-		m.SymbolicInvocations += r.SymbolicInvocations
-		m.SolvedPlans += r.SolvedPlans
-		m.Rollbacks += r.Rollbacks
-		m.Replays += r.Replays
-		m.CheckpointsTaken += r.CheckpointsTaken
-		m.VCDBytes += r.VCDBytes
-		m.PrunedSolves += r.PrunedSolves
-		m.CovEventsDropped += r.CovEventsDropped
-		m.SolveCacheHits += r.SolveCacheHits
-		m.SolveCacheMisses += r.SolveCacheMisses
-		mergeTimings(&m.Timings, &r.Timings)
-		for _, b := range r.Bugs {
-			key := fmt.Sprintf("%s@%d", b.Property, b.Cycle)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			m.Bugs = append(m.Bugs, b)
-		}
-	}
-
-	m.FinalPoints = mcov.Points()
-	m.NodesCovered, m.NodesTotal = mcov.NodeCoverage()
-	m.EdgesCovered, m.EdgesTotal = mcov.EdgeCoverage()
-	m.TupleCount = len(mcov.Tuples)
-	return m
-}
-
-// mergeTimings sums the phase and solver totals (commutative, so the
-// counts are rank-order independent; the NS fields are wall clock and
-// carry the usual nondeterminism).
-func mergeTimings(dst, src *core.Timings) {
-	dst.TotalNS += src.TotalNS
-	dst.FuzzNS += src.FuzzNS
-	dst.SymbolicNS += src.SymbolicNS
-	dst.RollbackNS += src.RollbackNS
-	dst.VCDNS += src.VCDNS
-	dst.CheckpointBytes += src.CheckpointBytes
-	d, s := &dst.Solve, &src.Solve
-	d.Dispatches += s.Dispatches
-	d.Sat += s.Sat
-	d.Unsat += s.Unsat
-	d.Conflicts += s.Conflicts
-	d.Decisions += s.Decisions
-	d.Propagations += s.Propagations
-	d.Clauses += s.Clauses
-	d.Vars += s.Vars
-	d.BlastNS += s.BlastNS
-	d.CDCLNS += s.CDCLNS
-}
-
-// finalizeMetrics folds the merged campaign totals into the
-// campaign-level (unprefixed) instruments, so /status and downstream
-// consumers (benchtab -metrics) see campaign sums next to the w<N>_
-// per-worker series.
-func finalizeMetrics(o *obs.Observer, m *core.Report) {
-	reg := o.Registry()
-	if reg == nil {
-		return
-	}
-	reg.Counter("solver_dispatches").Add(int64(m.Timings.Solve.Dispatches))
-	reg.Counter("solver_sat").Add(int64(m.Timings.Solve.Sat))
-	reg.Counter("solver_unsat").Add(int64(m.Timings.Solve.Unsat))
-	reg.Counter("plans_applied").Add(int64(m.SolvedPlans))
-	reg.Counter("stagnation_events").Add(int64(m.SymbolicInvocations))
-	reg.Counter("bugs_found").Add(int64(len(m.Bugs)))
-	reg.Counter("cov_events_dropped").Add(int64(m.CovEventsDropped))
-	reg.Counter("checkpoint_bytes").Add(m.Timings.CheckpointBytes)
-	reg.Counter("prune_skips").Add(int64(m.PrunedSolves))
 }

@@ -197,14 +197,14 @@ func TestFrontierNoDoubleCount(t *testing.T) {
 		EdgesSeen: []map[int]bool{{0: true, 4: true}},
 		Tuples:    map[string]bool{"a|b": true},
 	}
-	fr := newFrontier(1, 8, 2, 0, false, nil)
+	fr := NewFrontier(1, 8, 2, 0, false, nil)
 
-	fr.publish(0, cv, 100)
+	fr.Publish(0, cv, 100)
 	if got := fr.points.Load(); got != 6 {
 		t.Fatalf("first publish: points = %d, want 6 (3 nodes + 2 edges + 1 tuple)", got)
 	}
-	fr.publish(0, cv, 150) // same worker republishes at the next boundary
-	fr.publish(1, cv, 120) // a second worker covered the identical sets
+	fr.Publish(0, cv, 150) // same worker republishes at the next boundary
+	fr.Publish(1, cv, 120) // a second worker covered the identical sets
 	if got := fr.points.Load(); got != 6 {
 		t.Fatalf("republish double-counted: points = %d, want 6", got)
 	}

@@ -24,6 +24,7 @@
 package symbfuzz
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cfg"
@@ -210,6 +211,14 @@ type Benchmark = designs.Benchmark
 
 // Fuzz runs SymbFuzz on a benchmark with the given configuration.
 func Fuzz(b *Benchmark, c Config) (*Report, error) {
+	return FuzzContext(context.Background(), b, c)
+}
+
+// FuzzContext is Fuzz with cancellation: when ctx is cancelled the
+// engine stops at the next cycle and returns a valid partial report
+// with Interrupted set — the graceful-shutdown path of the CLI's
+// SIGINT/SIGTERM handling.
+func FuzzContext(ctx context.Context, b *Benchmark, c Config) (*Report, error) {
 	d, err := b.Elaborate()
 	if err != nil {
 		return nil, err
@@ -218,7 +227,7 @@ func Fuzz(b *Benchmark, c Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run()
+	return eng.RunContext(ctx)
 }
 
 // ---- parallel campaigns (internal/par) ----
@@ -237,6 +246,13 @@ type ParallelReport = par.Report
 // deterministic for a fixed seed set regardless of scheduling.
 func FuzzParallel(b *Benchmark, c ParallelConfig) (*ParallelReport, error) {
 	return par.Run(b.Elaborate, b.Properties, c)
+}
+
+// FuzzParallelContext is FuzzParallel with cancellation: every worker
+// stops at its next interval boundary and the merged report carries
+// Interrupted.
+func FuzzParallelContext(ctx context.Context, b *Benchmark, c ParallelConfig) (*ParallelReport, error) {
+	return par.RunContext(ctx, b.Elaborate, b.Properties, c)
 }
 
 // ---- benchmark designs (§5 evaluation targets) ----
