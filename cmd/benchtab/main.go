@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|par|dist|all (par and dist never run under all)")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|par|dist|flight|all (par, dist and flight never run under all)")
 		budget     = flag.Uint64("budget", 0, "vector budget per IP run (0 = defaults)")
 		soc        = flag.Uint64("soc-budget", 0, "vector budget for SoC curves")
 		runs       = flag.Int("runs", 0, "runs averaged (figure 4, table 2)")
@@ -36,6 +36,8 @@ func main() {
 		parWorkers = flag.Int("par-workers", 4, "worker count for -exp par")
 		parOut     = flag.String("par-out", "BENCH_par.json", "scaling record output path (with -exp par)")
 		distOut    = flag.String("dist-out", "BENCH_dist.json", "wire-overhead record output path (with -exp dist)")
+		flightOut  = flag.String("flight-out", "BENCH_flight.json", "span-overhead record output path (with -exp flight)")
+		flightRuns = flag.Int("flight-runs", 3, "interleaved runs per arm for -exp flight")
 	)
 	flag.Parse()
 
@@ -63,6 +65,16 @@ func main() {
 	if *exp == "dist" {
 		if err := runDistExp(2, *seed, *distOut, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab: dist:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// And for flight: it times the span layer against the nil-observer
+	// no-op path, so it is wall-clock-sensitive too.
+	if *exp == "flight" {
+		if err := runFlight(*seed, *flightRuns, *flightOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab: flight:", err)
 			os.Exit(1)
 		}
 		return

@@ -142,7 +142,7 @@ func main() {
 				os.Exit(1)
 			}
 			statusSrv = srv
-			fmt.Printf("status endpoint: http://%s/status (pprof at /debug/pprof/)\n", srv.Addr())
+			fmt.Printf("status endpoint: http://%s/status (Prometheus at /metrics, pprof at /debug/pprof/)\n", srv.Addr())
 		}
 	}
 

@@ -62,6 +62,21 @@ func (p *Partition) TotalEdges() int {
 	return n
 }
 
+// HasEdge reports whether cluster graph holds a static edge with the
+// given ID. Trace validators use it to cross-check solve attribution
+// in telemetry against the elaborated CFG.
+func (p *Partition) HasEdge(graph, edge int) bool {
+	if graph < 0 || graph >= len(p.Graphs) {
+		return false
+	}
+	for _, e := range p.Graphs[graph].Edges {
+		if e.ID == edge {
+			return true
+		}
+	}
+	return false
+}
+
 // String renders a compact description.
 func (p *Partition) String() string {
 	st := p.Stats()

@@ -68,10 +68,18 @@ type PlanKey struct {
 
 // CachedPlan is one memoized solve result: the plan (nil for unsat)
 // plus the producing dispatch's solver statistics, which consumers
-// account identically to a live solve.
+// account identically to a live solve. OriginWorker/OriginSpan name
+// the lane and solve span that produced the entry, so a hit on
+// another rank links back to the originating solve in the merged
+// trace. The origin fields are telemetry-only — they never influence
+// a trajectory — so the benign last-write-wins race on Store (every
+// writer stores an identical plan under canonical per-key seeds) at
+// worst swaps one valid attribution for another.
 type CachedPlan struct {
-	Plan  *cfg.StepPlan
-	Stats smt.SolveStats
+	Plan         *cfg.StepPlan
+	Stats        smt.SolveStats
+	OriginWorker int
+	OriginSpan   string
 }
 
 // PlanCache shares solved step plans across engines. Implementations

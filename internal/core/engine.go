@@ -479,6 +479,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Report, error) {
 		symStart := time.Now()
 		e.guide()
 		e.report.Timings.SymbolicNS += int64(time.Since(symStart))
+		e.obs.GuidanceEnd(e.report.Vectors, e.cover.Points())
 	}
 	// Collect violations raised after the last interval boundary.
 	vs := e.env.Violations()
@@ -852,6 +853,9 @@ func (e *Engine) tryEdges(gi, node int) bool {
 		}
 		var plan *cfg.StepPlan
 		var st smt.SolveStats
+		var cacheRef obs.CacheRef
+		var storeKey PlanKey
+		var store PlanCache
 		if cache := e.cfgc.PlanCache; cache != nil {
 			// Shared-cache mode: the solve seed is canonical per query,
 			// so any worker producing this key computes the identical
@@ -861,32 +865,45 @@ func (e *Engine) tryEdges(gi, node int) bool {
 			if c, ok := cache.Lookup(key); ok {
 				plan, st = c.Plan, c.Stats
 				e.report.SolveCacheHits++
+				cacheRef = obs.CacheRef{State: "hit", OriginWorker: c.OriginWorker, OriginSpan: c.OriginSpan}
 			} else {
 				plan, st = g.SolveStepStats(curVals, g.Nodes[edge.To].Vals, context, e.cacheSeed(key))
-				cache.Store(key, CachedPlan{Plan: plan, Stats: st})
 				e.report.SolveCacheMisses++
+				cacheRef = obs.CacheRef{State: "miss"}
+				// Deferred below SolverDispatch so the stored entry can
+				// carry the producing solve's span ID.
+				storeKey, store = key, cache
 			}
 		} else {
 			plan, st = g.SolveStepStats(curVals, g.Nodes[edge.To].Vals, context,
 				e.cfgc.Seed+int64(e.report.SymbolicInvocations))
 		}
 		e.report.Timings.Solve.add(st)
-		e.obs.SolverDispatch(gi, e.report.Vectors, e.cover.Points(), obs.SolveStats{
+		spanID := e.obs.SolverDispatch(gi, edge.ID, e.report.Vectors, e.cover.Points(), obs.SolveStats{
 			Outcome:      st.Outcome.String(),
 			Conflicts:    st.Conflicts,
 			Decisions:    st.Decisions,
 			Propagations: st.Propagations,
+			Restarts:     st.Restarts,
 			Clauses:      st.Clauses,
 			Vars:         st.Vars,
 			BlastNS:      st.BlastNS,
 			SolveNS:      st.SolveNS,
-		})
+		}, cacheRef)
+		if store != nil {
+			store.Store(storeKey, CachedPlan{
+				Plan: plan, Stats: st,
+				OriginWorker: e.obs.Lane(), OriginSpan: spanID,
+			})
+		}
 		if plan == nil {
 			continue
 		}
 		e.report.SolvedPlans++
+		pointsBefore := e.cover.Points()
 		if e.applyPlan(gi, plan, edge) {
-			e.obs.PlanApplied(gi, edge.ID, e.report.Vectors, e.cover.Points())
+			gained := e.cover.Points() - pointsBefore
+			e.obs.PlanApplied(gi, edge.ID, e.report.Vectors, e.cover.Points(), gained, cacheRef)
 			return true
 		}
 	}

@@ -278,6 +278,7 @@ func normalizeTrace(t *testing.T, lines []string) []string {
 			t.Fatalf("trace line %d: %v", i+1, err)
 		}
 		ev.TNS, ev.DurNS, ev.BlastNS, ev.SolveNS = 0, 0, 0, 0
+		ev.Cache, ev.OriginWorker, ev.OriginSpan = "", 0, ""
 		b, err := json.Marshal(&ev)
 		if err != nil {
 			t.Fatal(err)
@@ -324,6 +325,106 @@ func TestDistDeterminism(t *testing.T) {
 		if sum.Workers != 2 {
 			t.Errorf("campaign %d: trace shows %d worker lanes, want 2", i, sum.Workers)
 		}
+	}
+}
+
+// TestCrossProcessCausalChain is the flight-recorder acceptance test:
+// two ranks run in strict sequence as separate worker processes (fresh
+// L1 plan caches), so every plan rank 1 reuses from rank 0 must round
+// trip through the coordinator's shared cache over HTTP. The merged
+// trace must reconstruct at least one complete causal chain
+//
+//	stagnation -> solve (rank A, miss) -> remote cache store ->
+//	cache hit (rank B) -> plan_apply -> coverage_delta
+//
+// across the process boundary, and the campaign report rendered from
+// that trace must be byte-identical across renders.
+func TestCrossProcessCausalChain(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewJSONLTracer(&buf)
+	o := obs.New(obs.Options{Tracer: tr})
+
+	// Seed 5 is a campaign where the two ranks provably stagnate at a
+	// shared register state, so rank 1 reuses a plan rank 0 solved.
+	// Campaigns are deterministic per seed, so the collision is stable.
+	co := newTestCoordinator(t, CoordConfig{Spec: mailboxSpec(5), Obs: o})
+	defer co.Shutdown(context.Background())
+	ctx := context.Background()
+
+	// Sequential ranks: worker "first" drains rank 0 and exits before
+	// worker "second" leases rank 1. Separate RunWorker calls mean
+	// separate worker structs and separate L1 caches — any hit on
+	// rank 0's solves is a genuine wire fetch.
+	for i, id := range []string{"first", "second"} {
+		if err := RunWorker(ctx, WorkerConfig{
+			Addr: co.Addr(), WorkerID: id, RankHint: i, MaxRanks: 1,
+			Client: testClient(co.Addr(), int64(i)),
+		}); err != nil {
+			t.Fatalf("worker %s: %v", id, err)
+		}
+	}
+	if _, err := co.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := obs.ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.ValidateSpans(events)
+	if err != nil {
+		t.Fatalf("merged trace spans invalid: %v", err)
+	}
+	if sum.Roots != 3 { // coordinator lane + 2 worker lanes
+		t.Errorf("campaign roots = %d, want 3", sum.Roots)
+	}
+	if sum.CrossRankLinks == 0 {
+		t.Fatal("no cross-rank cache links in a sequential 2-rank campaign")
+	}
+	if sum.DanglingOrigins != 0 {
+		t.Errorf("%d cache hits reference origin spans missing from the merged trace", sum.DanglingOrigins)
+	}
+
+	chain, ok := obs.FindCrossRankChain(events)
+	if !ok {
+		t.Fatal("merged trace reconstructs no complete cross-process causal chain")
+	}
+	if chain.OriginRank == chain.HitRank {
+		t.Fatalf("chain stayed on one rank: %+v", chain)
+	}
+	for name, span := range map[string]string{
+		"stagnation": chain.Stagnation, "solve": chain.Solve, "hit solve": chain.HitSolve,
+		"plan_apply": chain.PlanApply, "coverage_delta": chain.CovDelta,
+	} {
+		if span == "" {
+			t.Errorf("chain is missing its %s span: %+v", name, chain)
+		}
+	}
+
+	// The report generator renders this trace deterministically.
+	rep1, err := obs.BuildCampaignReport(events)
+	if err != nil {
+		t.Fatalf("report over dist trace: %v", err)
+	}
+	if rep1.Chain == nil {
+		t.Error("campaign report lost the cross-rank chain")
+	}
+	var h1, h2 bytes.Buffer
+	if err := obs.RenderHTML(&h1, rep1); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := obs.BuildCampaignReport(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.RenderHTML(&h2, rep2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(h1.Bytes(), h2.Bytes()) {
+		t.Error("HTML report is not byte-identical across renders of the dist trace")
 	}
 }
 

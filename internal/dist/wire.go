@@ -42,8 +42,20 @@ import (
 // ProtoVersion is the wire-protocol version. /v1/join rejects any
 // worker whose version differs — both sides must be built from the
 // same protocol revision, since reports and plans cross the wire as
-// structured JSON.
-const ProtoVersion = 1
+// structured JSON. v2 added the trace-context field on
+// publish/cache/report (cross-process span correlation) and the
+// restart count in solver statistics.
+const ProtoVersion = 2
+
+// TraceCtx is the wire trace context: the emitting lane and span that
+// a message correlates with. On /v1/cache stores it names the solve
+// span that produced the plan, so a remote rank's cache hit links
+// back to the originating rank's solve span in the merged trace; on
+// /v1/publish and /v1/report it names the rank's campaign root span.
+type TraceCtx struct {
+	Worker int    `json:"worker,omitempty"`
+	Span   string `json:"span,omitempty"`
+}
 
 // PropSpec is a security property shipped over the wire as source
 // strings (the compiled form is not serializable); the worker parses
@@ -130,10 +142,11 @@ type HeartbeatResponse struct {
 // self-healing across coordinator restarts: the next publish restores
 // everything a crashed coordinator forgot.
 type PublishRequest struct {
-	WorkerID string  `json:"worker_id"`
-	Rank     int     `json:"rank"`
-	Vectors  uint64  `json:"vectors"`
-	Coverage CovWire `json:"coverage"`
+	WorkerID string    `json:"worker_id"`
+	Rank     int       `json:"rank"`
+	Vectors  uint64    `json:"vectors"`
+	Coverage CovWire   `json:"coverage"`
+	Trace    *TraceCtx `json:"trace,omitempty"`
 }
 
 // PublishResponse mirrors HeartbeatResponse (a publish renews the
@@ -149,6 +162,9 @@ type CacheRequest struct {
 	Op    string      `json:"op"`
 	Key   PlanKeyWire `json:"key"`
 	Value *PlanWire   `json:"value,omitempty"`
+	// Trace carries the originating solve's span context on stores
+	// (mirrors Value.OriginWorker/OriginSpan).
+	Trace *TraceCtx `json:"trace,omitempty"`
 }
 
 // CacheResponse answers a lookup (Found + Value) or acks a store.
@@ -166,6 +182,7 @@ type ReportRequest struct {
 	Report   core.Report `json:"report"`
 	Coverage CovWire     `json:"coverage"`
 	Events   []obs.Event `json:"events,omitempty"`
+	Trace    *TraceCtx   `json:"trace,omitempty"`
 }
 
 // ReportResponse acks the report; Done=true means every rank is
@@ -271,6 +288,7 @@ type StatsWire struct {
 	Conflicts    int64  `json:"conflicts,omitempty"`
 	Decisions    int64  `json:"decisions,omitempty"`
 	Propagations int64  `json:"propagations,omitempty"`
+	Restarts     int64  `json:"restarts,omitempty"`
 	Clauses      int    `json:"clauses,omitempty"`
 	Vars         int    `json:"vars,omitempty"`
 	BlastNS      int64  `json:"blast_ns,omitempty"`
@@ -280,10 +298,14 @@ type StatsWire struct {
 // PlanWire is one memoized solve result in wire form. Unsat marks a
 // proven-unsat query (nil plan); Inputs encodes the solved stimulus
 // bit-vectors MSB-first ("10xz", logic.BV.BitString round trip).
+// OriginWorker/OriginSpan attribute the entry to the solve span that
+// produced it (telemetry-only; see core.CachedPlan).
 type PlanWire struct {
-	Unsat  bool              `json:"unsat,omitempty"`
-	Inputs map[string]string `json:"inputs,omitempty"`
-	Stats  StatsWire         `json:"stats"`
+	Unsat        bool              `json:"unsat,omitempty"`
+	Inputs       map[string]string `json:"inputs,omitempty"`
+	Stats        StatsWire         `json:"stats"`
+	OriginWorker int               `json:"origin_worker,omitempty"`
+	OriginSpan   string            `json:"origin_span,omitempty"`
 }
 
 // PlanToWire serializes a cached plan.
@@ -294,11 +316,14 @@ func PlanToWire(v core.CachedPlan) *PlanWire {
 			Conflicts:    v.Stats.Conflicts,
 			Decisions:    v.Stats.Decisions,
 			Propagations: v.Stats.Propagations,
+			Restarts:     v.Stats.Restarts,
 			Clauses:      v.Stats.Clauses,
 			Vars:         v.Stats.Vars,
 			BlastNS:      v.Stats.BlastNS,
 			SolveNS:      v.Stats.SolveNS,
 		},
+		OriginWorker: v.OriginWorker,
+		OriginSpan:   v.OriginSpan,
 	}
 	if v.Plan == nil {
 		w.Unsat = true
@@ -318,11 +343,14 @@ func PlanFromWire(w *PlanWire) (core.CachedPlan, error) {
 			Conflicts:    w.Stats.Conflicts,
 			Decisions:    w.Stats.Decisions,
 			Propagations: w.Stats.Propagations,
+			Restarts:     w.Stats.Restarts,
 			Clauses:      w.Stats.Clauses,
 			Vars:         w.Stats.Vars,
 			BlastNS:      w.Stats.BlastNS,
 			SolveNS:      w.Stats.SolveNS,
 		},
+		OriginWorker: w.OriginWorker,
+		OriginSpan:   w.OriginSpan,
 	}
 	if w.Stats.Outcome == smt.Sat.String() {
 		v.Stats.Outcome = smt.Sat

@@ -41,6 +41,7 @@ func goldenFixtures() map[string]any {
 		"heartbeat_response": HeartbeatResponse{OK: true},
 		"publish_request": PublishRequest{
 			WorkerID: "host-1234", Rank: 1, Vectors: 1500, Coverage: cw,
+			Trace: &TraceCtx{Worker: 2, Span: "w2"},
 		},
 		"publish_response": PublishResponse{OK: true, Stop: false},
 		"cache_request_lookup": CacheRequest{
@@ -53,15 +54,18 @@ func goldenFixtures() map[string]any {
 				Inputs: map[string]string{"din": "10x1", "we": "1"},
 				Stats: StatsWire{
 					Outcome: "sat", Conflicts: 3, Decisions: 17, Propagations: 120,
-					Clauses: 44, Vars: 18,
+					Restarts: 1, Clauses: 44, Vars: 18,
 				},
+				OriginWorker: 2, OriginSpan: "w2.i4.s2",
 			},
+			Trace: &TraceCtx{Worker: 2, Span: "w2.i4.s2"},
 		},
 		"cache_response": CacheResponse{
 			Found: true,
 			Value: &PlanWire{
-				Inputs: map[string]string{"din": "10x1", "we": "1"},
-				Stats:  StatsWire{Outcome: "sat", Conflicts: 3},
+				Inputs:       map[string]string{"din": "10x1", "we": "1"},
+				Stats:        StatsWire{Outcome: "sat", Conflicts: 3},
+				OriginWorker: 2, OriginSpan: "w2.i4.s2",
 			},
 		},
 		"report_request": ReportRequest{
@@ -77,11 +81,14 @@ func goldenFixtures() map[string]any {
 			Coverage: cw,
 			Events: []obs.Event{
 				{TNS: 10, Type: "campaign_start", Worker: 2},
+				{TNS: 42, Type: "span", Worker: 2, Vectors: 400, Span: "w2.i0.s2",
+					Parent: "w2.i0.s1", Kind: "solve", Outcome: "sat", Cache: "miss", Restarts: 1},
 				{TNS: 99, Type: "bug_found", Worker: 2, Vectors: 812, Property: "mailbox_err_intr_en"},
 			},
+			Trace: &TraceCtx{Worker: 2, Span: "w2"},
 		},
 		"report_response": ReportResponse{OK: true, Done: true},
-		"error_response":  ErrorResponse{Error: "protocol version mismatch: coordinator speaks v1, worker \"w\" speaks v2 — rebuild the worker from the same revision"},
+		"error_response":  ErrorResponse{Error: "protocol version mismatch: coordinator speaks v2, worker \"w\" speaks v3 — rebuild the worker from the same revision"},
 	}
 }
 
@@ -172,8 +179,9 @@ func TestPlanWireRoundTrip(t *testing.T) {
 		Plan: &cfg.StepPlan{Inputs: map[string]logic.BV{"din": bv}},
 		Stats: smt.SolveStats{
 			Outcome: smt.Sat, Conflicts: 2, Decisions: 9, Propagations: 40,
-			Clauses: 12, Vars: 6, BlastNS: 111, SolveNS: 222,
+			Restarts: 3, Clauses: 12, Vars: 6, BlastNS: 111, SolveNS: 222,
 		},
+		OriginWorker: 2, OriginSpan: "w2.i1.s2",
 	}
 	back, err := PlanFromWire(PlanToWire(sat))
 	if err != nil {
@@ -187,6 +195,9 @@ func TestPlanWireRoundTrip(t *testing.T) {
 	}
 	if back.Stats != sat.Stats {
 		t.Fatalf("stats round trip: %+v vs %+v", back.Stats, sat.Stats)
+	}
+	if back.OriginWorker != 2 || back.OriginSpan != "w2.i1.s2" {
+		t.Fatalf("origin round trip: worker %d span %q", back.OriginWorker, back.OriginSpan)
 	}
 
 	unsat := core.CachedPlan{Stats: smt.SolveStats{Outcome: smt.Unsat, Conflicts: 5}}

@@ -107,7 +107,12 @@ func (rc *remoteCache) Lookup(k core.PlanKey) (core.CachedPlan, bool) {
 func (rc *remoteCache) Store(k core.PlanKey, v core.CachedPlan) {
 	rc.l1.Store(k, v)
 	// Best-effort: a lost store only costs other workers a re-solve.
-	_, _ = rc.c.Cache(rc.ctx, CacheRequest{Op: "store", Key: KeyToWire(k), Value: PlanToWire(v)})
+	// The trace context names the solve span that produced the plan,
+	// so a hit on another rank links back to it in the merged trace.
+	_, _ = rc.c.Cache(rc.ctx, CacheRequest{
+		Op: "store", Key: KeyToWire(k), Value: PlanToWire(v),
+		Trace: &TraceCtx{Worker: v.OriginWorker, Span: v.OriginSpan},
+	})
 }
 
 // RunWorker joins the coordinator at c.Addr and runs shard ranks
@@ -238,6 +243,7 @@ func (w *worker) runRank(ctx context.Context, lr LeaseResponse) error {
 	wc.Sync = func(cv *cov.CFGCov, rep *core.Report) bool {
 		resp, err := w.cl.Publish(rankCtx, PublishRequest{
 			WorkerID: w.id, Rank: lr.Rank, Vectors: rep.Vectors, Coverage: CovToWire(cv),
+			Trace: &TraceCtx{Worker: lane.Lane(), Span: lane.RootSpan()},
 		})
 		if err != nil {
 			// Coordinator unreachable past the client's retry budget:
@@ -313,6 +319,7 @@ func (w *worker) runRank(ctx context.Context, lr LeaseResponse) error {
 		Report:   *rep,
 		Coverage: CovToWire(eng.Coverage()),
 		Events:   buf.take(),
+		Trace:    &TraceCtx{Worker: lane.Lane(), Span: lane.RootSpan()},
 	})
 	if err != nil {
 		return err

@@ -14,10 +14,21 @@ type SolveStats struct {
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
+	Restarts     int64
 	Clauses      int
 	Vars         int
 	BlastNS      int64
 	SolveNS      int64
+}
+
+// CacheRef describes how a solve was satisfied by the shared plan
+// cache. State is "" (no cache in play), "hit" or "miss"; on a hit the
+// origin fields link back to the solve span — possibly on another
+// rank — that produced the cached plan.
+type CacheRef struct {
+	State        string
+	OriginWorker int
+	OriginSpan   string
 }
 
 // CurvePoint is one live coverage-curve sample.
@@ -33,10 +44,14 @@ type StatusSnapshot struct {
 	UptimeNS int64            `json:"uptime_ns"`
 	Metrics  RegistrySnapshot `json:"metrics"`
 	Curve    []CurvePoint     `json:"curve,omitempty"`
+	// Series is the per-interval time-series ring (oldest-first; at
+	// most the ring capacity of the most recent interval samples).
+	Series []SeriesPoint `json:"series,omitempty"`
 }
 
-// SnapshotSchema versions the status/metrics JSON document.
-const SnapshotSchema = "symbfuzz-obs/v1"
+// SnapshotSchema versions the status/metrics JSON document. v2 added
+// the per-interval time-series ring.
+const SnapshotSchema = "symbfuzz-obs/v2"
 
 // Options configures an Observer.
 type Options struct {
@@ -55,6 +70,10 @@ type Options struct {
 	// lane; 0 (the default) leaves events unstamped so single-engine
 	// traces are unchanged.
 	Worker int
+	// Series is the shared per-interval time-series ring; nil creates a
+	// fresh DefaultSeriesCap ring. ForWorker lanes share their base
+	// observer's ring.
+	Series *Series
 }
 
 // Observer is the engine-facing telemetry facade: a metrics registry
@@ -67,9 +86,24 @@ type Observer struct {
 	now    func() int64
 	origin int64
 	worker int
+	series *Series
 
 	mu    sync.Mutex
 	curve []CurvePoint
+
+	// Causal-span state (guarded by spanMu; touched only when a tracer
+	// is attached). Span IDs derive from (lane, interval, sequence) so
+	// identical trajectories yield identical IDs.
+	spanMu      sync.Mutex
+	intervalIdx int    // current interval index (-1 before the first)
+	spanSeq     int    // child-span sequence within the interval
+	campStartNS int64  // campaign span open timestamp
+	ivSpan      string // current interval's span ID
+	ivStartNS   int64
+	ivStartVec  uint64
+	stagSpan    string // open stagnation span ID ("" when none)
+	stagStartNS int64
+	lastSolve   string // most recent solve span ID (plan_apply parent)
 
 	// Pre-bound instruments (resolved once; lock-free afterwards).
 	cIntervals *Counter
@@ -98,6 +132,8 @@ type Observer struct {
 	cBugs      *Counter
 	cSeqItems  *Counter
 	hSeqSolve  *Histogram
+	cCacheHit  *Counter
+	cCacheMiss *Counter
 	gVectors   *Gauge
 	gPoints    *Gauge
 	gCycles    *Gauge
@@ -115,7 +151,11 @@ func New(opts Options) *Observer {
 		start := time.Now()
 		now = func() int64 { return int64(time.Since(start)) }
 	}
-	o := &Observer{reg: reg, tracer: opts.Tracer, now: now, worker: opts.Worker}
+	series := opts.Series
+	if series == nil {
+		series = NewSeries(0)
+	}
+	o := &Observer{reg: reg, tracer: opts.Tracer, now: now, worker: opts.Worker, series: series, intervalIdx: -1}
 	o.origin = now()
 	p := func(name string) string { return opts.Prefix + name }
 	o.cIntervals = reg.Counter(p("fuzz_intervals"))
@@ -144,6 +184,8 @@ func New(opts Options) *Observer {
 	o.cBugs = reg.Counter(p("bugs_found"))
 	o.cSeqItems = reg.Counter(p("seq_items"))
 	o.hSeqSolve = reg.Histogram(p("seq_solve_ns"), nil)
+	o.cCacheHit = reg.Counter(p("plan_cache_hits"))
+	o.cCacheMiss = reg.Counter(p("plan_cache_misses"))
 	o.gVectors = reg.Gauge(p("vectors_applied"))
 	o.gPoints = reg.Gauge(p("coverage_points"))
 	o.gCycles = reg.Gauge(p("cycles"))
@@ -167,9 +209,48 @@ func (o *Observer) ForWorker(id int) *Observer {
 		Now:      o.now,
 		Prefix:   fmt.Sprintf("w%d_", id),
 		Worker:   id,
+		Series:   o.series,
 	})
 	w.origin = o.origin // timestamps align with the campaign origin
 	return w
+}
+
+// Lane returns the observer's 1-based worker lane (0 for the
+// single-engine or campaign-level lane). Nil-safe.
+func (o *Observer) Lane() int {
+	if o == nil {
+		return 0
+	}
+	return o.worker
+}
+
+// RootSpan returns the lane's campaign root span ID ("w<lane>").
+// Deterministic: derived from the lane alone. Nil-safe.
+func (o *Observer) RootSpan() string {
+	if o == nil {
+		return ""
+	}
+	return fmt.Sprintf("w%d", o.worker)
+}
+
+// Series exposes the shared per-interval time-series ring (nil-safe).
+func (o *Observer) Series() *Series {
+	if o == nil {
+		return nil
+	}
+	return o.series
+}
+
+// spansOn reports whether span bookkeeping is live: spans exist only
+// in the trace, so without a tracer the span path costs nothing.
+func (o *Observer) spansOn() bool { return o.tracer != nil }
+
+// nextChildID mints the next deterministic child-span ID under the
+// current interval: "w<lane>.i<interval>.s<seq>". Callers hold spanMu.
+func (o *Observer) nextChildID() string {
+	id := fmt.Sprintf("w%d.i%d.s%d", o.worker, o.intervalIdx, o.spanSeq)
+	o.spanSeq++
+	return id
 }
 
 // Registry exposes the observer's registry (nil-safe).
@@ -223,34 +304,65 @@ func (o *Observer) progress(vectors uint64, points int) {
 	o.gPoints.Set(int64(points))
 }
 
-// CampaignStart marks the campaign's first event.
+// CampaignStart marks the campaign's first event and opens the lane's
+// campaign root span.
 func (o *Observer) CampaignStart(vectors uint64, points int) {
 	if o == nil {
 		return
 	}
 	o.progress(vectors, points)
+	if o.spansOn() {
+		o.spanMu.Lock()
+		o.campStartNS = o.Now()
+		o.spanMu.Unlock()
+	}
 	o.emit(&Event{TNS: o.Now(), Type: EvCampaignStart, Vectors: vectors, Points: points})
 }
 
-// CampaignEnd marks the campaign's final event; Points must equal the
-// report's FinalPoints so offline analyses reconcile with the report.
+// CampaignEnd closes the lane's campaign root span and marks the
+// campaign's final event; Points must equal the report's FinalPoints
+// so offline analyses reconcile with the report. The span record is
+// emitted before campaign_end because the trace schema requires
+// campaign_end to be the lane's last event.
 func (o *Observer) CampaignEnd(vectors uint64, points int) {
 	if o == nil {
 		return
 	}
 	o.progress(vectors, points)
+	if o.spansOn() {
+		o.spanMu.Lock()
+		start := o.campStartNS
+		o.spanMu.Unlock()
+		now := o.Now()
+		o.emit(&Event{
+			TNS: now, Type: EvSpan, Vectors: vectors, Points: points,
+			Span: o.RootSpan(), Kind: SpanCampaign, DurNS: now - start,
+		})
+	}
 	o.emit(&Event{TNS: o.Now(), Type: EvCampaignEnd, Vectors: vectors, Points: points})
 }
 
-// IntervalStart marks the start of one I-cycle fuzz interval.
+// IntervalStart marks the start of one I-cycle fuzz interval and opens
+// its interval span.
 func (o *Observer) IntervalStart(vectors uint64, points int) {
 	if o == nil {
 		return
 	}
+	if o.spansOn() {
+		o.spanMu.Lock()
+		o.intervalIdx++
+		o.spanSeq = 0
+		o.ivSpan = fmt.Sprintf("w%d.i%d", o.worker, o.intervalIdx)
+		o.ivStartNS = o.Now()
+		o.ivStartVec = vectors
+		o.spanMu.Unlock()
+	}
 	o.emit(&Event{TNS: o.Now(), Type: EvIntervalStart, Vectors: vectors, Points: points})
 }
 
-// IntervalEnd records one completed fuzz interval and its wall time.
+// IntervalEnd records one completed fuzz interval and its wall time,
+// closing the interval's stimulus-batch and interval spans and
+// sampling the per-interval time-series ring.
 func (o *Observer) IntervalEnd(vectors uint64, points int, durNS int64) {
 	if o == nil {
 		return
@@ -258,24 +370,85 @@ func (o *Observer) IntervalEnd(vectors uint64, points int, durNS int64) {
 	o.cIntervals.Inc()
 	o.hInterval.Observe(durNS)
 	o.progress(vectors, points)
+	if o.spansOn() {
+		o.spanMu.Lock()
+		iv := o.ivSpan
+		batch := o.nextChildID()
+		startNS := o.ivStartNS
+		applied := vectors - o.ivStartVec
+		interval := o.intervalIdx
+		o.spanMu.Unlock()
+		o.emit(&Event{
+			TNS: o.Now(), Type: EvSpan, Vectors: vectors, Points: points,
+			Span: batch, Parent: iv, Kind: SpanStimBatch,
+			DurNS: durNS, Count: int64(applied),
+		})
+		now := o.Now()
+		o.emit(&Event{
+			TNS: now, Type: EvSpan, Vectors: vectors, Points: points,
+			Span: iv, Parent: o.RootSpan(), Kind: SpanInterval, DurNS: now - startNS,
+		})
+		o.series.Add(SeriesPoint{
+			TNS: now, Worker: o.worker, Interval: interval,
+			Vectors: vectors, Points: points,
+			Solves: o.cSolves.Value(), Sat: o.cSat.Value(),
+			CacheHits: o.cCacheHit.Value(), CacheMisses: o.cCacheMiss.Value(),
+			Plans: o.cPlans.Value(),
+		})
+	}
 	o.emit(&Event{TNS: o.Now(), Type: EvIntervalEnd, Vectors: vectors, Points: points, DurNS: durNS})
 }
 
 // Stagnation records a Th-interval coverage stall triggering symbolic
-// guidance.
+// guidance, opening a stagnation span under the current interval that
+// GuidanceEnd closes.
 func (o *Observer) Stagnation(vectors uint64, points int) {
 	if o == nil {
 		return
 	}
 	o.cStagnant.Inc()
+	if o.spansOn() {
+		o.spanMu.Lock()
+		o.stagSpan = o.nextChildID()
+		o.stagStartNS = o.Now()
+		o.spanMu.Unlock()
+	}
 	o.emit(&Event{TNS: o.Now(), Type: EvStagnation, Vectors: vectors, Points: points})
 }
 
-// SolverDispatch records one dependency-equation solve with its
-// per-solve SAT statistics.
-func (o *Observer) SolverDispatch(graph int, vectors uint64, points int, st SolveStats) {
-	if o == nil {
+// GuidanceEnd closes the stagnation span opened by Stagnation once the
+// symbolic-guidance episode (solves + plan applications) finishes.
+func (o *Observer) GuidanceEnd(vectors uint64, points int) {
+	if o == nil || !o.spansOn() {
 		return
+	}
+	o.spanMu.Lock()
+	span := o.stagSpan
+	iv := o.ivSpan
+	start := o.stagStartNS
+	o.stagSpan = ""
+	o.lastSolve = ""
+	o.spanMu.Unlock()
+	if span == "" {
+		return
+	}
+	now := o.Now()
+	o.emit(&Event{
+		TNS: now, Type: EvSpan, Vectors: vectors, Points: points,
+		Span: span, Parent: iv, Kind: SpanStagnate, DurNS: now - start,
+	})
+}
+
+// SolverDispatch records one dependency-equation solve with its
+// per-solve SAT statistics and emits the solve span (parented under
+// the open stagnation span, falling back to the current interval).
+// The returned span ID attributes the solve in the shared plan cache:
+// a remote rank's cache hit links back to it. Empty when tracing is
+// off. cache.State classifies the solve as a live solve backed by a
+// cache store ("miss"), a cache hit ("hit"), or uncached ("").
+func (o *Observer) SolverDispatch(graph, edge int, vectors uint64, points int, st SolveStats, cache CacheRef) string {
+	if o == nil {
+		return ""
 	}
 	o.cSolves.Inc()
 	if st.Outcome == "sat" {
@@ -290,23 +463,75 @@ func (o *Observer) SolverDispatch(graph int, vectors uint64, points int, st Solv
 	o.cProps.Add(st.Propagations)
 	o.cClauses.Add(int64(st.Clauses))
 	o.cVars.Add(int64(st.Vars))
+	switch cache.State {
+	case "hit":
+		o.cCacheHit.Inc()
+	case "miss":
+		o.cCacheMiss.Inc()
+	}
+	span := ""
+	if o.spansOn() {
+		o.spanMu.Lock()
+		span = o.nextChildID()
+		parent := o.stagSpan
+		if parent == "" {
+			parent = o.ivSpan
+		}
+		o.lastSolve = span
+		o.spanMu.Unlock()
+		o.emit(&Event{
+			TNS: o.Now(), Type: EvSpan, Vectors: vectors, Points: points,
+			Span: span, Parent: parent, Kind: SpanSolve,
+			Graph: graph, Edge: edge, Outcome: st.Outcome,
+			Conflicts: st.Conflicts, Decisions: st.Decisions, Propagations: st.Propagations,
+			Restarts: st.Restarts, Clauses: st.Clauses, Vars: st.Vars,
+			BlastNS: st.BlastNS, SolveNS: st.SolveNS, DurNS: st.BlastNS + st.SolveNS,
+			Cache: cache.State, OriginWorker: cache.OriginWorker, OriginSpan: cache.OriginSpan,
+		})
+	}
 	o.emit(&Event{
 		TNS: o.Now(), Type: EvSolverDisp, Vectors: vectors, Points: points,
-		Graph: graph, Outcome: st.Outcome,
+		Graph: graph, Edge: edge, Outcome: st.Outcome,
 		Conflicts: st.Conflicts, Decisions: st.Decisions, Propagations: st.Propagations,
-		Clauses: st.Clauses, Vars: st.Vars,
+		Restarts: st.Restarts, Clauses: st.Clauses, Vars: st.Vars,
 		BlastNS: st.BlastNS, SolveNS: st.SolveNS, DurNS: st.BlastNS + st.SolveNS,
+		Span: span,
 	})
+	return span
 }
 
 // PlanApplied records a solved stimulus plan driven into the DUV that
-// exercised its targeted CFG edge.
-func (o *Observer) PlanApplied(graph, edge int, vectors uint64, points int) {
+// exercised its targeted CFG edge, closing a plan_apply span under the
+// solve that produced the plan plus a coverage_delta child carrying
+// the tuples the application unlocked.
+func (o *Observer) PlanApplied(graph, edge int, vectors uint64, points, gained int, cache CacheRef) {
 	if o == nil {
 		return
 	}
 	o.cPlans.Inc()
-	o.emit(&Event{TNS: o.Now(), Type: EvPlanApplied, Vectors: vectors, Points: points, Graph: graph, Edge: edge})
+	span := ""
+	if o.spansOn() {
+		o.spanMu.Lock()
+		apply := o.nextChildID()
+		delta := o.nextChildID()
+		parent := o.lastSolve
+		o.spanMu.Unlock()
+		if parent != "" {
+			span = apply
+			o.emit(&Event{
+				TNS: o.Now(), Type: EvSpan, Vectors: vectors, Points: points,
+				Span: apply, Parent: parent, Kind: SpanPlanApply,
+				Graph: graph, Edge: edge,
+				Cache: cache.State, OriginWorker: cache.OriginWorker, OriginSpan: cache.OriginSpan,
+			})
+			o.emit(&Event{
+				TNS: o.Now(), Type: EvSpan, Vectors: vectors, Points: points,
+				Span: delta, Parent: apply, Kind: SpanCovDelta,
+				Graph: graph, Edge: edge, Gained: gained,
+			})
+		}
+	}
+	o.emit(&Event{TNS: o.Now(), Type: EvPlanApplied, Vectors: vectors, Points: points, Graph: graph, Edge: edge, Span: span})
 }
 
 // Rollback records one checkpoint re-entry; mode is "snapshot" or
@@ -432,5 +657,6 @@ func (o *Observer) Snapshot() StatusSnapshot {
 		UptimeNS: o.Now(),
 		Metrics:  o.reg.Snapshot(),
 		Curve:    o.Curve(),
+		Series:   o.series.Points(),
 	}
 }

@@ -27,8 +27,12 @@ func TestNilObserverZeroAlloc(t *testing.T) {
 		o.IntervalStart(1, 2)
 		o.IntervalEnd(1, 2, 3)
 		o.Stagnation(1, 2)
-		o.SolverDispatch(0, 1, 2, st)
-		o.PlanApplied(0, 1, 2, 3)
+		o.SolverDispatch(0, 1, 1, 2, st, CacheRef{})
+		o.PlanApplied(0, 1, 2, 3, 1, CacheRef{})
+		o.GuidanceEnd(1, 2)
+		_ = o.Lane()
+		_ = o.RootSpan()
+		_ = o.Series()
 		o.Rollback("snapshot", 1, 2, 3)
 		o.CheckpointTaken(1, 2, 3)
 		o.CovDropped(1, 2, 3)
@@ -57,12 +61,13 @@ func TestObserverMetricsAndTrace(t *testing.T) {
 	o.IntervalStart(0, 0)
 	o.IntervalEnd(100, 5, 1500)
 	o.Stagnation(100, 5)
-	o.SolverDispatch(2, 100, 5, SolveStats{
+	o.SolverDispatch(2, 7, 100, 5, SolveStats{
 		Outcome: "sat", Conflicts: 3, Decisions: 11, Propagations: 40,
 		Clauses: 120, Vars: 30, BlastNS: 900, SolveNS: 600,
-	})
-	o.SolverDispatch(2, 100, 5, SolveStats{Outcome: "unsat", SolveNS: 100})
-	o.PlanApplied(2, 7, 120, 6)
+	}, CacheRef{})
+	o.SolverDispatch(2, 8, 100, 5, SolveStats{Outcome: "unsat", SolveNS: 100}, CacheRef{})
+	o.PlanApplied(2, 7, 120, 6, 1, CacheRef{})
+	o.GuidanceEnd(120, 6)
 	o.Rollback("snapshot", 400, 120, 6)
 	o.Rollback("replay", 800, 120, 6)
 	o.CheckpointTaken(256, 120, 6)
@@ -161,7 +166,7 @@ func TestServeStatus(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/json" {
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/json; charset=utf-8" {
 		t.Fatalf("status %d, content-type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
 	}
 	var snap StatusSnapshot

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PrometheusContentType is the text exposition format's content type.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promNamespace prefixes every exported metric name.
+const promNamespace = "symbfuzz_"
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative le-labelled buckets with +Inf,
+// _sum and _count series. Names are emitted in sorted order so the
+// output is deterministic for a fixed registry state.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	if r != nil {
+		// Copy instrument pointers under the lock: concurrent instrument
+		// creation mutates the maps, but the instruments themselves are
+		// atomic and lock-free to read.
+		r.mu.Lock()
+		ctrNames := sortedKeys(r.ctrs)
+		gaugeNames := sortedKeys(r.gauge)
+		histNames := sortedKeys(r.hists)
+		ctrs := make(map[string]*Counter, len(r.ctrs))
+		for k, v := range r.ctrs {
+			ctrs[k] = v
+		}
+		gauges := make(map[string]*Gauge, len(r.gauge))
+		for k, v := range r.gauge {
+			gauges[k] = v
+		}
+		hists := make(map[string]*Histogram, len(r.hists))
+		for k, v := range r.hists {
+			hists[k] = v
+		}
+		r.mu.Unlock()
+
+		for _, name := range ctrNames {
+			fmt.Fprintf(bw, "# TYPE %s%s counter\n", promNamespace, name)
+			fmt.Fprintf(bw, "%s%s %d\n", promNamespace, name, ctrs[name].Value())
+		}
+		for _, name := range gaugeNames {
+			fmt.Fprintf(bw, "# TYPE %s%s gauge\n", promNamespace, name)
+			fmt.Fprintf(bw, "%s%s %d\n", promNamespace, name, gauges[name].Value())
+		}
+		for _, name := range histNames {
+			h := hists[name]
+			fmt.Fprintf(bw, "# TYPE %s%s histogram\n", promNamespace, name)
+			var cum int64
+			for i, bound := range h.Bounds() {
+				cum += h.BucketCount(i)
+				fmt.Fprintf(bw, "%s%s_bucket{le=\"%d\"} %d\n", promNamespace, name, bound, cum)
+			}
+			cum += h.BucketCount(len(h.Bounds()))
+			fmt.Fprintf(bw, "%s%s_bucket{le=\"+Inf\"} %d\n", promNamespace, name, cum)
+			fmt.Fprintf(bw, "%s%s_sum %d\n", promNamespace, name, h.Sum())
+			fmt.Fprintf(bw, "%s%s_count %d\n", promNamespace, name, h.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

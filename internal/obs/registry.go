@@ -8,6 +8,7 @@
 package obs
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -108,6 +109,46 @@ func (h *Histogram) Mean() int64 {
 		return 0
 	}
 	return h.sum.Load() / n
+}
+
+// Quantile returns an upper estimate of the q-quantile (q clamped to
+// [0,1]): the bucket bound containing the ceil(q·n)-th observation,
+// clamped to the observed [min, max] range — so an empty histogram
+// yields 0 and single-sample or all-equal histograms yield the exact
+// observed value regardless of bucket width.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	res := h.max.Load()
+	var cum int64
+	for i := range h.cells {
+		cum += h.cells[i].Load()
+		if cum >= target {
+			if i < len(h.bounds) {
+				res = h.bounds[i]
+			}
+			break
+		}
+	}
+	if mn := h.min.Load(); res < mn {
+		res = mn
+	}
+	if mx := h.max.Load(); res > mx {
+		res = mx
+	}
+	return res
 }
 
 // Bounds returns the bucket upper bounds.

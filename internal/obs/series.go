@@ -1,0 +1,97 @@
+package obs
+
+import "sync"
+
+// SeriesPoint is one per-interval time-series sample. Counter-valued
+// fields (Solves, Sat, CacheHits, CacheMisses, Plans) are the emitting
+// lane's cumulative totals at the sample instant, so consumers derive
+// per-interval rates by differencing adjacent samples of the same lane.
+type SeriesPoint struct {
+	TNS         int64  `json:"t_ns"`
+	Worker      int    `json:"worker,omitempty"`
+	Interval    int    `json:"interval"`
+	Vectors     uint64 `json:"vectors"`
+	Points      int    `json:"points"`
+	Solves      int64  `json:"solves,omitempty"`
+	Sat         int64  `json:"sat,omitempty"`
+	CacheHits   int64  `json:"cache_hits,omitempty"`
+	CacheMisses int64  `json:"cache_misses,omitempty"`
+	Plans       int64  `json:"plans,omitempty"`
+}
+
+// DefaultSeriesCap bounds the status server's time-series memory: the
+// ring keeps the most recent samples and overwrites the oldest.
+const DefaultSeriesCap = 512
+
+// Series is a fixed-capacity ring buffer of interval samples shared by
+// every lane observer of a campaign. Bounded by construction: a
+// long-running campaign's status endpoint never grows without limit.
+type Series struct {
+	mu   sync.Mutex
+	buf  []SeriesPoint
+	next int  // index of the slot the next Add writes
+	full bool // the ring has wrapped at least once
+}
+
+// NewSeries builds a ring holding the most recent capacity samples
+// (capacity <= 0 selects DefaultSeriesCap).
+func NewSeries(capacity int) *Series {
+	if capacity <= 0 {
+		capacity = DefaultSeriesCap
+	}
+	return &Series{buf: make([]SeriesPoint, capacity)}
+}
+
+// Cap returns the ring capacity.
+func (s *Series) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.buf)
+}
+
+// Len returns the number of stored samples (<= Cap).
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.full {
+		return len(s.buf)
+	}
+	return s.next
+}
+
+// Add appends one sample, overwriting the oldest when full.
+func (s *Series) Add(p SeriesPoint) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.buf[s.next] = p
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+// Points returns the stored samples oldest-first.
+func (s *Series) Points() []SeriesPoint {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		out := make([]SeriesPoint, s.next)
+		copy(out, s.buf[:s.next])
+		return out
+	}
+	out := make([]SeriesPoint, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}

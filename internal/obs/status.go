@@ -10,9 +10,10 @@ import (
 )
 
 // StatusServer is the live status surface: a JSON snapshot of the
-// metrics registry and coverage curve at /status, a /healthz liveness
-// probe, plus net/http/pprof at /debug/pprof/ for CPU and heap
-// profiling of long campaigns.
+// metrics registry, coverage curve and per-interval time series at
+// /status, a Prometheus text-format scrape endpoint at /metrics, a
+// /healthz liveness probe, plus net/http/pprof at /debug/pprof/ for
+// CPU and heap profiling of long campaigns.
 //
 // /status answers 503 Service Unavailable until the campaign has
 // published its first coverage sample, so a scraper polling a
@@ -34,8 +35,20 @@ func ServeStatus(addr string, o *Observer) (*StatusServer, error) {
 		return nil, err
 	}
 	mux := http.NewServeMux()
+	// readOnly guards the data endpoints: anything but GET/HEAD is
+	// rejected with 405 and an Allow header, per RFC 9110.
+	readOnly := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", "GET, HEAD")
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			h(w, r)
+		}
+	}
 	handleStatus := func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		if len(o.Curve()) == 0 {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			_ = json.NewEncoder(w).Encode(map[string]string{
@@ -47,18 +60,24 @@ func ServeStatus(addr string, o *Observer) (*StatusServer, error) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(o.Snapshot())
 	}
-	mux.HandleFunc("/status", handleStatus)
+	mux.HandleFunc("/status", readOnly(handleStatus))
+	mux.HandleFunc("/metrics", readOnly(func(w http.ResponseWriter, _ *http.Request) {
+		// Prometheus scrape endpoint. Unlike /status it answers 200
+		// from the start: an all-zero registry is a valid scrape.
+		w.Header().Set("Content-Type", PrometheusContentType)
+		_ = WritePrometheus(w, o.Registry())
+	}))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/", readOnly(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		handleStatus(w, r)
-	})
+	}))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 )
@@ -68,5 +69,110 @@ func TestStatusServerReadiness(t *testing.T) {
 	}
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Fatal("server still accepting connections after Shutdown")
+	}
+}
+
+// TestStatusServerMethodsAndContentTypes is the regression test for
+// the method/Content-Type hardening: the data endpoints answer 405
+// (with an Allow header) to anything but GET/HEAD and always declare
+// their media type.
+func TestStatusServerMethodsAndContentTypes(t *testing.T) {
+	o := New(Options{})
+	o.AddCurvePoint(10, 3)
+	o.BugFound("p", 10, 3)
+	srv, err := ServeStatus("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	for _, path := range []string{"/status", "/metrics", "/"} {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+			t.Errorf("POST %s Allow = %q, want \"GET, HEAD\"", path, allow)
+		}
+		req, _ := http.NewRequest(http.MethodDelete, base+path, nil)
+		dresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+		if dresp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("DELETE %s = %d, want 405", path, dresp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(base + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("/status Content-Type = %q", ct)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); ct != PrometheusContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, PrometheusContentType)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE symbfuzz_bugs_found counter",
+		"symbfuzz_bugs_found 1",
+		"# TYPE symbfuzz_coverage_points gauge",
+		"symbfuzz_coverage_points 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestWritePrometheusHistogram pins the exposition format of
+// histograms: cumulative le buckets ending in +Inf, plus _sum/_count,
+// and deterministic output for a fixed registry state.
+func TestWritePrometheusHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rollback_ns", []int64{100, 1000})
+	h.Observe(50)
+	h.Observe(60)
+	h.Observe(500)
+	h.Observe(5000)
+
+	var a, b strings.Builder
+	if err := WritePrometheus(&a, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("WritePrometheus output is not deterministic")
+	}
+	want := `# TYPE symbfuzz_rollback_ns histogram
+symbfuzz_rollback_ns_bucket{le="100"} 2
+symbfuzz_rollback_ns_bucket{le="1000"} 3
+symbfuzz_rollback_ns_bucket{le="+Inf"} 4
+symbfuzz_rollback_ns_sum 5610
+symbfuzz_rollback_ns_count 4
+`
+	if a.String() != want {
+		t.Errorf("exposition format drifted:\ngot:\n%s\nwant:\n%s", a.String(), want)
 	}
 }

@@ -22,7 +22,22 @@ const (
 	EvBugFound      = "bug_found"
 	EvPruneSkip     = "prune_skip"
 	EvCovDropped    = "cov_events_dropped"
+	EvSpan          = "span"
 	EvCampaignEnd   = "campaign_end"
+)
+
+// Span kinds, ordered by causal depth: a campaign owns intervals, an
+// interval owns its stimulus batch and any stagnation episode, a
+// stagnation episode owns solves, a sat solve owns the plan
+// application, and an applied plan owns the coverage it unlocked.
+const (
+	SpanCampaign  = "campaign"
+	SpanInterval  = "interval"
+	SpanStimBatch = "stimulus_batch"
+	SpanStagnate  = "stagnation"
+	SpanSolve     = "solve"
+	SpanPlanApply = "plan_apply"
+	SpanCovDelta  = "coverage_delta"
 )
 
 // knownEvents is the trace schema's closed event-type set.
@@ -30,7 +45,15 @@ var knownEvents = map[string]bool{
 	EvCampaignStart: true, EvIntervalStart: true, EvIntervalEnd: true,
 	EvStagnation: true, EvSolverDisp: true, EvPlanApplied: true,
 	EvRollback: true, EvCheckpoint: true, EvBugFound: true,
-	EvPruneSkip: true, EvCovDropped: true, EvCampaignEnd: true,
+	EvPruneSkip: true, EvCovDropped: true, EvSpan: true,
+	EvCampaignEnd: true,
+}
+
+// knownSpanKinds is the span taxonomy's closed kind set.
+var knownSpanKinds = map[string]bool{
+	SpanCampaign: true, SpanInterval: true, SpanStimBatch: true,
+	SpanStagnate: true, SpanSolve: true, SpanPlanApply: true,
+	SpanCovDelta: true,
 }
 
 // Event is one typed trace record. Every event carries the monotonic
@@ -74,6 +97,24 @@ type Event struct {
 	Vars         int   `json:"vars,omitempty"`
 	BlastNS      int64 `json:"blast_ns,omitempty"`
 	SolveNS      int64 `json:"cdcl_ns,omitempty"`
+	Restarts     int64 `json:"restarts,omitempty"`
+
+	// Causal-span fields (type "span", plus Span on solver_dispatch so
+	// the wire cache can attribute remote hits). Span IDs are
+	// deterministic, derived from (lane, interval, sequence) — e.g.
+	// "w2.i3.s1" — never from wall clock or randomness, so golden-trace
+	// tests stay byte-stable.
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+	// Cache is "hit" or "miss" on plan_apply/solve spans; on a hit the
+	// origin fields link back to the solve span (possibly on another
+	// rank) that produced the cached plan.
+	Cache        string `json:"cache,omitempty"`
+	OriginWorker int    `json:"origin_worker,omitempty"`
+	OriginSpan   string `json:"origin_span,omitempty"`
+	// Gained is the coverage-tuple delta of a coverage_delta span.
+	Gained int `json:"gained,omitempty"`
 }
 
 // Tracer receives typed events. Implementations must be safe for
@@ -132,6 +173,35 @@ func (t *JSONLTracer) Close() error {
 		}
 	}
 	return t.err
+}
+
+// ReadEvents parses a JSONL event stream into memory. It checks JSON
+// well-formedness and known event types but not stream ordering — use
+// ValidateTrace for the full schema check.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("trace line %d: invalid JSON: %w", line, err)
+		}
+		if !knownEvents[ev.Type] {
+			return nil, fmt.Errorf("trace line %d: unknown event type %q", line, ev.Type)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // TraceSummary is ValidateTrace's digest of a schema-valid trace.

@@ -69,9 +69,11 @@ func normalizeReport(r *core.Report) core.Report {
 	return c
 }
 
-// normalizeTrace parses the JSONL lines, zeroes every wall-clock field,
-// re-serializes, and sorts — turning an interleaving-ordered stream
-// into a comparable event multiset.
+// normalizeTrace parses the JSONL lines, zeroes every wall-clock field
+// plus the cache hit/miss attribution (which worker solved a shared
+// key first is scheduling-dependent; only the solve itself is
+// deterministic), re-serializes, and sorts — turning an
+// interleaving-ordered stream into a comparable event multiset.
 func normalizeTrace(t *testing.T, lines []string) []string {
 	t.Helper()
 	out := make([]string, 0, len(lines))
@@ -81,6 +83,7 @@ func normalizeTrace(t *testing.T, lines []string) []string {
 			t.Fatalf("trace line %d: %v", i+1, err)
 		}
 		ev.TNS, ev.DurNS, ev.BlastNS, ev.SolveNS = 0, 0, 0, 0
+		ev.Cache, ev.OriginWorker, ev.OriginSpan = "", 0, ""
 		b, err := json.Marshal(&ev)
 		if err != nil {
 			t.Fatal(err)

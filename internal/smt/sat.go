@@ -67,6 +67,7 @@ type SAT struct {
 	nConflicts int64
 	nDecisions int64
 	nProps     int64
+	nRestarts  int64
 
 	unsat bool // a root-level contradiction was detected
 }
@@ -399,6 +400,7 @@ func (s *SAT) Solve(assumptions ...Lit) bool {
 		if conflictsHere > conflictBudget {
 			// Restart.
 			restartIdx++
+			s.nRestarts++
 			conflictBudget = 64 * luby(restartIdx)
 			conflictsHere = 0
 			s.cancelUntil(0)
@@ -448,3 +450,6 @@ func (s *SAT) ValueOf(v int) bool {
 func (s *SAT) Stats() (int64, int64, int64) {
 	return s.nConflicts, s.nDecisions, s.nProps
 }
+
+// Restarts returns the cumulative Luby-restart count.
+func (s *SAT) Restarts() int64 { return s.nRestarts }

@@ -36,6 +36,7 @@ type SolveStats struct {
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
+	Restarts     int64
 	Clauses      int
 	Vars         int
 	BlastNS      int64
@@ -97,6 +98,7 @@ func (s *Solver) Assert(t *Term) {
 // SolveStats (readable via LastStats until the next Solve).
 func (s *Solver) Solve() Result {
 	c0, d0, p0 := s.sat.Stats()
+	r0 := s.sat.Restarts()
 	start := time.Now()
 	res := Unsat
 	if s.sat.Solve() {
@@ -108,6 +110,7 @@ func (s *Solver) Solve() Result {
 		Conflicts:    c1 - c0,
 		Decisions:    d1 - d0,
 		Propagations: p1 - p0,
+		Restarts:     s.sat.Restarts() - r0,
 		Clauses:      len(s.sat.clauses),
 		Vars:         s.sat.NumVars(),
 		BlastNS:      s.blastNS,

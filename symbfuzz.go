@@ -395,16 +395,62 @@ type TraceSummary = obs.TraceSummary
 // StatusSnapshot is the live status endpoint's JSON document.
 type StatusSnapshot = obs.StatusSnapshot
 
+// SpanSummary digests a trace's causal-span layer (counts by kind,
+// campaign roots, cross-rank cache links).
+type SpanSummary = obs.SpanSummary
+
+// CausalChain is a reconstructed cross-process plan-reuse chain:
+// stagnation -> solve -> remote cache -> other-rank hit -> plan_apply
+// -> coverage_delta.
+type CausalChain = obs.CausalChain
+
+// CacheRef attributes a solve to the plan cache: hit/miss plus the
+// originating lane and solve span on a hit.
+type CacheRef = obs.CacheRef
+
+// TimeSeries is the fixed-size ring of per-interval campaign samples
+// served under the status snapshot.
+type TimeSeries = obs.Series
+
+// SeriesPoint is one time-series sample.
+type SeriesPoint = obs.SeriesPoint
+
+// CampaignReport is the flight-recorder digest of a campaign trace:
+// coverage curves, top solves by coverage unlocked, unsolved targets,
+// per-rank solver time, and the cross-process chain if one exists.
+type CampaignReport = obs.CampaignReport
+
 // Observability constructors and helpers.
 var (
 	// NewObserver builds an observer (zero Options = metrics only).
 	NewObserver = obs.New
 	// NewJSONLTracer wraps a writer as a JSONL event sink.
 	NewJSONLTracer = obs.NewJSONLTracer
-	// ServeStatus starts the live status + pprof HTTP endpoint.
+	// NewTimeSeries builds a sample ring (capacity <= 0 = default 512).
+	NewTimeSeries = obs.NewSeries
+	// ServeStatus starts the live status + Prometheus + pprof endpoint.
 	ServeStatus = obs.ServeStatus
 	// ValidateTrace checks a JSONL event stream against the schema.
 	ValidateTrace = obs.ValidateTrace
+	// ReadTraceEvents decodes a JSONL event stream without the ordering
+	// checks (merged multi-rank traces interleave lanes).
+	ReadTraceEvents = obs.ReadEvents
+	// ValidateSpans checks a trace's causal spans for referential
+	// integrity: parents exist, the graph is acyclic and rooted in
+	// campaign spans, kinds nest legally.
+	ValidateSpans = obs.ValidateSpans
+	// FindCrossRankChain reconstructs a complete cross-process
+	// plan-reuse chain from a merged trace, if one exists.
+	FindCrossRankChain = obs.FindCrossRankChain
+	// WritePrometheus renders a registry in Prometheus text format.
+	WritePrometheus = obs.WritePrometheus
+	// BuildCampaignReport digests a validated trace into a report.
+	BuildCampaignReport = obs.BuildCampaignReport
+	// RenderReportHTML writes a report as self-contained HTML whose
+	// bytes depend only on the trace.
+	RenderReportHTML = obs.RenderHTML
+	// RenderReportText writes a report as terminal text.
+	RenderReportText = obs.RenderText
 )
 
 // ---- UVM testbench (Figure 2) ----
