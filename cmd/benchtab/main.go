@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|par|dist|flight|all (par, dist and flight never run under all)")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|par|dist|flight|slice|all (par, dist, flight and slice never run under all)")
 		budget     = flag.Uint64("budget", 0, "vector budget per IP run (0 = defaults)")
 		soc        = flag.Uint64("soc-budget", 0, "vector budget for SoC curves")
 		runs       = flag.Int("runs", 0, "runs averaged (figure 4, table 2)")
@@ -38,6 +38,7 @@ func main() {
 		distOut    = flag.String("dist-out", "BENCH_dist.json", "wire-overhead record output path (with -exp dist)")
 		flightOut  = flag.String("flight-out", "BENCH_flight.json", "span-overhead record output path (with -exp flight)")
 		flightRuns = flag.Int("flight-runs", 3, "interleaved runs per arm for -exp flight")
+		sliceOut   = flag.String("slice-out", "BENCH_slice.json", "slicing record output path (with -exp slice)")
 	)
 	flag.Parse()
 
@@ -75,6 +76,16 @@ func main() {
 	if *exp == "flight" {
 		if err := runFlight(*seed, *flightRuns, *flightOut, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab: flight:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// And for slice: it compares mean per-dispatch blast wall time
+	// between the sliced path and the DisableSlicing ablation.
+	if *exp == "slice" {
+		if err := runSlice(*seed, *sliceOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab: slice:", err)
 			os.Exit(1)
 		}
 		return

@@ -15,8 +15,10 @@ import (
 	"os"
 
 	symbfuzz "repro"
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/designs"
+	"repro/internal/elab"
 	"repro/internal/logic"
 	"repro/internal/sim"
 )
@@ -31,6 +33,7 @@ func main() {
 		dotOut = flag.String("dot", "", "write the clustered CFG as Graphviz to this file")
 		maxN   = flag.Int("max-nodes", 4096, "node exploration bound")
 		maxS   = flag.Int("max-succ", 32, "per-node successor bound")
+		anal   = flag.Bool("analysis", false, "print dataflow analysis facts: levels, per-register cones, statically infeasible CFG targets")
 	)
 	flag.Parse()
 
@@ -133,6 +136,46 @@ func main() {
 			}
 		}
 	}
+	if *anal {
+		printAnalysis(d, g)
+	}
+}
+
+// printAnalysis runs the IR-level dataflow pass and reports what the
+// sliced solver path will exploit: combinational depth, the one-step
+// cone of every cluster register, and the CFG target nodes whose
+// register valuations the value-range lattice already excludes.
+func printAnalysis(d *elab.Design, part *cfg.Partition) {
+	f := analysis.Analyze(d)
+	fmt.Printf("\ndataflow analysis: %d fixpoint iterations, %d combinational levels\n",
+		f.Iterations, f.Dep.MaxLevel())
+	fmt.Println("cluster register cones (one-step fan-in, cut at registers):")
+	for gi, gg := range part.Graphs {
+		for _, cr := range gg.Regs {
+			cone := f.Dep.Cone(cr.Sig.Index)
+			fmt.Printf("  cluster %d %-28s cone=%-4d frontier=%-4d value=%s\n",
+				gi, cr.Sig.Name, len(cone), len(f.Dep.ConeInputs(cone)),
+				f.SignalValue(cr.Sig.Index).String())
+		}
+	}
+	total, infeasible := 0, 0
+	for gi, gg := range part.Graphs {
+		cnt := 0
+		for _, n := range gg.Nodes {
+			for idx, v := range n.Vals {
+				if !f.MayHold(idx, v) {
+					cnt++
+					break
+				}
+			}
+		}
+		total += len(gg.Nodes)
+		infeasible += cnt
+		if cnt > 0 {
+			fmt.Printf("  cluster %d: %d/%d nodes statically infeasible\n", gi, cnt, len(gg.Nodes))
+		}
+	}
+	fmt.Printf("statically infeasible CFG targets: %d of %d nodes\n", infeasible, total)
 }
 
 func builtin(name string) (*symbfuzz.Benchmark, error) {
@@ -154,6 +197,9 @@ func builtin(name string) (*symbfuzz.Benchmark, error) {
 		if ip.Name == name {
 			return designs.IPBenchmark(ip, true), nil
 		}
+	}
+	if b, ok := designs.FindBenchmark(name); ok {
+		return b, nil
 	}
 	return nil, fmt.Errorf("unknown benchmark %q", name)
 }

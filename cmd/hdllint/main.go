@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/designs"
 	"repro/internal/elab"
 	"repro/internal/hdl"
@@ -36,6 +37,7 @@ func main() {
 		noWaivers  = flag.Bool("no-waivers", false, "ignore the builtin waiver registry")
 		listChecks = flag.Bool("checks", false, "list the check catalogue and exit")
 		werror     = flag.Bool("werror", false, "treat warnings as errors for the exit status")
+		factsOut   = flag.Bool("facts", false, "emit the dataflow analysis facts (value ranges, levels, cones, dead arms) as JSON and exit")
 	)
 	flag.Parse()
 
@@ -91,6 +93,38 @@ func main() {
 			}
 			jobs = append(jobs, job{name: b.Name, design: d, opts: opts})
 		}
+	}
+
+	if *factsOut {
+		// The -facts dump couples the IR-level dataflow pass (value
+		// ranges, levelized order, cones) with the lint prover's
+		// reachability facts for the same design.
+		type factsRecord struct {
+			analysis.Dump
+			DeadArms     map[int][]int `json:"dead_arms,omitempty"`
+			StaticProofs int           `json:"static_proofs"`
+			SolverQuery  int           `json:"solver_queries"`
+		}
+		var records []factsRecord
+		for _, j := range jobs {
+			res := lint.Run(j.design, j.opts)
+			rec := factsRecord{
+				Dump:         analysis.Analyze(j.design).DumpFacts(),
+				StaticProofs: res.Facts.StaticProofs,
+				SolverQuery:  res.Facts.SolverQueries,
+			}
+			rec.Design = j.name
+			if len(res.Facts.DeadArms) > 0 {
+				rec.DeadArms = res.Facts.DeadArms
+			}
+			records = append(records, rec)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	errs, warns := 0, 0

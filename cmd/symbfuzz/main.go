@@ -80,6 +80,7 @@ func main() {
 		fixed     = flag.Bool("fixed", false, "use the bug-free design variant")
 		replay    = flag.Bool("replay", false, "use reset+replay instead of snapshots")
 		keepGoing = flag.Bool("keep-going", true, "continue after full CFG coverage")
+		noSlice   = flag.Bool("no-slice", false, "disable cone-of-influence slicing (ablation)")
 		traceOut  = flag.String("trace", "", "write the JSONL campaign event trace to this file")
 		metricOut = flag.String("metrics", "", "write the final metrics/status snapshot JSON to this file")
 		statusOn  = flag.String("status", "", "serve the live status+pprof endpoint on this address (e.g. :6060)")
@@ -153,6 +154,7 @@ func main() {
 		Seed:                  *seed,
 		UseSnapshots:          !*replay,
 		ContinueAfterCoverage: *keepGoing,
+		DisableSlicing:        *noSlice,
 		Obs:                   o,
 	}
 
@@ -170,6 +172,7 @@ func main() {
 			Workers:               *workers,
 			UseSnapshots:          cfg.UseSnapshots,
 			ContinueAfterCoverage: cfg.ContinueAfterCoverage,
+			DisableSlicing:        cfg.DisableSlicing,
 		}
 		if *srcFile != "" {
 			spec.Bench = ""
@@ -241,6 +244,10 @@ func main() {
 		rep.SymbolicInvocations, rep.SolvedPlans, rep.Rollbacks)
 	fmt.Printf("static pruning: %d unreachable CFG nodes excluded, %d solver dispatches avoided\n",
 		rep.PrunedTargets, rep.PrunedSolves)
+	if !*noSlice {
+		fmt.Printf("cone slicing: %d solver variables eliminated, %d targets refuted statically\n",
+			rep.SlicedVars, rep.InfeasibleTargets)
+	}
 	if rep.CovEventsDropped > 0 {
 		fmt.Printf("warning: coverage monitor dropped %d branch events (buffer cap); tuple metric undercounts\n",
 			rep.CovEventsDropped)

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/elab"
+	"repro/internal/logic"
+)
+
+// Facts is the result of the static pass over one design: the
+// dependency graph with levelized order, and a per-signal abstract
+// Value under the canonical two-state reading (X as 0). Every signal's
+// Value always admits 0, which absorbs X-at-reset and X-merge
+// outcomes, so a value the lattice excludes is genuinely unreachable.
+type Facts struct {
+	Design *elab.Design
+	Dep    *DepGraph
+	// Values holds the per-signal abstract value, indexed by signal.
+	Values []Value
+	// Iterations is the number of fixpoint rounds taken (diagnostic).
+	Iterations int
+}
+
+// fixpoint iteration bounds: widening starts once the known-bits side
+// has had room to converge, and the hard cap is a safety net only.
+const (
+	widenAfter = 8
+	maxIters   = 100
+)
+
+// Analyze runs the static pass: dependency graph construction,
+// levelization, and the value fixpoint.
+func Analyze(d *elab.Design) *Facts {
+	f := &Facts{Design: d, Dep: BuildDepGraph(d)}
+	f.inferValues()
+	return f
+}
+
+// wholeAssigns collects, per signal, the RHS expressions of its
+// whole-signal assignments; signals with partial writes are unmodelled
+// (Top).
+func wholeAssigns(d *elab.Design) (map[int][]elab.Expr, map[int]bool) {
+	rhs := map[int][]elab.Expr{}
+	partial := map[int]bool{}
+	var walkTarget func(t elab.Target, e elab.Expr)
+	walkTarget = func(t elab.Target, e elab.Expr) {
+		switch tg := t.(type) {
+		case elab.TSig:
+			rhs[tg.Idx] = append(rhs[tg.Idx], e)
+		case elab.TCat:
+			for _, p := range tg.Parts {
+				walkTarget(p, nil)
+			}
+		case elab.TMem:
+		default:
+			if sig := t.SignalIdx(); sig >= 0 {
+				partial[sig] = true
+			}
+		}
+	}
+	var walk func(stmts []elab.Stmt)
+	walk = func(stmts []elab.Stmt) {
+		for _, st := range stmts {
+			switch s := st.(type) {
+			case elab.SAssign:
+				walkTarget(s.LHS, s.RHS)
+			case elab.SIf:
+				walk(s.Then)
+				walk(s.Else)
+			case elab.SCase:
+				for _, item := range s.Items {
+					walk(item.Body)
+				}
+				walk(s.Default)
+			}
+		}
+	}
+	for _, p := range d.Procs {
+		walk(p.Body)
+	}
+	// A TCat part assigned a split of a wider value is a partial model.
+	for sig, exprs := range rhs {
+		for _, e := range exprs {
+			if e == nil {
+				partial[sig] = true
+			}
+		}
+	}
+	return rhs, partial
+}
+
+// seedValue is the unconditional floor of a signal's value: zero (the
+// canonical reading of X at reset) joined with any declared
+// initializer.
+func seedValue(s *elab.Signal) Value {
+	v := ConstVal(s.Width, 0)
+	if s.Init != nil && s.Init.IsFullyDefined() {
+		v = v.Join(FromBV(*s.Init))
+	}
+	return v
+}
+
+// inferValues runs the least-fixpoint with delayed widening over the
+// whole-signal assignment graph.
+func (f *Facts) inferValues() {
+	d := f.Design
+	rhs, partial := wholeAssigns(d)
+	f.Values = make([]Value, len(d.Signals))
+	modelled := make([]bool, len(d.Signals))
+	for i, s := range d.Signals {
+		exprs, written := rhs[i]
+		switch {
+		case s.Kind == elab.SigInput, partial[i], !written, len(exprs) == 0,
+			s.Width > maxValueWidth:
+			f.Values[i] = Top(s.Width)
+		default:
+			f.Values[i] = seedValue(s)
+			modelled[i] = true
+		}
+	}
+	env := func(sig, w int) Value {
+		if sig >= 0 && sig < len(f.Values) {
+			return f.Values[sig]
+		}
+		return Top(w)
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		f.Iterations = iter + 1
+		changed := false
+		for i, s := range d.Signals {
+			if !modelled[i] {
+				continue
+			}
+			v := seedValue(s)
+			for _, e := range rhs[i] {
+				v = v.Join(coerce(EvalExpr(e, env), s.Width))
+			}
+			if iter >= widenAfter {
+				v = v.widen(f.Values[i])
+				v = f.Values[i].Join(v)
+			}
+			if !v.eq(f.Values[i]) {
+				f.Values[i] = v
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+	// Cap reached: drop unconverged precision entirely.
+	for i, s := range d.Signals {
+		if modelled[i] {
+			f.Values[i] = Top(s.Width)
+		}
+	}
+}
+
+// SignalValue returns the abstract value of a signal (Top when out of
+// range).
+func (f *Facts) SignalValue(idx int) Value {
+	if idx < 0 || idx >= len(f.Values) {
+		return Top(1)
+	}
+	return f.Values[idx]
+}
+
+// DomainValue abstracts a finite value set the way the linter's domain
+// engine produces them, clipped to the signal width.
+func DomainValue(w int, vals []uint64) Value { return FromSet(w, vals) }
+
+// MayHold reports whether the analysis admits the signal taking the
+// given concrete value (canonical two-state reading).
+func (f *Facts) MayHold(idx int, v logic.BV) bool {
+	return f.SignalValue(idx).MayEqual(v)
+}
+
+// ---- JSON fact export ----
+
+// SignalFact is the serializable per-signal record of a fact dump.
+type SignalFact struct {
+	Name     string `json:"name"`
+	Width    int    `json:"width"`
+	Reg      bool   `json:"reg,omitempty"`
+	Input    bool   `json:"input,omitempty"`
+	Level    int    `json:"level,omitempty"`
+	Value    string `json:"value"`
+	ConeSize int    `json:"cone_size,omitempty"`
+	// ConeInputs counts the registers and inputs on the cone frontier.
+	ConeInputs int `json:"cone_inputs,omitempty"`
+}
+
+// Dump is the serializable summary of the analysis facts.
+type Dump struct {
+	Design     string       `json:"design"`
+	Signals    int          `json:"signals"`
+	Levels     int          `json:"levels"`
+	Iterations int          `json:"iterations"`
+	Facts      []SignalFact `json:"facts"`
+}
+
+// DumpFacts renders the facts for the -facts / -analysis CLI surfaces,
+// sorted by signal name.
+func (f *Facts) DumpFacts() Dump {
+	out := Dump{
+		Design:     f.Design.Name,
+		Signals:    len(f.Design.Signals),
+		Levels:     f.Dep.MaxLevel(),
+		Iterations: f.Iterations,
+	}
+	for i, s := range f.Design.Signals {
+		sf := SignalFact{
+			Name:  s.Name,
+			Width: s.Width,
+			Reg:   s.IsReg,
+			Input: s.Kind == elab.SigInput,
+			Level: f.Dep.Level[i],
+			Value: f.Values[i].String(),
+		}
+		if s.IsReg {
+			cone := f.Dep.Cone(i)
+			sf.ConeSize = len(cone)
+			sf.ConeInputs = len(f.Dep.ConeInputs(cone))
+		}
+		out.Facts = append(out.Facts, sf)
+	}
+	sort.Slice(out.Facts, func(i, j int) bool { return out.Facts[i].Name < out.Facts[j].Name })
+	return out
+}

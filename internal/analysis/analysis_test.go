@@ -1,0 +1,393 @@
+package analysis
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/elab"
+	"repro/internal/hdl"
+	"repro/internal/logic"
+	"repro/internal/smt"
+)
+
+func elaborate(t *testing.T, src, top string) *elab.Design {
+	t.Helper()
+	ast, err := hdl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := elab.Elaborate(ast, top, nil)
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	return d
+}
+
+// randValue draws a random abstract value together with the concrete
+// set it was abstracted from, so soundness can be checked member-wise.
+func randValue(r *rand.Rand, w int) (Value, []uint64) {
+	n := 1 + r.Intn(4)
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = r.Uint64() & maskOf(w)
+	}
+	return FromSet(w, vals), vals
+}
+
+// TestTransferSoundness samples random abstract values with their
+// concrete witnesses and checks that every transfer function's result
+// admits the corresponding concrete result: the lattice must never
+// exclude a value that can actually occur.
+func TestTransferSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		w := 1 + r.Intn(16)
+		m := maskOf(w)
+		a, as := randValue(r, w)
+		b, bs := randValue(r, w)
+		ca, cb := as[r.Intn(len(as))], bs[r.Intn(len(bs))]
+
+		type tc struct {
+			name string
+			got  Value
+			want uint64
+		}
+		cases := []tc{
+			{"and", AndV(a, b), ca & cb},
+			{"or", OrV(a, b), ca | cb},
+			{"xor", XorV(a, b), ca ^ cb},
+			{"not", NotV(a), ^ca & m},
+			{"add", AddV(a, b), (ca + cb) & m},
+			{"sub", SubV(a, b), (ca - cb) & m},
+			{"mul", MulV(a, b), (ca * cb) & m},
+			{"neg", NegV(a), (-ca) & m},
+			{"eq", EqV(a, b), b2u(ca == cb)},
+			{"ult", UltV(a, b), b2u(ca < cb)},
+			{"ule", UleV(a, b), b2u(ca <= cb)},
+			{"redand", RedAndV(a), b2u(ca == m)},
+			{"redor", RedOrV(a), b2u(ca != 0)},
+			{"redxor", RedXorV(a), uint64(bits.OnesCount64(ca) % 2)},
+			{"zext", ZExtV(a, w+4), ca},
+			{"trunc", ZExtV(a, (w+1)/2), ca & maskOf((w+1)/2)},
+		}
+		if w > 1 {
+			hi, lo := r.Intn(w), 0
+			if hi > 0 {
+				lo = r.Intn(hi)
+			}
+			cases = append(cases, tc{"extract", ExtractV(a, hi, lo),
+				(ca >> uint(lo)) & maskOf(hi-lo+1)})
+		}
+		s := uint64(r.Intn(w + 2))
+		sv := ConstVal(8, s)
+		shl := ca << s & m
+		if s >= 64 {
+			shl = 0
+		}
+		cases = append(cases,
+			tc{"shl", ShlV(a, sv), shl},
+			tc{"shr", ShrV(a, sv), ca >> s},
+			tc{"shr-dyn", ShrV(a, Top(8)), ca >> s},
+			tc{"concat", ConcatV(2*w, []Value{a, b}), ca<<uint(w) | cb},
+			tc{"ite-t", IteV(ConstVal(1, 1), a, b), ca},
+			tc{"ite-f", IteV(ConstVal(1, 0), a, b), cb},
+			tc{"ite-top", IteV(Top(1), a, b), ca},
+			tc{"join", a.Join(b), cb},
+			tc{"widen", a.widen(b), ca},
+		)
+		for _, c := range cases {
+			if !c.got.Contains(c.want) {
+				t.Fatalf("trial %d w=%d %s: %s excludes concrete %d (a=%s from %v, b=%s from %v)",
+					trial, w, c.name, c.got.String(), c.want, a.String(), as, b.String(), bs)
+			}
+			if c.got.Empty() {
+				t.Fatalf("trial %d w=%d %s: nonempty inputs produced empty %s",
+					trial, w, c.name, c.got.String())
+			}
+		}
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestTransferConstExact checks that constants in yield constants out:
+// the lattice loses nothing on fully concrete operands, which is what
+// the static-infeasibility check in the sliced solver relies on.
+func TestTransferConstExact(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		w := 1 + r.Intn(16)
+		m := maskOf(w)
+		ca, cb := r.Uint64()&m, r.Uint64()&m
+		a, b := ConstVal(w, ca), ConstVal(w, cb)
+		check := func(name string, got Value, want uint64) {
+			t.Helper()
+			c, ok := got.IsConst()
+			if !ok {
+				t.Fatalf("%s(%d,%d) at w=%d not constant: %s", name, ca, cb, w, got.String())
+			}
+			if c != want {
+				t.Fatalf("%s(%d,%d) at w=%d = %d, want %d", name, ca, cb, w, c, want)
+			}
+		}
+		check("and", AndV(a, b), ca&cb)
+		check("or", OrV(a, b), ca|cb)
+		check("xor", XorV(a, b), ca^cb)
+		check("add", AddV(a, b), (ca+cb)&m)
+		check("sub", SubV(a, b), (ca-cb)&m)
+		check("mul", MulV(a, b), (ca*cb)&m)
+		check("not", NotV(a), ^ca&m)
+		check("eq", EqV(a, b), b2u(ca == cb))
+		check("ult", UltV(a, b), b2u(ca < cb))
+	}
+}
+
+func TestValueBasics(t *testing.T) {
+	v := ConstVal(8, 42)
+	if c, ok := v.IsConst(); !ok || c != 42 {
+		t.Fatalf("ConstVal(8,42).IsConst() = %d,%v", c, ok)
+	}
+	if v.Contains(41) || !v.Contains(42) {
+		t.Fatal("singleton containment wrong")
+	}
+	s := FromSet(4, []uint64{1, 3, 5})
+	for _, c := range []uint64{1, 3, 5} {
+		if !s.Contains(c) {
+			t.Fatalf("FromSet excludes member %d: %s", c, s.String())
+		}
+	}
+	if s.Contains(0) || s.Contains(7) {
+		t.Fatalf("FromSet hull too loose where it should prune: %s", s.String())
+	}
+	if !Top(8).IsTop() || Top(200).IsTop() == false {
+		t.Fatal("Top not top")
+	}
+	if !s.MayEqual(logic.FromUint64(4, 3)) || s.MayEqual(logic.FromUint64(4, 8)) {
+		t.Fatal("MayEqual disagrees with Contains")
+	}
+	// An interval meeting contradictory known bits is empty.
+	e := Value{W: 4, Lo: 2, Hi: 1, Mask: 0, Bits: 0}
+	if !e.Empty() {
+		t.Fatal("inverted interval not empty")
+	}
+}
+
+// TestFoldTermEquivalence folds random terms under full concrete
+// bindings and checks the result is a constant agreeing with abstract
+// evaluation under the same environment — folding must be exactly
+// semantics-preserving.
+func TestFoldTermEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	a, b := smt.Var("a", 8), smt.Var("b", 8)
+	c := smt.Var("c", 1)
+	terms := []*smt.Term{
+		smt.Add(a, b),
+		smt.And(smt.Not(a), smt.Or(b, smt.ConstUint(8, 0x0f))),
+		smt.Ite(c, smt.Sub(a, b), smt.Mul(a, b)),
+		smt.Eq(smt.ZExt(smt.Extract(a, 7, 4), 8), b),
+		smt.Concat(smt.RedOr(a), smt.RedAnd(b), smt.RedXor(a), c),
+		smt.Ult(smt.Shl(a, smt.ConstUint(8, 2)), smt.Shr(b, smt.ConstUint(8, 1))),
+		smt.Ule(smt.Neg(a), smt.Xor(a, b)),
+	}
+	for trial := 0; trial < 200; trial++ {
+		va, vb, vc := r.Uint64()&0xff, r.Uint64()&0xff, r.Uint64()&1
+		bind := map[string]*smt.Term{
+			"a": smt.ConstUint(8, va),
+			"b": smt.ConstUint(8, vb),
+			"c": smt.ConstUint(1, vc),
+		}
+		env := func(name string, w int) Value {
+			switch name {
+			case "a":
+				return ConstVal(8, va)
+			case "b":
+				return ConstVal(8, vb)
+			case "c":
+				return ConstVal(1, vc)
+			}
+			return Top(w)
+		}
+		memo := map[*smt.Term]*smt.Term{}
+		for _, tm := range terms {
+			folded := FoldTerm(tm, bind, memo)
+			if folded.Kind != smt.KConst {
+				t.Fatalf("full binding did not fold %s to a constant: %s", tm, folded)
+			}
+			fv, _ := folded.Val.Uint64()
+			av := EvalTerm(tm, env, map[*smt.Term]Value{})
+			if got, ok := av.IsConst(); !ok || got != fv {
+				t.Fatalf("abstract eval of %s = %s, folded value %d (a=%d b=%d c=%d)",
+					tm, av.String(), fv, va, vb, vc)
+			}
+		}
+	}
+}
+
+// TestFoldTermComposes checks staged folding: binding a subset of the
+// variables and then the rest must agree with folding everything at
+// once — partial evaluation is independent of the binding order.
+func TestFoldTermComposes(t *testing.T) {
+	a, b := smt.Var("a", 8), smt.Var("b", 8)
+	tm := smt.Ite(smt.Ult(a, b), smt.Add(a, b), smt.Xor(a, smt.Not(b)))
+	bindA := map[string]*smt.Term{"a": smt.ConstUint(8, 17)}
+	bindB := map[string]*smt.Term{"b": smt.ConstUint(8, 200)}
+	both := map[string]*smt.Term{"a": smt.ConstUint(8, 17), "b": smt.ConstUint(8, 200)}
+	staged := FoldTerm(FoldTerm(tm, bindA, map[*smt.Term]*smt.Term{}), bindB, map[*smt.Term]*smt.Term{})
+	direct := FoldTerm(tm, both, map[*smt.Term]*smt.Term{})
+	if staged.Kind != smt.KConst || direct.Kind != smt.KConst {
+		t.Fatalf("staged=%s direct=%s not constants", staged, direct)
+	}
+	sv, _ := staged.Val.Uint64()
+	dv, _ := direct.Val.Uint64()
+	if sv != dv {
+		t.Fatalf("staged fold %d != direct fold %d", sv, dv)
+	}
+	// Partial binding leaves exactly the unbound variable in the cone.
+	part := FoldTerm(tm, bindA, map[*smt.Term]*smt.Term{})
+	if vars := SortedVars(part); len(vars) != 1 || vars[0] != "b" {
+		t.Fatalf("partial fold cone = %v, want [b]", vars)
+	}
+}
+
+const depSrc = `
+module dep (input clk_i, input rst_ni, input [3:0] i, output reg [3:0] o);
+  logic [3:0] aa;
+  logic [3:0] bb;
+  logic [3:0] r_q;
+  always_comb begin
+    aa = i + 4'd1;
+    bb = aa & 4'd3;
+  end
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) r_q <= 0;
+    else r_q <= bb;
+  end
+  always_comb begin
+    o = r_q;
+  end
+endmodule`
+
+func TestDepGraphLevelsAndCone(t *testing.T) {
+	d := elaborate(t, depSrc, "dep")
+	g := BuildDepGraph(d)
+	ai := d.ByName["aa"].Index
+	bi := d.ByName["bb"].Index
+	ri := d.ByName["r_q"].Index
+	ii := d.ByName["i"].Index
+	oi := d.ByName["o"].Index
+	if g.Level[ai] != 1 {
+		t.Errorf("level(aa) = %d, want 1", g.Level[ai])
+	}
+	if g.Level[bi] != 2 {
+		t.Errorf("level(bb) = %d, want 2", g.Level[bi])
+	}
+	if g.Level[oi] != 1 {
+		t.Errorf("level(o) = %d, want 1 (reads only the register)", g.Level[oi])
+	}
+	if g.MaxLevel() != 2 {
+		t.Errorf("max level = %d, want 2", g.MaxLevel())
+	}
+	// Order must be topological: aa before bb.
+	pos := map[int]int{}
+	for p, s := range g.Order {
+		pos[s] = p
+	}
+	if pos[ai] > pos[bi] {
+		t.Errorf("levelized order places bb before its dependency aa: %v", g.Order)
+	}
+	cone := g.Cone(ri)
+	want := map[int]bool{ai: true, bi: true, ii: true}
+	for _, s := range cone {
+		if s == ri {
+			t.Errorf("cone of r_q contains r_q itself before the cut: %v", cone)
+		}
+		delete(want, s)
+	}
+	// rst_ni guards the write, so it may appear; aa, bb, i must.
+	if len(want) != 0 {
+		t.Errorf("cone of r_q missing %v (got %v)", want, cone)
+	}
+	ins := g.ConeInputs(cone)
+	for _, s := range ins {
+		sig := d.Signals[s]
+		if !sig.IsReg && sig.Kind != elab.SigInput {
+			t.Errorf("cone input %s is neither register nor input", sig.Name)
+		}
+	}
+}
+
+const counterSrc = `
+module counter (input clk_i, input rst_ni, input en, output reg [7:0] cnt_q);
+  logic [1:0] st_q;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      cnt_q <= 0;
+      st_q <= 0;
+    end else begin
+      if (en) cnt_q <= cnt_q + 8'd1;
+      if (st_q == 2'd0) st_q <= 2'd1;
+      else if (st_q == 2'd1) st_q <= 2'd2;
+      else st_q <= 2'd0;
+    end
+  end
+endmodule`
+
+func TestAnalyzeFixpoint(t *testing.T) {
+	d := elaborate(t, counterSrc, "counter")
+	f := Analyze(d)
+	if f.Iterations >= maxIters {
+		t.Fatalf("fixpoint hit the iteration cap (%d)", f.Iterations)
+	}
+	// Every signal's value must admit zero (the canonical X reading).
+	for i, s := range d.Signals {
+		if !f.Values[i].Contains(0) {
+			t.Errorf("signal %s value %s excludes 0", s.Name, f.Values[i].String())
+		}
+	}
+	// The 3-valued state register must keep a bounded hull.
+	st := d.ByName["st_q"].Index
+	v := f.SignalValue(st)
+	if v.Wide || v.Hi > 2 {
+		t.Errorf("st_q value %s, want hull within [0,2]", v.String())
+	}
+	if v.Contains(3) {
+		t.Errorf("st_q admits unreachable encoding 3: %s", v.String())
+	}
+	if !f.MayHold(st, logic.FromUint64(2, 2)) {
+		t.Error("st_q must admit reachable encoding 2")
+	}
+	// The counter itself is widened to full range, not stuck.
+	cnt := d.ByName["cnt_q"].Index
+	if !f.Values[cnt].Contains(200) {
+		t.Errorf("cnt_q value %s excludes a reachable count", f.Values[cnt].String())
+	}
+}
+
+func TestDumpFactsShape(t *testing.T) {
+	d := elaborate(t, counterSrc, "counter")
+	f := Analyze(d)
+	dump := f.DumpFacts()
+	if dump.Design != "counter" || dump.Signals != len(d.Signals) {
+		t.Fatalf("dump header wrong: %+v", dump)
+	}
+	if len(dump.Facts) != len(d.Signals) {
+		t.Fatalf("dump has %d facts for %d signals", len(dump.Facts), len(d.Signals))
+	}
+	for i := 1; i < len(dump.Facts); i++ {
+		if dump.Facts[i-1].Name > dump.Facts[i].Name {
+			t.Fatalf("facts not sorted by name at %d: %q > %q",
+				i, dump.Facts[i-1].Name, dump.Facts[i].Name)
+		}
+	}
+	for _, sf := range dump.Facts {
+		if sf.Reg && sf.ConeSize == 0 && sf.Name == "cnt_q" {
+			t.Errorf("register %s reports an empty cone", sf.Name)
+		}
+	}
+}

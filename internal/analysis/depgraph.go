@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/elab"
+)
+
+// DepGraph is the signal-level dependency graph of a design: for each
+// written signal, the signals its driving expressions read (including
+// the path conditions guarding the write). Combinational and
+// sequential dependencies are kept apart so cones can be cut at
+// registers per unrolled step, and the combinational half is levelized
+// into an evaluation order — the scheduling groundwork for a compiled
+// simulation backend.
+type DepGraph struct {
+	d *elab.Design
+	// Comb maps a combinationally written signal to the signals its
+	// value depends on within the same cycle (sorted, deduplicated).
+	Comb map[int][]int
+	// Next maps a sequentially written signal to the signals its
+	// next-state function reads (sorted, deduplicated).
+	Next map[int][]int
+	// Level is the combinational settle depth per signal: inputs and
+	// registers are level 0; a comb signal is one above its deepest
+	// dependency. Signals on combinational cycles share the maximum
+	// level reached when the cycle was cut.
+	Level map[int]int
+	// Order lists the combinationally written signals in levelized
+	// evaluation order (by level, then index).
+	Order []int
+}
+
+// BuildDepGraph computes the dependency graph of an elaborated design.
+func BuildDepGraph(d *elab.Design) *DepGraph {
+	g := &DepGraph{
+		d:     d,
+		Comb:  map[int][]int{},
+		Next:  map[int][]int{},
+		Level: map[int]int{},
+	}
+	comb := map[int]map[int]bool{}
+	next := map[int]map[int]bool{}
+	for _, p := range d.Procs {
+		into := comb
+		if p.Kind == elab.ProcSeq {
+			into = next
+		}
+		collectStmtDeps(p.Body, nil, into)
+	}
+	g.Comb = sortedDeps(comb)
+	g.Next = sortedDeps(next)
+	g.levelize()
+	return g
+}
+
+func sortedDeps(m map[int]map[int]bool) map[int][]int {
+	out := make(map[int][]int, len(m))
+	for sig, deps := range m {
+		l := make([]int, 0, len(deps))
+		for d := range deps {
+			l = append(l, d)
+		}
+		sort.Ints(l)
+		out[sig] = l
+	}
+	return out
+}
+
+// collectStmtDeps walks statements accumulating per-target read sets;
+// conds carries the signals read by enclosing branch conditions, which
+// every guarded write also depends on.
+func collectStmtDeps(stmts []elab.Stmt, conds []int, into map[int]map[int]bool) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case elab.SAssign:
+			reads := append(exprReads(s.RHS, nil), conds...)
+			reads = append(reads, targetReads(s.LHS, nil)...)
+			addTargetDeps(s.LHS, reads, into)
+		case elab.SIf:
+			c := append(exprReads(s.Cond, nil), conds...)
+			collectStmtDeps(s.Then, c, into)
+			collectStmtDeps(s.Else, c, into)
+		case elab.SCase:
+			c := append(exprReads(s.Subject, nil), conds...)
+			for _, item := range s.Items {
+				for _, m := range item.Matches {
+					c = exprReads(m, c)
+				}
+			}
+			for _, item := range s.Items {
+				collectStmtDeps(item.Body, c, into)
+			}
+			collectStmtDeps(s.Default, c, into)
+		}
+	}
+}
+
+// addTargetDeps records reads against every root signal the target
+// writes; memory writes have no signal-level destination.
+func addTargetDeps(t elab.Target, reads []int, into map[int]map[int]bool) {
+	switch tg := t.(type) {
+	case elab.TCat:
+		for _, p := range tg.Parts {
+			addTargetDeps(p, reads, into)
+		}
+		return
+	case elab.TMem:
+		return
+	}
+	sig := t.SignalIdx()
+	if sig < 0 {
+		return
+	}
+	set := into[sig]
+	if set == nil {
+		set = map[int]bool{}
+		into[sig] = set
+	}
+	for _, r := range reads {
+		set[r] = true
+	}
+}
+
+// targetReads collects signals a write destination itself reads: a
+// partial assignment is a read-modify-write of the root signal, and
+// dynamic bit/address selects read their index expressions.
+func targetReads(t elab.Target, acc []int) []int {
+	switch tg := t.(type) {
+	case elab.TRange:
+		acc = append(acc, tg.Idx)
+	case elab.TBit:
+		acc = append(acc, tg.Idx)
+		acc = exprReads(tg.BitE, acc)
+	case elab.TCat:
+		for _, p := range tg.Parts {
+			acc = targetReads(p, acc)
+		}
+	case elab.TMem:
+		acc = exprReads(tg.Addr, acc)
+	}
+	return acc
+}
+
+// exprReads collects the signal indices an expression reads.
+func exprReads(e elab.Expr, acc []int) []int {
+	switch n := e.(type) {
+	case elab.Const:
+	case elab.Sig:
+		acc = append(acc, n.Idx)
+	case elab.Bin:
+		acc = exprReads(n.X, acc)
+		acc = exprReads(n.Y, acc)
+	case elab.Un:
+		acc = exprReads(n.X, acc)
+	case elab.Cond:
+		acc = exprReads(n.C, acc)
+		acc = exprReads(n.T, acc)
+		acc = exprReads(n.F, acc)
+	case elab.CatE:
+		for _, p := range n.Parts {
+			acc = exprReads(p, acc)
+		}
+	case elab.Slice:
+		acc = exprReads(n.X, acc)
+	case elab.BitSel:
+		acc = exprReads(n.X, acc)
+		acc = exprReads(n.Idx, acc)
+	case elab.DynSlice:
+		acc = exprReads(n.X, acc)
+		acc = exprReads(n.Start, acc)
+	case elab.ZExt:
+		acc = exprReads(n.X, acc)
+	case elab.MemRead:
+		acc = exprReads(n.Addr, acc)
+	}
+	return acc
+}
+
+// levelize assigns combinational settle depths by longest path through
+// the comb subgraph, visiting signals in index order so cycle cuts are
+// deterministic.
+func (g *DepGraph) levelize() {
+	const inProgress = -1
+	sigs := make([]int, 0, len(g.Comb))
+	for s := range g.Comb {
+		sigs = append(sigs, s)
+	}
+	sort.Ints(sigs)
+	var visit func(s int) int
+	visit = func(s int) int {
+		deps, combWritten := g.Comb[s]
+		if !combWritten {
+			return 0 // register, input, or unwritten: settled at level 0
+		}
+		if lvl, ok := g.Level[s]; ok {
+			if lvl == inProgress {
+				return 0 // combinational cycle: cut here
+			}
+			return lvl
+		}
+		g.Level[s] = inProgress
+		max := 0
+		for _, d := range deps {
+			if l := visit(d); l > max {
+				max = l
+			}
+		}
+		g.Level[s] = max + 1
+		return max + 1
+	}
+	for _, s := range sigs {
+		visit(s)
+	}
+	g.Order = append([]int(nil), sigs...)
+	sort.Slice(g.Order, func(i, j int) bool {
+		a, b := g.Order[i], g.Order[j]
+		if g.Level[a] != g.Level[b] {
+			return g.Level[a] < g.Level[b]
+		}
+		return a < b
+	})
+}
+
+// MaxLevel returns the deepest combinational settle level.
+func (g *DepGraph) MaxLevel() int {
+	max := 0
+	for _, l := range g.Level {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Cone returns the one-step cone of influence of a register: the
+// signals its next-state function transitively reads through
+// combinational logic, cut at registers and inputs (sorted). For a
+// combinationally written signal the cone is its same-cycle fan-in.
+func (g *DepGraph) Cone(target int) []int {
+	seeds, isReg := g.Next[target]
+	if !isReg {
+		seeds = g.Comb[target]
+	}
+	seen := map[int]bool{}
+	stack := append([]int(nil), seeds...)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		// Expand only through combinational writes unless the signal is
+		// a register being expanded as the cone's own seed: registers
+		// and inputs cut the cone at the step boundary.
+		if _, reg := g.Next[s]; reg {
+			continue
+		}
+		stack = append(stack, g.Comb[s]...)
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ConeInputs filters a cone down to the frontier the solver actually
+// binds: registers and top-level inputs.
+func (g *DepGraph) ConeInputs(cone []int) []int {
+	var out []int
+	for _, s := range cone {
+		sig := g.d.Signals[s]
+		if sig.IsReg || sig.Kind == elab.SigInput {
+			out = append(out, s)
+		}
+	}
+	return out
+}

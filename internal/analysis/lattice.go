@@ -1,0 +1,587 @@
+// Package analysis is the IR-level dataflow layer shared by the
+// solver path, the linter and the engine: a signal-level dependency
+// graph with levelized evaluation order (the groundwork for a compiled
+// simulation backend), per-target cone-of-influence slices that cut
+// the transition relation at registers, and a value-range /
+// constant-propagation domain combining an unsigned interval with a
+// known-bits mask — the generalization of the linter's finite value
+// sets. Everything here is a sound over-approximation: a fact proven
+// false by the lattice (a value outside a signal's Value, an arm whose
+// condition evaluates to constant zero) is statically unreachable.
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/logic"
+)
+
+// maxValueWidth bounds the signals the lattice tracks; wider values
+// cannot be represented as uint64 intervals and widen to Top.
+const maxValueWidth = 64
+
+// Value is the abstract value of one signal or term: the conjunction
+// of an unsigned interval [Lo, Hi] and a known-bits constraint (bit i
+// is known iff Mask has bit i set, and then equals the corresponding
+// bit of Bits). A concrete value v is admitted only when it satisfies
+// BOTH constraints, so each transfer function may tighten either side
+// independently and the meet stays sound.
+//
+// Wide is set for terms over 64 bits wide, which the lattice does not
+// track (everything is admitted).
+type Value struct {
+	W      int
+	Lo, Hi uint64
+	Mask   uint64
+	Bits   uint64
+	Wide   bool
+}
+
+func maskOf(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// Top is the unconstrained value of the given width.
+func Top(w int) Value {
+	if w > maxValueWidth {
+		return Value{W: w, Wide: true}
+	}
+	return Value{W: w, Hi: maskOf(w)}
+}
+
+// ConstVal is the singleton abstract value {v} at width w.
+func ConstVal(w int, v uint64) Value {
+	if w > maxValueWidth {
+		return Value{W: w, Wide: true}
+	}
+	v &= maskOf(w)
+	return Value{W: w, Lo: v, Hi: v, Mask: maskOf(w), Bits: v}
+}
+
+// FromSet abstracts a finite value set: the interval hull plus the
+// bits on which every member agrees. An empty set yields Top (the
+// caller has proven nothing).
+func FromSet(w int, vals []uint64) Value {
+	if len(vals) == 0 || w > maxValueWidth {
+		return Top(w)
+	}
+	m := maskOf(w)
+	out := ConstVal(w, vals[0])
+	for _, v := range vals[1:] {
+		out = out.Join(ConstVal(w, v&m))
+	}
+	return out
+}
+
+// FromBV abstracts a four-state constant under the engine's canonical
+// two-state reading (X/Z bits as 0).
+func FromBV(v logic.BV) Value {
+	if v.Width() > maxValueWidth {
+		return Top(v.Width())
+	}
+	u := uint64(0)
+	for i := 0; i < v.Width(); i++ {
+		if v.Bit(i) == logic.L1 {
+			u |= uint64(1) << uint(i)
+		}
+	}
+	return ConstVal(v.Width(), u)
+}
+
+// knownZero returns the bits proven zero; knownOne the bits proven one.
+func (v Value) knownZero() uint64 { return v.Mask &^ v.Bits }
+func (v Value) knownOne() uint64  { return v.Mask & v.Bits }
+
+// normalize propagates each constraint into the other once: known-one
+// bits raise Lo, known-zero bits lower Hi, and an upper bound proves
+// the bits above its length zero. One pass in each direction keeps
+// every derivation sound.
+func (v Value) normalize() Value {
+	if v.Wide {
+		return v
+	}
+	m := maskOf(v.W)
+	v.Lo &= m
+	v.Hi &= m
+	v.Mask &= m
+	v.Bits &= v.Mask
+	// Bits above the upper bound's length are known zero.
+	hiLen := bits.Len64(v.Hi)
+	above := m &^ maskOf(hiLen)
+	v.Mask |= above
+	v.Bits &^= above
+	// Interval tightened by the known bits.
+	if k1 := v.knownOne(); v.Lo < k1 {
+		v.Lo = k1
+	}
+	if hi := m &^ v.knownZero(); v.Hi > hi {
+		v.Hi = hi
+	}
+	return v
+}
+
+// Empty reports whether the constraints admit no value at all (the
+// signature of a statically infeasible target).
+func (v Value) Empty() bool {
+	if v.Wide {
+		return false
+	}
+	if v.Lo > v.Hi {
+		return true
+	}
+	// The smallest value satisfying the known bits may exceed Hi.
+	return v.knownOne() > v.Hi
+}
+
+// Contains reports whether the abstract value admits concrete v.
+func (v Value) Contains(c uint64) bool {
+	if v.Wide {
+		return true
+	}
+	c &= maskOf(v.W)
+	return c >= v.Lo && c <= v.Hi && c&v.Mask == v.Bits
+}
+
+// MayEqual reports whether the abstract value admits the canonical
+// two-state reading of bv (X/Z as 0). Widths over 64 bits admit
+// everything.
+func (v Value) MayEqual(bv logic.BV) bool {
+	if v.Wide || bv.Width() > maxValueWidth {
+		return true
+	}
+	u := uint64(0)
+	for i := 0; i < bv.Width(); i++ {
+		if bv.Bit(i) == logic.L1 {
+			u |= uint64(1) << uint(i)
+		}
+	}
+	return v.Contains(u)
+}
+
+// IsConst reports the singleton value when the lattice pins every bit.
+func (v Value) IsConst() (uint64, bool) {
+	if v.Wide {
+		return 0, false
+	}
+	if v.Lo == v.Hi {
+		return v.Lo, true
+	}
+	if v.Mask == maskOf(v.W) {
+		return v.Bits, true
+	}
+	return 0, false
+}
+
+// IsTop reports whether the value carries no information.
+func (v Value) IsTop() bool {
+	if v.Wide {
+		return true
+	}
+	return v.Lo == 0 && v.Hi == maskOf(v.W) && v.Mask == 0
+}
+
+// Join is the lattice union: interval hull plus agreed bits.
+func (v Value) Join(o Value) Value {
+	if v.Wide || o.Wide {
+		return Top(v.W)
+	}
+	out := Value{W: v.W}
+	out.Lo = v.Lo
+	if o.Lo < out.Lo {
+		out.Lo = o.Lo
+	}
+	out.Hi = v.Hi
+	if o.Hi > out.Hi {
+		out.Hi = o.Hi
+	}
+	out.Mask = v.Mask & o.Mask &^ (v.Bits ^ o.Bits)
+	out.Bits = v.Bits & out.Mask
+	return out.normalize()
+}
+
+// widen relaxes the interval bounds that are still moving toward the
+// lattice extremes, guaranteeing fixpoint termination for counters;
+// the finite-height known-bits side is left to converge on its own.
+func (v Value) widen(prev Value) Value {
+	if v.Wide || prev.Wide {
+		return v
+	}
+	if v.Lo < prev.Lo {
+		v.Lo = 0
+	}
+	if v.Hi > prev.Hi {
+		v.Hi = maskOf(v.W)
+	}
+	return v.normalize()
+}
+
+// eq reports exact lattice equality (fixpoint detection).
+func (v Value) eq(o Value) bool {
+	return v.W == o.W && v.Wide == o.Wide && v.Lo == o.Lo && v.Hi == o.Hi &&
+		v.Mask == o.Mask && v.Bits == o.Bits
+}
+
+// String renders the value for fact dumps and diagnostics.
+func (v Value) String() string {
+	if v.Wide {
+		return fmt.Sprintf("top(w=%d)", v.W)
+	}
+	if c, ok := v.IsConst(); ok {
+		return fmt.Sprintf("const(%d)", c)
+	}
+	if v.IsTop() {
+		return fmt.Sprintf("top(w=%d)", v.W)
+	}
+	return fmt.Sprintf("[%d,%d] mask=%#x bits=%#x", v.Lo, v.Hi, v.Mask, v.Bits)
+}
+
+// ---- transfer functions ----
+
+func top2(w int, a, b Value) (Value, bool) {
+	if a.Wide || b.Wide || w > maxValueWidth {
+		return Top(w), true
+	}
+	return Value{}, false
+}
+
+// AndV abstracts bitwise conjunction.
+func AndV(a, b Value) Value {
+	if t, wide := top2(a.W, a, b); wide {
+		return t
+	}
+	out := Value{W: a.W}
+	k1 := a.knownOne() & b.knownOne()
+	k0 := a.knownZero() | b.knownZero()
+	out.Mask = k0 | k1
+	out.Bits = k1
+	out.Hi = a.Hi
+	if b.Hi < out.Hi {
+		out.Hi = b.Hi
+	}
+	return out.normalize()
+}
+
+// OrV abstracts bitwise disjunction.
+func OrV(a, b Value) Value {
+	if t, wide := top2(a.W, a, b); wide {
+		return t
+	}
+	out := Value{W: a.W}
+	k1 := a.knownOne() | b.knownOne()
+	k0 := a.knownZero() & b.knownZero()
+	out.Mask = k0 | k1
+	out.Bits = k1
+	out.Lo = a.Lo
+	if b.Lo > out.Lo {
+		out.Lo = b.Lo
+	}
+	out.Hi = maskOf(bits.Len64(a.Hi | b.Hi))
+	return out.normalize()
+}
+
+// XorV abstracts bitwise exclusive or.
+func XorV(a, b Value) Value {
+	if t, wide := top2(a.W, a, b); wide {
+		return t
+	}
+	out := Value{W: a.W}
+	out.Mask = a.Mask & b.Mask
+	out.Bits = (a.Bits ^ b.Bits) & out.Mask
+	out.Hi = maskOf(bits.Len64(a.Hi | b.Hi))
+	return out.normalize()
+}
+
+// NotV abstracts bitwise negation.
+func NotV(a Value) Value {
+	if a.Wide {
+		return Top(a.W)
+	}
+	m := maskOf(a.W)
+	out := Value{W: a.W}
+	out.Mask = a.Mask
+	out.Bits = ^a.Bits & a.Mask & m
+	out.Lo = (m - a.Hi) & m
+	out.Hi = (m - a.Lo) & m
+	return out.normalize()
+}
+
+// trailingKnown counts the contiguous known bits from bit 0 of both
+// operands — addition and subtraction determine exactly that many low
+// result bits (the carry into bit 0 is fixed).
+func trailingKnown(a, b Value) int {
+	return bits.TrailingZeros64(^(a.Mask & b.Mask))
+}
+
+// AddV abstracts modular addition.
+func AddV(a, b Value) Value {
+	if t, wide := top2(a.W, a, b); wide {
+		return t
+	}
+	m := maskOf(a.W)
+	out := Top(a.W)
+	lo, loCarry := bits.Add64(a.Lo, b.Lo, 0)
+	hi, hiCarry := bits.Add64(a.Hi, b.Hi, 0)
+	if loCarry == 0 && hiCarry == 0 && hi <= m {
+		out.Lo, out.Hi = lo, hi
+	}
+	if t := trailingKnown(a, b); t > 0 {
+		tm := maskOf(t)
+		out.Mask |= tm
+		out.Bits = (out.Bits &^ tm) | ((a.Bits + b.Bits) & tm)
+	}
+	return out.normalize()
+}
+
+// SubV abstracts modular subtraction.
+func SubV(a, b Value) Value {
+	if t, wide := top2(a.W, a, b); wide {
+		return t
+	}
+	out := Top(a.W)
+	if a.Lo >= b.Hi {
+		out.Lo = a.Lo - b.Hi
+		out.Hi = a.Hi - b.Lo
+	}
+	if t := trailingKnown(a, b); t > 0 {
+		tm := maskOf(t)
+		out.Mask |= tm
+		out.Bits = (out.Bits &^ tm) | ((a.Bits - b.Bits) & tm)
+	}
+	return out.normalize()
+}
+
+// MulV abstracts modular multiplication.
+func MulV(a, b Value) Value {
+	if t, wide := top2(a.W, a, b); wide {
+		return t
+	}
+	if ca, ok := a.IsConst(); ok {
+		if cb, ok2 := b.IsConst(); ok2 {
+			return ConstVal(a.W, ca*cb)
+		}
+	}
+	out := Top(a.W)
+	hiHi, hiLo := bits.Mul64(a.Hi, b.Hi)
+	if hiHi == 0 && hiLo <= maskOf(a.W) {
+		out.Lo = a.Lo * b.Lo
+		out.Hi = hiLo
+	}
+	return out.normalize()
+}
+
+// NegV abstracts two's complement negation.
+func NegV(a Value) Value { return SubV(ConstVal(a.W, 0), a) }
+
+func bool1(b bool) Value {
+	if b {
+		return ConstVal(1, 1)
+	}
+	return ConstVal(1, 0)
+}
+
+func topBool() Value { return Top(1) }
+
+// EqV abstracts bit-vector equality into a 1-bit value.
+func EqV(a, b Value) Value {
+	if a.Wide || b.Wide {
+		return topBool()
+	}
+	if ca, ok := a.IsConst(); ok {
+		if cb, ok2 := b.IsConst(); ok2 {
+			return bool1(ca == cb)
+		}
+	}
+	// Disjoint intervals or conflicting known bits refute equality.
+	if a.Hi < b.Lo || b.Hi < a.Lo {
+		return bool1(false)
+	}
+	if (a.Bits^b.Bits)&a.Mask&b.Mask != 0 {
+		return bool1(false)
+	}
+	return topBool()
+}
+
+// UltV abstracts unsigned less-than.
+func UltV(a, b Value) Value {
+	if a.Wide || b.Wide {
+		return topBool()
+	}
+	if a.Hi < b.Lo {
+		return bool1(true)
+	}
+	if a.Lo >= b.Hi {
+		return bool1(false)
+	}
+	return topBool()
+}
+
+// UleV abstracts unsigned less-or-equal.
+func UleV(a, b Value) Value {
+	if a.Wide || b.Wide {
+		return topBool()
+	}
+	if a.Hi <= b.Lo {
+		return bool1(true)
+	}
+	if a.Lo > b.Hi {
+		return bool1(false)
+	}
+	return topBool()
+}
+
+// IteV abstracts if-then-else on a 1-bit condition.
+func IteV(c, t, f Value) Value {
+	if cv, ok := c.IsConst(); ok {
+		if cv != 0 {
+			return t
+		}
+		return f
+	}
+	return t.Join(f)
+}
+
+// ExtractV abstracts bit-slice selection [hi:lo].
+func ExtractV(a Value, hi, lo int) Value {
+	w := hi - lo + 1
+	if a.Wide {
+		return Top(w)
+	}
+	out := Top(w)
+	out.Mask = (a.Mask >> uint(lo)) & maskOf(w)
+	out.Bits = (a.Bits >> uint(lo)) & out.Mask
+	if hi == a.W-1 {
+		// No high bits dropped: the interval shifts through.
+		out.Lo = a.Lo >> uint(lo)
+		out.Hi = a.Hi >> uint(lo)
+	}
+	return out.normalize()
+}
+
+// ConcatV abstracts concatenation, first part in the MSBs.
+func ConcatV(w int, parts []Value) Value {
+	if w > maxValueWidth {
+		return Top(w)
+	}
+	out := ConstVal(0, 0)
+	out.W = 0
+	for _, p := range parts {
+		if p.Wide {
+			return Top(w)
+		}
+		nw := out.W + p.W
+		out = Value{
+			W:    nw,
+			Lo:   out.Lo<<uint(p.W) | p.Lo,
+			Hi:   out.Hi<<uint(p.W) | p.Hi,
+			Mask: out.Mask<<uint(p.W) | p.Mask,
+			Bits: out.Bits<<uint(p.W) | p.Bits,
+		}
+	}
+	out.W = w
+	return out.normalize()
+}
+
+// ZExtV abstracts zero extension (or truncation) to width w.
+func ZExtV(a Value, w int) Value {
+	switch {
+	case w == a.W:
+		return a
+	case w < a.W:
+		return ExtractV(a, w-1, 0)
+	case a.Wide || w > maxValueWidth:
+		return Top(w)
+	}
+	out := a
+	out.W = w
+	out.Mask |= maskOf(w) &^ maskOf(a.W) // extension bits are known zero
+	return out.normalize()
+}
+
+// ShlV abstracts a dynamic left shift.
+func ShlV(a, amt Value) Value {
+	if a.Wide || amt.Wide {
+		return Top(a.W)
+	}
+	if s, ok := amt.IsConst(); ok {
+		if s >= uint64(a.W) {
+			return ConstVal(a.W, 0)
+		}
+		out := Top(a.W)
+		out.Mask = (a.Mask << uint(s)) | maskOf(int(s))
+		out.Bits = (a.Bits << uint(s)) & out.Mask
+		if hiHi := bits.Len64(a.Hi) + int(s); hiHi <= a.W && hiHi <= 64 {
+			out.Lo = a.Lo << uint(s)
+			out.Hi = a.Hi << uint(s)
+		}
+		return out.normalize()
+	}
+	return Top(a.W)
+}
+
+// ShrV abstracts a dynamic logical right shift.
+func ShrV(a, amt Value) Value {
+	if a.Wide || amt.Wide {
+		return Top(a.W)
+	}
+	if s, ok := amt.IsConst(); ok {
+		if s >= 64 {
+			return ConstVal(a.W, 0)
+		}
+		out := Top(a.W)
+		out.Lo = a.Lo >> uint(s)
+		out.Hi = a.Hi >> uint(s)
+		out.Mask = a.Mask >> uint(s)
+		out.Bits = a.Bits >> uint(s)
+		if s > 0 {
+			high := maskOf(a.W) &^ (maskOf(a.W) >> uint(s))
+			out.Mask |= high
+			out.Bits &^= high
+		}
+		return out.normalize()
+	}
+	// Shifting right never increases the value.
+	out := Top(a.W)
+	out.Hi = a.Hi
+	return out.normalize()
+}
+
+// RedAndV abstracts the 1-bit AND reduction.
+func RedAndV(a Value) Value {
+	if a.Wide {
+		return topBool()
+	}
+	m := maskOf(a.W)
+	if a.knownOne() == m {
+		return bool1(true)
+	}
+	if a.knownZero() != 0 || a.Hi < m {
+		return bool1(false)
+	}
+	return topBool()
+}
+
+// RedOrV abstracts the 1-bit OR reduction.
+func RedOrV(a Value) Value {
+	if a.Wide {
+		return topBool()
+	}
+	if a.Lo > 0 || a.knownOne() != 0 {
+		return bool1(true)
+	}
+	if c, ok := a.IsConst(); ok {
+		return bool1(c != 0)
+	}
+	return topBool()
+}
+
+// RedXorV abstracts the 1-bit XOR reduction (parity).
+func RedXorV(a Value) Value {
+	if c, ok := a.IsConst(); ok {
+		return bool1(bits.OnesCount64(c)%2 == 1)
+	}
+	return topBool()
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"repro/internal/elab"
+	"repro/internal/smt"
+)
+
+// TermEnv supplies the abstract value of a solver variable; return
+// Top(w) for unconstrained variables.
+type TermEnv func(name string, w int) Value
+
+// TopTermEnv admits every value for every variable.
+func TopTermEnv(name string, w int) Value { return Top(w) }
+
+// EvalTerm abstractly interprets an SMT term under env. The result is
+// a sound over-approximation of the term's concrete values: if the
+// returned Value excludes v, no assignment consistent with env makes
+// the term evaluate to v. memo may be nil; when supplied it must be
+// used with a single env only.
+func EvalTerm(t *smt.Term, env TermEnv, memo map[*smt.Term]Value) Value {
+	if memo == nil {
+		memo = map[*smt.Term]Value{}
+	}
+	if v, ok := memo[t]; ok {
+		return v
+	}
+	var out Value
+	switch t.Kind {
+	case smt.KVar:
+		out = env(t.Name, t.W)
+	case smt.KConst:
+		out = FromBV(t.Val)
+	case smt.KNot:
+		out = NotV(EvalTerm(t.Args[0], env, memo))
+	case smt.KAnd:
+		out = AndV(EvalTerm(t.Args[0], env, memo), EvalTerm(t.Args[1], env, memo))
+	case smt.KOr:
+		out = OrV(EvalTerm(t.Args[0], env, memo), EvalTerm(t.Args[1], env, memo))
+	case smt.KXor:
+		out = XorV(EvalTerm(t.Args[0], env, memo), EvalTerm(t.Args[1], env, memo))
+	case smt.KAdd:
+		out = AddV(EvalTerm(t.Args[0], env, memo), EvalTerm(t.Args[1], env, memo))
+	case smt.KSub:
+		out = SubV(EvalTerm(t.Args[0], env, memo), EvalTerm(t.Args[1], env, memo))
+	case smt.KMul:
+		out = MulV(EvalTerm(t.Args[0], env, memo), EvalTerm(t.Args[1], env, memo))
+	case smt.KNeg:
+		out = NegV(EvalTerm(t.Args[0], env, memo))
+	case smt.KEq:
+		out = EqV(EvalTerm(t.Args[0], env, memo), EvalTerm(t.Args[1], env, memo))
+	case smt.KUlt:
+		out = UltV(EvalTerm(t.Args[0], env, memo), EvalTerm(t.Args[1], env, memo))
+	case smt.KUle:
+		out = UleV(EvalTerm(t.Args[0], env, memo), EvalTerm(t.Args[1], env, memo))
+	case smt.KIte:
+		out = IteV(EvalTerm(t.Args[0], env, memo),
+			EvalTerm(t.Args[1], env, memo), EvalTerm(t.Args[2], env, memo))
+	case smt.KExtract:
+		out = ExtractV(EvalTerm(t.Args[0], env, memo), t.Hi, t.Lo)
+	case smt.KConcat:
+		parts := make([]Value, len(t.Args))
+		for i, a := range t.Args {
+			parts[i] = EvalTerm(a, env, memo)
+		}
+		out = ConcatV(t.W, parts)
+	case smt.KZext:
+		out = ZExtV(EvalTerm(t.Args[0], env, memo), t.W)
+	case smt.KShl:
+		out = ShlV(EvalTerm(t.Args[0], env, memo), EvalTerm(t.Args[1], env, memo))
+	case smt.KShr:
+		out = ShrV(EvalTerm(t.Args[0], env, memo), EvalTerm(t.Args[1], env, memo))
+	case smt.KRedAnd:
+		out = RedAndV(EvalTerm(t.Args[0], env, memo))
+	case smt.KRedOr:
+		out = RedOrV(EvalTerm(t.Args[0], env, memo))
+	case smt.KRedXor:
+		out = RedXorV(EvalTerm(t.Args[0], env, memo))
+	default:
+		out = Top(t.W)
+	}
+	memo[t] = out
+	return out
+}
+
+// SigEnv supplies the abstract value of a design signal by index.
+type SigEnv func(sig, w int) Value
+
+// truthy collapses a multi-bit value to its Verilog truthiness.
+func truthy(v Value) Value {
+	if v.W == 1 {
+		return v
+	}
+	return RedOrV(v)
+}
+
+// coerce width-adjusts an operand (the elaborator pre-resizes, so this
+// only fires on defensive paths).
+func coerce(v Value, w int) Value {
+	if v.W == w {
+		return v
+	}
+	return ZExtV(v, w)
+}
+
+// EvalExpr abstractly interprets an elaborated IR expression under the
+// canonical two-state reading (X as 0). Operators the lattice does not
+// model return Top.
+func EvalExpr(e elab.Expr, env SigEnv) Value {
+	switch n := e.(type) {
+	case elab.Const:
+		return FromBV(n.V)
+	case elab.Sig:
+		return env(n.Idx, n.W)
+	case elab.Bin:
+		x := EvalExpr(n.X, env)
+		y := EvalExpr(n.Y, env)
+		switch n.Op {
+		case elab.OpAdd:
+			return coerce(AddV(x, coerce(y, x.W)), n.W)
+		case elab.OpSub:
+			return coerce(SubV(x, coerce(y, x.W)), n.W)
+		case elab.OpMul:
+			return coerce(MulV(x, coerce(y, x.W)), n.W)
+		case elab.OpAnd:
+			return coerce(AndV(x, coerce(y, x.W)), n.W)
+		case elab.OpOr:
+			return coerce(OrV(x, coerce(y, x.W)), n.W)
+		case elab.OpXor:
+			return coerce(XorV(x, coerce(y, x.W)), n.W)
+		case elab.OpXnor:
+			return coerce(NotV(XorV(x, coerce(y, x.W))), n.W)
+		case elab.OpEq, elab.OpCaseEq:
+			return EqV(x, coerce(y, x.W))
+		case elab.OpNeq, elab.OpCaseNeq:
+			return NotV(EqV(x, coerce(y, x.W)))
+		case elab.OpLt:
+			return UltV(x, coerce(y, x.W))
+		case elab.OpLe:
+			return UleV(x, coerce(y, x.W))
+		case elab.OpGt:
+			return UltV(coerce(y, x.W), x)
+		case elab.OpGe:
+			return UleV(coerce(y, x.W), x)
+		case elab.OpShl:
+			return coerce(ShlV(x, y), n.W)
+		case elab.OpShr:
+			return coerce(ShrV(x, y), n.W)
+		case elab.OpLAnd:
+			return AndV(truthy(x), truthy(y))
+		case elab.OpLOr:
+			return OrV(truthy(x), truthy(y))
+		}
+		return Top(n.W)
+	case elab.Un:
+		x := EvalExpr(n.X, env)
+		switch n.Op {
+		case elab.OpNot:
+			return coerce(NotV(x), n.W)
+		case elab.OpLNot:
+			return coerce(NotV(truthy(x)), n.W)
+		case elab.OpNeg:
+			return coerce(NegV(x), n.W)
+		case elab.OpRedAnd:
+			return coerce(RedAndV(x), n.W)
+		case elab.OpRedOr:
+			return coerce(RedOrV(x), n.W)
+		case elab.OpRedXor:
+			return coerce(RedXorV(x), n.W)
+		case elab.OpRedNand:
+			return coerce(NotV(RedAndV(x)), n.W)
+		case elab.OpRedNor:
+			return coerce(NotV(RedOrV(x)), n.W)
+		case elab.OpRedXnor:
+			return coerce(NotV(RedXorV(x)), n.W)
+		}
+		return Top(n.W)
+	case elab.Cond:
+		return coerce(IteV(truthy(EvalExpr(n.C, env)),
+			coerce(EvalExpr(n.T, env), n.W), coerce(EvalExpr(n.F, env), n.W)), n.W)
+	case elab.CatE:
+		parts := make([]Value, len(n.Parts))
+		for i, p := range n.Parts {
+			parts[i] = EvalExpr(p, env)
+		}
+		return ConcatV(n.W, parts)
+	case elab.Slice:
+		x := EvalExpr(n.X, env)
+		if n.Hi >= x.W || n.Lo < 0 || x.Wide {
+			return Top(n.Width())
+		}
+		return ExtractV(x, n.Hi, n.Lo)
+	case elab.BitSel:
+		x := EvalExpr(n.X, env)
+		if i, ok := EvalExpr(n.Idx, env).IsConst(); ok && !x.Wide && int(i) < x.W {
+			return ExtractV(x, int(i), int(i))
+		}
+		return Top(1)
+	case elab.ZExt:
+		return ZExtV(EvalExpr(n.X, env), n.W)
+	case elab.DynSlice:
+		x := EvalExpr(n.X, env)
+		if s, ok := EvalExpr(n.Start, env).IsConst(); ok && !x.Wide {
+			return ZExtV(ShrV(x, ConstVal(x.W, s)), n.W)
+		}
+		return Top(n.W)
+	case elab.MemRead:
+		return Top(n.W)
+	}
+	return Top(e.Width())
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/smt"
+)
+
+// FoldTerm rewrites a term under a variable binding, rebuilding every
+// node through the smt package's constant-folding constructors. With
+// the engine's per-dispatch bindings (current register values, pinned
+// inputs) most of a dependency equation collapses to constants and the
+// surviving term is the target's cone of influence: folding is exactly
+// semantics-preserving, so the folded term is equisatisfiable with the
+// original under the binding, and variables absent from the result
+// provably do not influence it.
+//
+// bind maps variable names to replacement terms (typically constants);
+// unbound variables are left in place. memo caches rebuilt nodes and
+// must be used with a single bind map only.
+func FoldTerm(t *smt.Term, bind map[string]*smt.Term, memo map[*smt.Term]*smt.Term) *smt.Term {
+	if memo == nil {
+		memo = map[*smt.Term]*smt.Term{}
+	}
+	if r, ok := memo[t]; ok {
+		return r
+	}
+	var out *smt.Term
+	switch t.Kind {
+	case smt.KVar:
+		if r, ok := bind[t.Name]; ok {
+			out = r
+		} else {
+			out = t
+		}
+	case smt.KConst:
+		out = t
+	default:
+		args := make([]*smt.Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = FoldTerm(a, bind, memo)
+		}
+		switch t.Kind {
+		case smt.KNot:
+			out = smt.Not(args[0])
+		case smt.KAnd:
+			out = smt.And(args[0], args[1])
+		case smt.KOr:
+			out = smt.Or(args[0], args[1])
+		case smt.KXor:
+			out = smt.Xor(args[0], args[1])
+		case smt.KAdd:
+			out = smt.Add(args[0], args[1])
+		case smt.KSub:
+			out = smt.Sub(args[0], args[1])
+		case smt.KMul:
+			out = smt.Mul(args[0], args[1])
+		case smt.KNeg:
+			out = smt.Neg(args[0])
+		case smt.KEq:
+			out = smt.Eq(args[0], args[1])
+		case smt.KUlt:
+			out = smt.Ult(args[0], args[1])
+		case smt.KUle:
+			out = smt.Ule(args[0], args[1])
+		case smt.KIte:
+			out = smt.Ite(args[0], args[1], args[2])
+		case smt.KExtract:
+			out = smt.Extract(args[0], t.Hi, t.Lo)
+		case smt.KConcat:
+			out = foldConcat(args)
+		case smt.KZext:
+			out = smt.ZExt(args[0], t.W)
+		case smt.KShl:
+			out = smt.Shl(args[0], args[1])
+		case smt.KShr:
+			out = smt.Shr(args[0], args[1])
+		case smt.KRedAnd:
+			out = smt.RedAnd(args[0])
+		case smt.KRedOr:
+			out = smt.RedOr(args[0])
+		case smt.KRedXor:
+			out = smt.RedXor(args[0])
+		default:
+			out = t
+		}
+	}
+	memo[t] = out
+	return out
+}
+
+// foldConcat is smt.Concat plus the all-constant fold the shared
+// constructor deliberately omits (folding there would perturb blast
+// statistics on the unsliced path); the sliced path wants concats of
+// bound register bits to collapse so the cone stays minimal.
+func foldConcat(args []*smt.Term) *smt.Term {
+	for _, a := range args {
+		if a.Kind != smt.KConst {
+			return smt.Concat(args...)
+		}
+	}
+	v := args[0].Val
+	for _, a := range args[1:] {
+		v = v.Concat(a.Val)
+	}
+	return smt.Const(v)
+}
+
+// IsConstTrue reports whether the term is the 1-bit constant 1.
+func IsConstTrue(t *smt.Term) bool {
+	return t.Kind == smt.KConst && t.W == 1 && !t.Val.IsZero()
+}
+
+// IsConstFalse reports whether the term is the 1-bit constant 0.
+func IsConstFalse(t *smt.Term) bool {
+	return t.Kind == smt.KConst && t.W == 1 && t.Val.IsZero()
+}
+
+// CollectVars accumulates the term's variable names and widths into
+// set, so callers can count or declare the surviving cone across
+// several terms.
+func CollectVars(t *smt.Term, set map[string]int) {
+	if t.Kind == smt.KVar {
+		set[t.Name] = t.W
+		return
+	}
+	for _, a := range t.Args {
+		CollectVars(a, set)
+	}
+}
+
+// SortedVars returns the term's distinct variable names in sorted
+// order (smt.Term.Vars returns map order, unusable where determinism
+// matters).
+func SortedVars(t *smt.Term) []string {
+	set := map[string]int{}
+	CollectVars(t, set)
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -142,6 +142,7 @@ type Graph struct {
 	// construction and guidance queries (Table 3's last column).
 	Constraints int
 	opts        Options
+	slice       *sliceState
 }
 
 // canonical zeroes unknown bits so node keys are well defined.
@@ -420,7 +421,7 @@ func (g *Graph) destTerms() map[int]*smt.Term {
 // asserted and the destination variables defined.
 func (g *Graph) newSolverFor(n *Node) *smt.Solver {
 	s := smt.NewSolver()
-	dst := g.destTerms()
+	dst := g.dstTerms()
 	for _, cr := range g.Regs {
 		term := dst[cr.Sig.Index]
 		DeclareVars(s, term)

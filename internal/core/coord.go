@@ -76,8 +76,15 @@ type PlanKey struct {
 // writer stores an identical plan under canonical per-key seeds) at
 // worst swaps one valid attribution for another.
 type CachedPlan struct {
-	Plan         *cfg.StepPlan
-	Stats        smt.SolveStats
+	Plan  *cfg.StepPlan
+	Stats smt.SolveStats
+	// SlicedVars is the net solver-variable saving of the producing
+	// sliced dispatch and Infeasible marks a statically refuted target;
+	// both ride in the entry so a cache hit increments the consumer's
+	// report exactly as the original solve did, keeping reports
+	// independent of the hit/miss split.
+	SlicedVars   int
+	Infeasible   bool
 	OriginWorker int
 	OriginSpan   string
 }

@@ -69,6 +69,12 @@ type Config struct {
 	// lint pass proved unreachable, before any solver dispatch (the
 	// ablation keeps them and lets the solver fail on each).
 	DisablePruning bool
+	// DisableSlicing turns off cone-of-influence slicing: every solver
+	// dispatch declares and bit-blasts the full dependency equation
+	// instead of the target's folded cone, and statically infeasible
+	// targets are handed to the solver instead of being refuted for
+	// free (the ablation mirroring DisablePruning).
+	DisableSlicing bool
 	// Obs receives campaign telemetry: phase metrics, the typed event
 	// trace, and live status gauges. nil disables (the fast path —
 	// coarse Report.Timings are still collected).
@@ -239,6 +245,17 @@ type Report struct {
 	// PrunedSolves counts solver dispatches avoided because the ranked
 	// edge list dropped edges into pruned targets.
 	PrunedSolves int
+
+	// SlicedVars sums, over all dispatches, the solver variables the
+	// cone-of-influence slice eliminated relative to the full
+	// dependency equation (0 with DisableSlicing; omitted from JSON so
+	// the ablation report stays byte-identical to the unsliced build).
+	SlicedVars int `json:",omitempty"`
+	// InfeasibleTargets counts dispatches refuted statically during
+	// slicing — the folded constraint collapsed to false or the
+	// abstract destination value excluded the target valuation — and
+	// recorded as zero-cost unsat dispatches.
+	InfeasibleTargets int `json:",omitempty"`
 
 	// CovEventsDropped counts coverage branch events discarded at the
 	// monitor's event-buffer cap; nonzero means the interaction-tuple
@@ -835,6 +852,30 @@ func (e *Engine) inPlaceCandidates() [][2]int {
 	return out
 }
 
+// solveStep dispatches one dependency-equation solve through the
+// cone-of-influence sliced path, or the full equation under the
+// DisableSlicing ablation (zero SliceInfo).
+func (e *Engine) solveStep(g *cfg.Graph, cur, want, context map[int]logic.BV, seed int64) (*cfg.StepPlan, smt.SolveStats, cfg.SliceInfo) {
+	if e.cfgc.DisableSlicing {
+		plan, st := g.SolveStepStats(cur, want, context, seed)
+		return plan, st, cfg.SliceInfo{}
+	}
+	return g.SolveStepSliced(cur, want, context, seed)
+}
+
+// noteSlice folds one dispatch's slicing outcome (net variables saved,
+// static refutation) into the report and telemetry counters.
+func (e *Engine) noteSlice(saved int, infeasible bool) {
+	if saved > 0 {
+		e.report.SlicedVars += saved
+		e.obs.SliceVars(saved)
+	}
+	if infeasible {
+		e.report.InfeasibleTargets++
+		e.obs.SliceSkip()
+	}
+}
+
 // tryEdges attempts up to guideTries unexplored out-edges of the node,
 // solving each with the full concrete register context and applying the
 // plan; reports whether any targeted edge got exercised.
@@ -856,28 +897,37 @@ func (e *Engine) tryEdges(gi, node int) bool {
 		var cacheRef obs.CacheRef
 		var storeKey PlanKey
 		var store PlanCache
+		var si cfg.SliceInfo
 		if cache := e.cfgc.PlanCache; cache != nil {
 			// Shared-cache mode: the solve seed is canonical per query,
 			// so any worker producing this key computes the identical
 			// plan and statistics, and a hit is indistinguishable from
-			// a live solve (modulo saved wall time).
+			// a live solve (modulo saved wall time). The slicing
+			// counters ride in the cached entry for the same reason:
+			// hit and miss must increment the report identically.
 			key := e.planKey(gi, edge.To, curVals, context)
 			if c, ok := cache.Lookup(key); ok {
 				plan, st = c.Plan, c.Stats
+				si = cfg.SliceInfo{FullVars: c.SlicedVars, Infeasible: c.Infeasible}
 				e.report.SolveCacheHits++
 				cacheRef = obs.CacheRef{State: "hit", OriginWorker: c.OriginWorker, OriginSpan: c.OriginSpan}
 			} else {
-				plan, st = g.SolveStepStats(curVals, g.Nodes[edge.To].Vals, context, e.cacheSeed(key))
+				plan, st, si = e.solveStep(g, curVals, g.Nodes[edge.To].Vals, context, e.cacheSeed(key))
 				e.report.SolveCacheMisses++
 				cacheRef = obs.CacheRef{State: "miss"}
+				// The cached entry carries the net saving, not the raw
+				// split, so a hit replays it via FullVars with ConeVars 0.
+				si = cfg.SliceInfo{FullVars: si.FullVars - si.ConeVars, Infeasible: si.Infeasible}
 				// Deferred below SolverDispatch so the stored entry can
 				// carry the producing solve's span ID.
 				storeKey, store = key, cache
 			}
 		} else {
-			plan, st = g.SolveStepStats(curVals, g.Nodes[edge.To].Vals, context,
+			plan, st, si = e.solveStep(g, curVals, g.Nodes[edge.To].Vals, context,
 				e.cfgc.Seed+int64(e.report.SymbolicInvocations))
+			si = cfg.SliceInfo{FullVars: si.FullVars - si.ConeVars, Infeasible: si.Infeasible}
 		}
+		e.noteSlice(si.FullVars, si.Infeasible)
 		e.report.Timings.Solve.add(st)
 		spanID := e.obs.SolverDispatch(gi, edge.ID, e.report.Vectors, e.cover.Points(), obs.SolveStats{
 			Outcome:      st.Outcome.String(),
@@ -893,6 +943,7 @@ func (e *Engine) tryEdges(gi, node int) bool {
 		if store != nil {
 			store.Store(storeKey, CachedPlan{
 				Plan: plan, Stats: st,
+				SlicedVars: si.FullVars, Infeasible: si.Infeasible,
 				OriginWorker: e.obs.Lane(), OriginSpan: spanID,
 			})
 		}

@@ -200,7 +200,8 @@ func specEqual(a, b CampaignSpec) bool {
 		a.Interval == b.Interval && a.Threshold == b.Threshold &&
 		a.MaxVectors == b.MaxVectors && a.Seed == b.Seed &&
 		a.Workers == b.Workers && a.UseSnapshots == b.UseSnapshots &&
-		a.ContinueAfterCoverage == b.ContinueAfterCoverage
+		a.ContinueAfterCoverage == b.ContinueAfterCoverage &&
+		a.DisableSlicing == b.DisableSlicing
 }
 
 // specConfig builds rank's engine configuration from the campaign
@@ -215,6 +216,7 @@ func specConfig(s CampaignSpec, rank int) core.Config {
 		SharedSeed:            s.Seed,
 		UseSnapshots:          s.UseSnapshots,
 		ContinueAfterCoverage: s.ContinueAfterCoverage,
+		DisableSlicing:        s.DisableSlicing,
 	}
 	if s.Workers > 1 {
 		wc.Shard = core.ShardSpec{Rank: rank, Workers: s.Workers}

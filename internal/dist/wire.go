@@ -85,6 +85,7 @@ type CampaignSpec struct {
 	Workers               int    `json:"workers"`
 	UseSnapshots          bool   `json:"use_snapshots"`
 	ContinueAfterCoverage bool   `json:"continue_after_coverage"`
+	DisableSlicing        bool   `json:"disable_slicing,omitempty"`
 }
 
 // JoinRequest opens a worker session. RankHint (-1 for none) asks the
@@ -304,6 +305,8 @@ type PlanWire struct {
 	Unsat        bool              `json:"unsat,omitempty"`
 	Inputs       map[string]string `json:"inputs,omitempty"`
 	Stats        StatsWire         `json:"stats"`
+	SlicedVars   int               `json:"sliced_vars,omitempty"`
+	Infeasible   bool              `json:"infeasible,omitempty"`
 	OriginWorker int               `json:"origin_worker,omitempty"`
 	OriginSpan   string            `json:"origin_span,omitempty"`
 }
@@ -322,6 +325,8 @@ func PlanToWire(v core.CachedPlan) *PlanWire {
 			BlastNS:      v.Stats.BlastNS,
 			SolveNS:      v.Stats.SolveNS,
 		},
+		SlicedVars:   v.SlicedVars,
+		Infeasible:   v.Infeasible,
 		OriginWorker: v.OriginWorker,
 		OriginSpan:   v.OriginSpan,
 	}
@@ -349,6 +354,8 @@ func PlanFromWire(w *PlanWire) (core.CachedPlan, error) {
 			BlastNS:      w.Stats.BlastNS,
 			SolveNS:      w.Stats.SolveNS,
 		},
+		SlicedVars:   w.SlicedVars,
+		Infeasible:   w.Infeasible,
 		OriginWorker: w.OriginWorker,
 		OriginSpan:   w.OriginSpan,
 	}

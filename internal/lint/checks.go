@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/elab"
 	"repro/internal/hdl"
 )
@@ -615,6 +616,23 @@ func (WidthTruncCheck) Description() string {
 // Run implements Check.
 func (WidthTruncCheck) Run(ctx *Context) []Diagnostic {
 	d := ctx.Design
+	// Abstract signal reads by their proven value domains, so a
+	// truncation whose dropped high bits are provably zero (a counter
+	// bounded below the narrow range, an enum encoded in fewer bits) is
+	// not worth a diagnostic.
+	env := func(sig, w int) analysis.Value {
+		if dom, ok := ctx.Facts.DomainOf(sig); ok {
+			return analysis.DomainValue(w, dom)
+		}
+		return analysis.Top(w)
+	}
+	lossless := func(x elab.Expr, w int) bool {
+		if w >= 64 {
+			return false
+		}
+		v := analysis.EvalExpr(x, env)
+		return !v.Wide && v.Hi <= (uint64(1)<<uint(w))-1
+	}
 	var diags []Diagnostic
 	seen := map[string]bool{}
 	for _, p := range d.Procs {
@@ -622,7 +640,7 @@ func (WidthTruncCheck) Run(ctx *Context) []Diagnostic {
 		walkExpr = func(e elab.Expr, pos hdl.Pos) {
 			switch n := e.(type) {
 			case elab.ZExt:
-				if n.W < n.X.Width() {
+				if n.W < n.X.Width() && !lossless(n.X, n.W) {
 					key := fmt.Sprintf("%s|%v|%d>%d", p.Name, pos, n.X.Width(), n.W)
 					if !seen[key] {
 						seen[key] = true

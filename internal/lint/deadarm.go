@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/elab"
 	"repro/internal/smt"
 )
@@ -164,7 +165,19 @@ func (pr *armProver) diag(branch, arm int, what string) Diagnostic {
 
 // unsat decides whether the conjunction of conds is unsatisfiable under
 // the domain constraints of every signal variable the terms reference.
+// A static fast path first evaluates each conjunct over the shared
+// value-range lattice, abstracting every signal variable by the same
+// value set the solver would be constrained to: a conjunct that
+// abstractly evaluates to constant zero refutes the whole conjunction
+// without a solver query.
 func (pr *armProver) unsat(conds []*smt.Term) bool {
+	memo := map[*smt.Term]analysis.Value{}
+	for _, c := range conds {
+		if v, ok := analysis.EvalTerm(c, pr.staticValue, memo).IsConst(); ok && v == 0 {
+			pr.facts.StaticProofs++
+			return true
+		}
+	}
 	pr.facts.SolverQueries++
 	s := smt.NewSolver()
 	seen := map[string]bool{}
@@ -265,6 +278,70 @@ func (pr *armProver) domainConstraint(s *smt.Solver, name string, v *smt.Term) *
 		}
 	}
 	return out
+}
+
+// staticValue abstracts a query variable for the lattice fast path. It
+// must over-approximate exactly the constraint domainConstraint would
+// assert: a signal variable becomes the hull of its allowed value set
+// under the same caps (so a solver-unconstrained variable is Top here
+// too), and fresh variables are unconstrained. That containment is what
+// makes an abstract refutation imply solver-level unsatisfiability.
+func (pr *armProver) staticValue(name string, w int) analysis.Value {
+	if len(name) <= len(sigVar) || name[:len(sigVar)] != sigVar {
+		return analysis.Top(w)
+	}
+	sig, ok := pr.d.ByName[name[len(sigVar):]]
+	if !ok || sig.Width > maxDomainWidth {
+		return analysis.Top(w)
+	}
+	usable := func(vals []uint64) bool {
+		return len(vals) > 0 && len(vals) <= maxDomainValues
+	}
+	var sets [][]uint64
+	if len(sig.EnumNames) > 0 {
+		set := map[uint64]bool{0: true}
+		for ev := range sig.EnumNames {
+			set[ev&maskOf(sig.Width)] = true
+		}
+		if sig.Init != nil {
+			if iv, ok := sig.Init.Uint64(); ok {
+				set[iv&maskOf(sig.Width)] = true
+			}
+		}
+		vals := make([]uint64, 0, len(set))
+		for ev := range set {
+			vals = append(vals, ev)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		if usable(vals) {
+			sets = append(sets, vals)
+		}
+	}
+	if dom, bounded := pr.facts.DomainOf(sig.Index); bounded && usable(dom) {
+		sets = append(sets, dom)
+	}
+	switch len(sets) {
+	case 0:
+		return analysis.Top(w)
+	case 1:
+		return analysis.DomainValue(w, sets[0])
+	}
+	// Both constraints assert: the allowed set is the intersection.
+	in := map[uint64]bool{}
+	for _, v := range sets[0] {
+		in[v] = true
+	}
+	var inter []uint64
+	for _, v := range sets[1] {
+		if in[v] {
+			inter = append(inter, v)
+		}
+	}
+	if len(inter) == 0 {
+		// Contradictory constraints; stay with one side (still sound).
+		return analysis.DomainValue(w, sets[0])
+	}
+	return analysis.DomainValue(w, inter)
 }
 
 // evalExpr converts an IR expression into a term. Signal reads become

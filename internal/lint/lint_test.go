@@ -392,3 +392,58 @@ func TestAllChecksCatalogue(t *testing.T) {
 		}
 	}
 }
+
+func TestDeadArmStaticProof(t *testing.T) {
+	// mode's inferred domain is {0,1}, so "mode == 2'd2" abstractly
+	// evaluates to constant false: the refutation must come from the
+	// value-range lattice, not a solver query.
+	src := `
+module m (input clk_i, input go, output reg y);
+  reg [1:0] mode;
+  always_ff @(posedge clk_i) begin
+    if (go) mode <= 2'd1;
+    else mode <= 2'd0;
+    if (mode == 2'd2) y <= 1'b1;
+    else y <= 1'b0;
+  end
+endmodule`
+	res := lintSrc(t, src, "m", lint.Options{})
+	if len(findRule(res, "dead-arm")) != 1 {
+		t.Fatalf("expected one dead-arm diagnostic, got %v", res.Diags)
+	}
+	if res.Facts.StaticProofs == 0 {
+		t.Fatal("disjoint-domain refutation should be proven statically")
+	}
+}
+
+func TestWidthTruncSuppressedByRange(t *testing.T) {
+	// cnt only ever holds {0,1,2}, so narrowing it to 2 bits drops bits
+	// that are provably zero — no diagnostic. The input-fed truncation
+	// in the same module must still fire.
+	src := `
+module m (input clk_i, input go, input [7:0] a, output reg [1:0] y, output reg [3:0] z);
+  reg [7:0] cnt;
+  always_ff @(posedge clk_i) begin
+    if (go) cnt <= 8'd2;
+    else cnt <= 8'd1;
+    y <= cnt;
+    z <= a;
+  end
+endmodule`
+	res := lintSrc(t, src, "m", lint.Options{})
+	ds := findRule(res, "width-trunc")
+	for _, d := range ds {
+		if strings.Contains(d.Msg, "truncated from 8 to 2") {
+			t.Fatalf("range-proven-lossless truncation should be suppressed: %v", ds)
+		}
+	}
+	found := false
+	for _, d := range ds {
+		if strings.Contains(d.Msg, "truncated from 8 to 4") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unprovable truncation must still be diagnosed, got %v", ds)
+	}
+}

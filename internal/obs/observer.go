@@ -129,6 +129,8 @@ type Observer struct {
 	hVCD       *Histogram
 	cStagnant  *Counter
 	cPruneSkip *Counter
+	cSliceSkip *Counter
+	cSliceVars *Counter
 	cBugs      *Counter
 	cSeqItems  *Counter
 	hSeqSolve  *Histogram
@@ -181,6 +183,8 @@ func New(opts Options) *Observer {
 	o.hVCD = reg.Histogram(p("vcd_roundtrip_ns"), nil)
 	o.cStagnant = reg.Counter(p("stagnation_events"))
 	o.cPruneSkip = reg.Counter(p("prune_skips"))
+	o.cSliceSkip = reg.Counter(p("slice_skips"))
+	o.cSliceVars = reg.Counter(p("sliced_vars"))
 	o.cBugs = reg.Counter(p("bugs_found"))
 	o.cSeqItems = reg.Counter(p("seq_items"))
 	o.hSeqSolve = reg.Histogram(p("seq_solve_ns"), nil)
@@ -587,6 +591,26 @@ func (o *Observer) PruneSkip(graph, node int, vectors uint64, points int) {
 	}
 	o.cPruneSkip.Inc()
 	o.emit(&Event{TNS: o.Now(), Type: EvPruneSkip, Vectors: vectors, Points: points, Graph: graph, Node: node})
+}
+
+// SliceSkip records a solver dispatch resolved statically: the target's
+// sliced constraint was refuted during cone-of-influence folding, so no
+// solver ran (counter only; the dispatch span still carries the unsat
+// outcome).
+func (o *Observer) SliceSkip() {
+	if o == nil {
+		return
+	}
+	o.cSliceSkip.Inc()
+}
+
+// SliceVars records solver variables eliminated from one dispatch by
+// cone-of-influence slicing.
+func (o *Observer) SliceVars(n int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.cSliceVars.Add(int64(n))
 }
 
 // BugFound records one property violation.

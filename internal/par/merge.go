@@ -46,6 +46,8 @@ func MergeReports(part *cfg.Partition, covs []*cov.CFGCov, reports []*core.Repor
 		m.CheckpointsTaken += r.CheckpointsTaken
 		m.VCDBytes += r.VCDBytes
 		m.PrunedSolves += r.PrunedSolves
+		m.SlicedVars += r.SlicedVars
+		m.InfeasibleTargets += r.InfeasibleTargets
 		m.CovEventsDropped += r.CovEventsDropped
 		m.SolveCacheHits += r.SolveCacheHits
 		m.SolveCacheMisses += r.SolveCacheMisses
@@ -112,4 +114,6 @@ func FinalizeMetrics(o *obs.Observer, m *core.Report) {
 	reg.Counter("cov_events_dropped").Add(int64(m.CovEventsDropped))
 	reg.Counter("checkpoint_bytes").Add(m.Timings.CheckpointBytes)
 	reg.Counter("prune_skips").Add(int64(m.PrunedSolves))
+	reg.Counter("slice_skips").Add(int64(m.InfeasibleTargets))
+	reg.Counter("sliced_vars").Add(int64(m.SlicedVars))
 }

@@ -1,0 +1,67 @@
+// Package good is a fuzzvet fixture: nothing below may be flagged.
+package good
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+var registry = map[string]int{}
+
+// Order-insensitive bodies: map inserts, sums, deletes.
+func accumulate(m map[string]int) (int, map[string]bool) {
+	total := 0
+	seen := map[string]bool{}
+	for k, v := range m {
+		total += v
+		seen[k] = true
+		delete(registry, k)
+	}
+	return total, seen
+}
+
+// The idiomatic collect-then-sort pattern.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Receivers declared inside the loop are order-free.
+func loopLocalReceiver(m map[string]int) {
+	for k := range m {
+		var b fmt.Stringer
+		p := &printer{name: k}
+		p.emit()
+		_ = b
+	}
+}
+
+// A considered, explicitly waived ordered effect.
+func waived(m map[string]int, ch chan string) {
+	//fuzzvet:ordered
+	for k := range m {
+		ch <- k
+	}
+}
+
+// Slices are fine to range however.
+func overSlice(xs []string, ch chan string) {
+	for _, x := range xs {
+		ch <- x
+	}
+}
+
+// Private seeded generators are the sanctioned randomness.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(7)
+}
+
+type printer struct{ name string }
+
+func (p *printer) emit() {}
