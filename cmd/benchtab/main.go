@@ -12,6 +12,12 @@
 //	benchtab -exp fig4 -budget 20000
 //	benchtab -exp all
 //	benchtab -metrics metrics.json -obs-out BENCH_obs.json
+//
+// -diff compares two bench records of the same schema as a
+// perf-regression gate (warn past -warn-tol, exit 1 past -fail-tol):
+//
+//	benchtab -diff BENCH_obs.json -with BENCH_obs_new.json
+//	benchtab -diff BENCH_prof.json -with BENCH_prof_new.json -warn-tol 0.10 -fail-tol 0.25
 package main
 
 import (
@@ -26,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|par|dist|flight|slice|all (par, dist, flight and slice never run under all)")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|par|dist|flight|slice|prof|all (par, dist, flight, slice and prof never run under all)")
 		budget     = flag.Uint64("budget", 0, "vector budget per IP run (0 = defaults)")
 		soc        = flag.Uint64("soc-budget", 0, "vector budget for SoC curves")
 		runs       = flag.Int("runs", 0, "runs averaged (figure 4, table 2)")
@@ -39,8 +45,30 @@ func main() {
 		flightOut  = flag.String("flight-out", "BENCH_flight.json", "span-overhead record output path (with -exp flight)")
 		flightRuns = flag.Int("flight-runs", 3, "interleaved runs per arm for -exp flight")
 		sliceOut   = flag.String("slice-out", "BENCH_slice.json", "slicing record output path (with -exp slice)")
+		profOut    = flag.String("prof-out", "BENCH_prof.json", "profiler-overhead record output path (with -exp prof)")
+		profRuns   = flag.Int("prof-runs", 3, "interleaved runs per arm for -exp prof")
+		diffBase   = flag.String("diff", "", "baseline bench record for the perf-regression gate")
+		diffWith   = flag.String("with", "", "candidate bench record to compare against -diff")
+		warnTol    = flag.Float64("warn-tol", 0.10, "relative regression that prints a warning (with -diff)")
+		failTol    = flag.Float64("fail-tol", 0.25, "relative regression that exits nonzero (with -diff)")
 	)
 	flag.Parse()
+
+	if *diffBase != "" || *diffWith != "" {
+		if *diffBase == "" || *diffWith == "" {
+			fmt.Fprintln(os.Stderr, "benchtab: -diff and -with must both be set")
+			os.Exit(2)
+		}
+		failed, err := runDiff(*diffBase, *diffWith, *warnTol, *failTol, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab: diff:", err)
+			os.Exit(2)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *metrics != "" {
 		if err := emitObsBench(*metrics, *obsOut); err != nil {
@@ -76,6 +104,16 @@ func main() {
 	if *exp == "flight" {
 		if err := runFlight(*seed, *flightRuns, *flightOut, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab: flight:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// And for prof: it times the cost-profiler against the nil-profiler
+	// no-op path, so it is wall-clock-sensitive too.
+	if *exp == "prof" {
+		if err := runProf(*seed, *profRuns, *profOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab: prof:", err)
 			os.Exit(1)
 		}
 		return

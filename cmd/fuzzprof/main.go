@@ -1,0 +1,75 @@
+// Command fuzzprof explores a SymbFuzz campaign cost ledger (the JSON
+// dump written by symbfuzz -prof): where simulator and solver effort
+// went, keyed to design constructs — IR processes on the simulator
+// side, CFG targets on the solver side.
+//
+// The terminal report renders a treemap of solver cost by CFG target,
+// the hot-process and hot-target tables, the cumulative
+// coverage-unlocked-per-cost curve, and (for distributed campaigns)
+// the coordinator's per-RPC wire tally. All visuals are sized by the
+// ledger's deterministic counters, so re-rendering the same dump is
+// byte-identical.
+//
+// Usage:
+//
+//	fuzzprof prof.json                  # terminal report
+//	fuzzprof -flame flame.json prof.json  # flamegraph-compatible JSON
+//	fuzzprof -canonical prof.json       # canonical (annotation-free) dump
+//
+// -canonical prints the dump with every wall-clock annotation
+// stripped; for a fixed seed its bytes are identical across runs,
+// worker counts, and the in-process vs. distributed orchestrators —
+// CI diffs it across orchestrators as the determinism gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/prof"
+)
+
+func main() {
+	canonical := flag.Bool("canonical", false, "print the canonical dump (annotations stripped) and exit")
+	flameOut := flag.String("flame", "", "write flamegraph-compatible JSON ({name,value,children}) to this path")
+	topN := flag.Int("top", 10, "rows in the hot-process / hot-target tables")
+	width := flag.Int("width", 72, "treemap width in characters")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fuzzprof [-canonical] [-flame out.json] [-top N] <prof.json>")
+		os.Exit(1)
+	}
+
+	d, err := prof.ReadDump(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	if *canonical {
+		out, err := d.Canonical().MarshalIndent()
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+
+	if *flameOut != "" {
+		data, err := flameJSON(d)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*flameOut, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("flamegraph JSON: %s\n", *flameOut)
+	}
+
+	renderReport(os.Stdout, d, *topN, *width)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fuzzprof:", err)
+	os.Exit(1)
+}

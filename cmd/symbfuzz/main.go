@@ -85,6 +85,8 @@ func main() {
 		metricOut = flag.String("metrics", "", "write the final metrics/status snapshot JSON to this file")
 		statusOn  = flag.String("status", "", "serve the live status+pprof endpoint on this address (e.g. :6060)")
 		reportOut = flag.String("report-out", "", "write the final (merged) report JSON to this file")
+		profOut   = flag.String("prof", "", "write the campaign cost-ledger dump JSON to this file (explore it with fuzzprof)")
+		noProf    = flag.Bool("no-prof", false, "force cost profiling off even when -prof is set (reports are byte-identical either way)")
 
 		serveOn  = flag.String("serve", "", "run as distributed-campaign coordinator on this address (e.g. :7070)")
 		connect  = flag.String("connect", "", "run as distributed-campaign worker against this coordinator")
@@ -158,8 +160,18 @@ func main() {
 		Obs:                   o,
 	}
 
+	// Cost profiling: a nil profiler is the zero-overhead fast path;
+	// enabling it never changes a trajectory, only records one.
+	profiling := *profOut != "" && !*noProf
+	var profiler *symbfuzz.Profiler
+	if profiling {
+		profiler = symbfuzz.NewProfiler(symbfuzz.ProfilerOptions{})
+		cfg.Prof = profiler
+	}
+
 	var rep *symbfuzz.Report
 	var prep *symbfuzz.ParallelReport
+	var dump *symbfuzz.CostDump
 	var err2 error
 	if *serveOn != "" {
 		spec := dist.CampaignSpec{
@@ -173,12 +185,13 @@ func main() {
 			UseSnapshots:          cfg.UseSnapshots,
 			ContinueAfterCoverage: cfg.ContinueAfterCoverage,
 			DisableSlicing:        cfg.DisableSlicing,
+			Profile:               profiling,
 		}
 		if *srcFile != "" {
 			spec.Bench = ""
 			spec.Source = b.Source
 		}
-		prep, err2 = runServe(ctx, *serveOn, spec, *journal, *resume, *leaseTTL, o)
+		prep, dump, err2 = runServe(ctx, *serveOn, spec, b.Name, *journal, *resume, *leaseTTL, o)
 		if prep != nil {
 			rep = prep.Merged
 		}
@@ -191,6 +204,12 @@ func main() {
 		}
 	} else {
 		rep, err2 = symbfuzz.FuzzContext(ctx, b, cfg)
+	}
+	if profiling && dump == nil && err2 == nil {
+		// In-process modes: the base profiler collected every rank's
+		// ledger (its own for a single engine, per-worker children for
+		// -workers N).
+		dump = symbfuzz.NewCostDump(b.Name, cfg.Seed, profiler.Ledgers())
 	}
 
 	// Flush telemetry before exiting on any path: the trace file ends
@@ -226,6 +245,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "symbfuzz: report:", rerr)
 			os.Exit(1)
 		}
+	}
+	if profiling && dump != nil {
+		if perr := dump.WriteFile(*profOut); perr != nil {
+			fmt.Fprintln(os.Stderr, "symbfuzz: prof:", perr)
+			os.Exit(1)
+		}
+		fmt.Printf("cost ledger: %d rank(s), %d sim evals, %d solver dispatches -> %s (explore with fuzzprof)\n",
+			len(dump.Ranks), dump.Totals.Evals, dump.Totals.Dispatches, *profOut)
 	}
 
 	if rep.Interrupted {
@@ -264,9 +291,12 @@ func main() {
 }
 
 // runServe hosts the distributed-campaign coordinator until every
-// shard rank has reported (or ctx is interrupted).
-func runServe(ctx context.Context, addr string, spec dist.CampaignSpec,
-	journal string, resume bool, leaseTTL time.Duration, o *symbfuzz.Observer) (*symbfuzz.ParallelReport, error) {
+// shard rank has reported (or ctx is interrupted). When the spec
+// profiles, the workers' rank ledgers (delivered with their reports)
+// are merged into a campaign cost dump annotated with the
+// coordinator's per-RPC wire tally.
+func runServe(ctx context.Context, addr string, spec dist.CampaignSpec, benchName string,
+	journal string, resume bool, leaseTTL time.Duration, o *symbfuzz.Observer) (*symbfuzz.ParallelReport, *symbfuzz.CostDump, error) {
 	co, err := dist.NewCoordinator(addr, dist.CoordConfig{
 		Spec:        spec,
 		LeaseTTL:    leaseTTL,
@@ -275,15 +305,20 @@ func runServe(ctx context.Context, addr string, spec dist.CampaignSpec,
 		Obs:         o,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fmt.Printf("coordinator listening on %s (campaign: %d workers, seed %d)\n",
 		co.Addr(), spec.Workers, spec.Seed)
 	rep, err := co.Wait(ctx)
+	var dump *symbfuzz.CostDump
+	if spec.Profile && err == nil {
+		dump = symbfuzz.NewCostDump(benchName, spec.Seed, co.Ledgers())
+		dump.Wire = co.WireLedger()
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	_ = co.Shutdown(sctx)
 	cancel()
-	return rep, err
+	return rep, dump, err
 }
 
 // runConnect runs the distributed-campaign worker loop against a

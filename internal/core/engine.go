@@ -19,12 +19,14 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/cov"
 	"repro/internal/elab"
 	"repro/internal/lint"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/props"
 	"repro/internal/sim"
 	"repro/internal/smt"
@@ -79,6 +81,11 @@ type Config struct {
 	// trace, and live status gauges. nil disables (the fast path —
 	// coarse Report.Timings are still collected).
 	Obs *obs.Observer
+	// Prof receives the campaign cost ledger: per-IR-process eval
+	// counts and per-CFG-target solver effort. nil disables; the
+	// profiler is strictly observational, so enabling it never changes
+	// the campaign trajectory or the report.
+	Prof *prof.Profiler
 
 	// Shard restricts solver-guided edge targeting to this worker's
 	// statically owned slice of the CFG edge space (parallel campaigns;
@@ -297,6 +304,8 @@ type Engine struct {
 	// obs is the telemetry sink; nil disables (all call sites are
 	// nil-safe).
 	obs *obs.Observer
+	// prof is the cost-ledger sink; nil disables (same contract).
+	prof *prof.Profiler
 	// ctx is the run's cancellation context (set by RunContext for the
 	// duration of the run; checked at interval boundaries and between
 	// guided steps).
@@ -364,9 +373,15 @@ func New(d *elab.Design, properties []*props.Property, c Config) (*Engine, error
 		report:      &Report{GraphStats: part.Stats()},
 		rng:         rand.New(rand.NewSource(c.Seed ^ 0x51bb)),
 		obs:         c.Obs,
+		prof:        c.Prof,
 		shardAll:    true,
 	}
 	env.Agent.Sequencer.Obs = c.Obs
+	if e.prof.Enabled() {
+		// The annotation clock is injected so the sim package itself
+		// never reads wall time (it must stay deterministic/pure).
+		env.Sim.EnableProfile(e.prof.Clock(), e.prof.SampleEvery())
+	}
 	if !c.DisablePruning {
 		e.markPruned(d, resetVals)
 	}
@@ -505,6 +520,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Report, error) {
 		e.obs.BugFound(vs[bugSeen].Property, e.report.Vectors, e.cover.Points())
 	}
 	e.finishReport()
+	e.finishSimLedger()
 	e.report.Timings.TotalNS = int64(time.Since(runStart))
 	e.obs.Cycles(e.report.Cycles)
 	// Mirror finishReport's closing curve sample so the live curve's
@@ -939,7 +955,20 @@ func (e *Engine) tryEdges(gi, node int) bool {
 			Vars:         st.Vars,
 			BlastNS:      st.BlastNS,
 			SolveNS:      st.SolveNS,
+			SlicedVars:   int64(si.FullVars),
+			Infeasible:   si.Infeasible,
 		}, cacheRef)
+		e.prof.SolverDispatch(gi, edge.ID, prof.DispatchCost{
+			Sat:        st.Outcome == smt.Sat,
+			Clauses:    int64(st.Clauses),
+			Conflicts:  st.Conflicts,
+			Restarts:   st.Restarts,
+			SlicedVars: int64(si.FullVars),
+			Infeasible: si.Infeasible,
+			Cache:      cacheRef.State,
+			BlastNS:    st.BlastNS,
+			SolveNS:    st.SolveNS,
+		})
 		if store != nil {
 			store.Store(storeKey, CachedPlan{
 				Plan: plan, Stats: st,
@@ -955,6 +984,7 @@ func (e *Engine) tryEdges(gi, node int) bool {
 		if e.applyPlan(gi, plan, edge) {
 			gained := e.cover.Points() - pointsBefore
 			e.obs.PlanApplied(gi, edge.ID, e.report.Vectors, e.cover.Points(), gained, cacheRef)
+			e.prof.PlanUnlocked(gi, edge.ID, gained)
 			return true
 		}
 	}
@@ -1132,6 +1162,39 @@ func (e *Engine) finishReport() {
 	e.report.EdgesCovered, e.report.EdgesTotal = e.cover.EdgeCoverage()
 	e.report.TupleCount = len(e.cover.Tuples)
 	e.report.Curve = append(e.report.Curve, CurvePoint{Vectors: e.report.Vectors, Points: e.cover.Points()})
+}
+
+// finishSimLedger builds the profiler's simulator-side ledger at
+// campaign end: one entry per IR process carrying its deterministic
+// eval count, named directly and placed in its levelized cluster via
+// the analysis depgraph (a comb process sits at the settle depth of
+// its deepest written signal; sequential processes are level -1).
+func (e *Engine) finishSimLedger() {
+	if !e.prof.Enabled() {
+		return
+	}
+	d := e.env.Sim.Design()
+	g := analysis.BuildDepGraph(d)
+	evals, sampledNS, sampled := e.env.Sim.ProfileCounts()
+	entries := make([]prof.SimEntry, 0, len(d.Procs))
+	for pi, p := range d.Procs {
+		entry := prof.SimEntry{Proc: p.Name, Kind: "seq", Level: -1}
+		if p.Kind == elab.ProcComb {
+			entry.Kind = "comb"
+			for _, w := range p.Writes {
+				if lv := g.Level[w]; lv > entry.Level {
+					entry.Level = lv
+				}
+			}
+		}
+		if evals != nil {
+			entry.Evals = evals[pi]
+			entry.SampledNS = sampledNS[pi]
+			entry.SampledEvals = sampled[pi]
+		}
+		entries = append(entries, entry)
+	}
+	e.prof.SetSim(entries)
 }
 
 // String renders a one-line summary of a report.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/cov"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/prof"
 )
 
 // CoordConfig parameterizes a campaign coordinator.
@@ -46,11 +48,13 @@ type CoordConfig struct {
 }
 
 // rankResult is a completed rank: its report, final coverage
-// snapshot, and telemetry lane.
+// snapshot, telemetry lane, and (when the campaign profiles) its cost
+// ledger.
 type rankResult struct {
 	report *core.Report
 	cov    *cov.CFGCov
 	events []obs.Event
+	ledger *prof.RankLedger
 }
 
 // lease is one live rank assignment.
@@ -84,6 +88,61 @@ type Coordinator struct {
 	done   map[int]*rankResult
 	doneCh chan struct{}
 	ended  bool
+
+	wire wireTally
+}
+
+// wireTally tallies per-RPC wire cost on the coordinator side: calls,
+// request/response bytes, and handler wall time per /v1 endpoint. It
+// is pure annotation — heartbeat and publish cadence are timer-driven,
+// so these numbers are not reproducible and never enter a canonical
+// ledger (Dump.Canonical drops the whole Wire section).
+type wireTally struct {
+	mu sync.Mutex
+	m  map[string]*prof.WireEntry
+}
+
+func (t *wireTally) add(rpc string, in, out, wallNS int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = map[string]*prof.WireEntry{}
+	}
+	e := t.m[rpc]
+	if e == nil {
+		e = &prof.WireEntry{RPC: rpc}
+		t.m[rpc] = e
+	}
+	e.Calls++
+	if in > 0 {
+		e.BytesIn += in
+	}
+	e.BytesOut += out
+	e.WallNS += wallNS
+}
+
+// snapshot returns the tally sorted by RPC name.
+func (t *wireTally) snapshot() []prof.WireEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []prof.WireEntry
+	for _, e := range t.m {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RPC < out[j].RPC })
+	return out
+}
+
+// countingWriter counts response bytes for the wire tally.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.n += int64(n)
+	return n, err
 }
 
 // NewCoordinator validates the spec (it must elaborate — better to
@@ -145,7 +204,7 @@ func NewCoordinator(addr string, c CoordConfig) (*Coordinator, error) {
 				continue
 			}
 			cv := CovFromWire(*rec.Coverage)
-			co.done[rank] = &rankResult{report: rec.Report, cov: cv, events: rec.Events}
+			co.done[rank] = &rankResult{report: rec.Report, cov: cv, events: rec.Events, ledger: rec.Ledger}
 			co.fr.Publish(rank, cv, rec.Report.Vectors)
 		}
 		if len(co.done) == c.Spec.Workers {
@@ -167,12 +226,12 @@ func NewCoordinator(addr string, c CoordConfig) (*Coordinator, error) {
 		return nil, err
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/join", co.handleJoin)
-	mux.HandleFunc("/v1/lease", co.handleLease)
-	mux.HandleFunc("/v1/heartbeat", co.handleHeartbeat)
-	mux.HandleFunc("/v1/publish", co.handlePublish)
-	mux.HandleFunc("/v1/cache", co.handleCache)
-	mux.HandleFunc("/v1/report", co.handleReport)
+	mux.HandleFunc("/v1/join", co.counted("join", co.handleJoin))
+	mux.HandleFunc("/v1/lease", co.counted("lease", co.handleLease))
+	mux.HandleFunc("/v1/heartbeat", co.counted("heartbeat", co.handleHeartbeat))
+	mux.HandleFunc("/v1/publish", co.counted("publish", co.handlePublish))
+	mux.HandleFunc("/v1/cache", co.counted("cache", co.handleCache))
+	mux.HandleFunc("/v1/report", co.counted("report", co.handleReport))
 	co.ln = ln
 	co.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	co.start = time.Now()
@@ -201,7 +260,8 @@ func specEqual(a, b CampaignSpec) bool {
 		a.MaxVectors == b.MaxVectors && a.Seed == b.Seed &&
 		a.Workers == b.Workers && a.UseSnapshots == b.UseSnapshots &&
 		a.ContinueAfterCoverage == b.ContinueAfterCoverage &&
-		a.DisableSlicing == b.DisableSlicing
+		a.DisableSlicing == b.DisableSlicing &&
+		a.Profile == b.Profile
 }
 
 // specConfig builds rank's engine configuration from the campaign
@@ -415,7 +475,7 @@ func (co *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	rep := req.Report
 	if err := co.jr.append(journalRecord{
 		Kind: "report", Rank: req.Rank,
-		Report: &rep, Coverage: &req.Coverage, Events: req.Events,
+		Report: &rep, Coverage: &req.Coverage, Events: req.Events, Ledger: req.Ledger,
 	}); err != nil {
 		writeErr(w, http.StatusInternalServerError, err.Error())
 		return
@@ -425,7 +485,7 @@ func (co *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	co.fr.Publish(req.Rank, cv, rep.Vectors)
 
 	co.mu.Lock()
-	co.done[req.Rank] = &rankResult{report: &rep, cov: cv, events: req.Events}
+	co.done[req.Rank] = &rankResult{report: &rep, cov: cv, events: req.Events, ledger: req.Ledger}
 	delete(co.leases, req.Rank)
 	n := len(co.done)
 	if n == co.spec.Workers && !co.ended {
@@ -518,6 +578,40 @@ func (co *Coordinator) Wait(ctx context.Context) (*par.Report, error) {
 	}
 	co.mu.Unlock()
 	return out, nil
+}
+
+// counted wraps an RPC handler with the wire tally.
+func (co *Coordinator) counted(rpc string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		cw := &countingWriter{ResponseWriter: w}
+		h(cw, r)
+		co.wire.add(rpc, r.ContentLength, cw.n, int64(time.Since(t0)))
+	}
+}
+
+// WireLedger returns the coordinator's per-RPC wire cost tally, sorted
+// by RPC name. Annotation only — see wireTally.
+func (co *Coordinator) WireLedger() []prof.WireEntry {
+	return co.wire.snapshot()
+}
+
+// Ledgers returns the completed ranks' cost ledgers in rank order
+// (nil entries are skipped — a rank ledger is only present when the
+// campaign spec enables profiling). Call after Wait: the result is the
+// same rank-ordered sequence an in-process par campaign's base
+// profiler yields, so prof.NewDump over it is byte-identical to the
+// `-workers N` run's canonical dump.
+func (co *Coordinator) Ledgers() []*prof.RankLedger {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	var out []*prof.RankLedger
+	for r := 0; r < co.spec.Workers; r++ {
+		if res := co.done[r]; res != nil && res.ledger != nil {
+			out = append(out, res.ledger)
+		}
+	}
+	return out
 }
 
 // Shutdown stops serving and closes the journal. Safe after Wait.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/designs"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/prof"
 )
 
 // mailboxSpec is the shared campaign of the dist tests: the buggy
@@ -425,6 +426,91 @@ func TestCrossProcessCausalChain(t *testing.T) {
 	}
 	if !bytes.Equal(h1.Bytes(), h2.Bytes()) {
 		t.Error("HTML report is not byte-identical across renders of the dist trace")
+	}
+}
+
+// TestProfiledLedgerMatchesPar is the cost-profiler parity contract:
+// a profiled 2-process loopback campaign ships per-rank cost ledgers
+// on the report wire, and the coordinator's rank-ordered merge is
+// byte-identical (canonically) to the in-process par orchestrator's —
+// and to a second distributed run of the same seed.
+func TestProfiledLedgerMatchesPar(t *testing.T) {
+	b := designs.IPBenchmark(designs.Mailbox(), true)
+	s := mailboxSpec(7)
+
+	// In-process reference dump.
+	cc := core.Config{
+		Interval: s.Interval, Threshold: s.Threshold, MaxVectors: s.MaxVectors,
+		Seed: s.Seed, UseSnapshots: s.UseSnapshots, ContinueAfterCoverage: s.ContinueAfterCoverage,
+	}
+	base := prof.New(prof.Options{})
+	cc.Prof = base
+	if _, err := par.Run(b.Elaborate, b.Properties, par.Config{Config: cc, Workers: s.Workers}); err != nil {
+		t.Fatalf("par: %v", err)
+	}
+	want := prof.NewDump(b.Name, s.Seed, base.Ledgers())
+
+	runDist := func() *prof.Dump {
+		spec := s
+		spec.Profile = true
+		co := newTestCoordinator(t, CoordConfig{Spec: spec})
+		defer co.Shutdown(context.Background())
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = RunWorker(ctx, WorkerConfig{
+					Addr: co.Addr(), WorkerID: []string{"pA", "pB"}[i], RankHint: i,
+					Client: testClient(co.Addr(), int64(i)),
+				})
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("worker %d: %v", i, err)
+			}
+		}
+		if _, err := co.Wait(ctx); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		d := prof.NewDump(b.Name, spec.Seed, co.Ledgers())
+		d.Wire = co.WireLedger()
+		return d
+	}
+	got1, got2 := runDist(), runDist()
+
+	canon := func(d *prof.Dump) []byte {
+		out, err := d.Canonical().MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cw, c1, c2 := canon(want), canon(got1), canon(got2)
+	if !bytes.Equal(c1, cw) {
+		t.Errorf("distributed canonical ledger diverged from in-process run:\ndist: %s\npar:  %s", c1, cw)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Errorf("distributed canonical ledger not deterministic across runs:\n%s\nvs\n%s", c1, c2)
+	}
+
+	// The wire ledger (annotation) saw every RPC kind a full campaign
+	// exercises.
+	seen := map[string]bool{}
+	for _, e := range got1.Wire {
+		seen[e.RPC] = true
+		if e.Calls <= 0 {
+			t.Errorf("wire entry %q with nonpositive calls: %+v", e.RPC, e)
+		}
+	}
+	for _, rpc := range []string{"join", "lease", "publish", "report"} {
+		if !seen[rpc] {
+			t.Errorf("wire ledger missing %q: %+v", rpc, got1.Wire)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 // The coordinator journal is an append-only JSONL file recording the
@@ -34,10 +35,11 @@ type journalRecord struct {
 	Spec       *CampaignSpec `json:"spec,omitempty"`
 
 	// kind == "report"
-	Rank     int          `json:"rank,omitempty"`
-	Report   *core.Report `json:"report,omitempty"`
-	Coverage *CovWire     `json:"coverage,omitempty"`
-	Events   []obs.Event  `json:"events,omitempty"`
+	Rank     int              `json:"rank,omitempty"`
+	Report   *core.Report     `json:"report,omitempty"`
+	Coverage *CovWire         `json:"coverage,omitempty"`
+	Events   []obs.Event      `json:"events,omitempty"`
+	Ledger   *prof.RankLedger `json:"ledger,omitempty"`
 }
 
 // journal is the append side. Writes are fsynced per record — rank

@@ -36,6 +36,7 @@ import (
 	"repro/internal/cov"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/smt"
 )
 
@@ -44,8 +45,10 @@ import (
 // same protocol revision, since reports and plans cross the wire as
 // structured JSON. v2 added the trace-context field on
 // publish/cache/report (cross-process span correlation) and the
-// restart count in solver statistics.
-const ProtoVersion = 2
+// restart count in solver statistics. v3 added the Profile flag on
+// the campaign spec and the rank cost ledger on /v1/report, so the
+// coordinator can merge per-rank profiling ledgers rank-ordered.
+const ProtoVersion = 3
 
 // TraceCtx is the wire trace context: the emitting lane and span that
 // a message correlates with. On /v1/cache stores it names the solve
@@ -86,6 +89,10 @@ type CampaignSpec struct {
 	UseSnapshots          bool   `json:"use_snapshots"`
 	ContinueAfterCoverage bool   `json:"continue_after_coverage"`
 	DisableSlicing        bool   `json:"disable_slicing,omitempty"`
+	// Profile turns on per-rank cost profiling: each worker attaches a
+	// prof.Profiler to its engine and ships the rank ledger with its
+	// report (proto v3).
+	Profile bool `json:"profile,omitempty"`
 }
 
 // JoinRequest opens a worker session. RankHint (-1 for none) asks the
@@ -175,15 +182,17 @@ type CacheResponse struct {
 }
 
 // ReportRequest delivers a rank's final report, its final full
-// coverage snapshot, and the rank's complete telemetry lane (the
-// worker-stamped trace events of the whole run, in emit order).
+// coverage snapshot, the rank's complete telemetry lane (the
+// worker-stamped trace events of the whole run, in emit order), and —
+// when the campaign profiles — the rank's cost ledger (proto v3).
 type ReportRequest struct {
-	WorkerID string      `json:"worker_id"`
-	Rank     int         `json:"rank"`
-	Report   core.Report `json:"report"`
-	Coverage CovWire     `json:"coverage"`
-	Events   []obs.Event `json:"events,omitempty"`
-	Trace    *TraceCtx   `json:"trace,omitempty"`
+	WorkerID string           `json:"worker_id"`
+	Rank     int              `json:"rank"`
+	Report   core.Report      `json:"report"`
+	Coverage CovWire          `json:"coverage"`
+	Events   []obs.Event      `json:"events,omitempty"`
+	Trace    *TraceCtx        `json:"trace,omitempty"`
+	Ledger   *prof.RankLedger `json:"ledger,omitempty"`
 }
 
 // ReportResponse acks the report; Done=true means every rank is

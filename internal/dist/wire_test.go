@@ -14,6 +14,7 @@ import (
 	"repro/internal/cov"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/props"
 	"repro/internal/smt"
 )
@@ -86,9 +87,21 @@ func goldenFixtures() map[string]any {
 				{TNS: 99, Type: "bug_found", Worker: 2, Vectors: 812, Property: "mailbox_err_intr_en"},
 			},
 			Trace: &TraceCtx{Worker: 2, Span: "w2"},
+			Ledger: &prof.RankLedger{
+				Rank: 1,
+				Sim: []prof.SimEntry{{Proc: "u_mailbox.ctrl_comb", Kind: "comb", Level: 2,
+					Evals: 9000, SampledEvals: 140, SampledNS: 880_000}},
+				Solver: []prof.SolverEntry{{Graph: 0, Edge: 4, Dispatches: 2, Sat: 2,
+					CacheLookups: 2, Clauses: 88, Conflicts: 6, Restarts: 1, SlicedVars: 24,
+					Unlocked: 3, CacheHits: 1, CacheMisses: 1, BlastNS: 50_000, SolveNS: 61_000}},
+				Curve: []prof.CostPoint{
+					{Dispatch: 1, Clauses: 44, Conflicts: 3},
+					{Dispatch: 2, Clauses: 88, Conflicts: 6, Unlocked: 3},
+				},
+			},
 		},
 		"report_response": ReportResponse{OK: true, Done: true},
-		"error_response":  ErrorResponse{Error: "protocol version mismatch: coordinator speaks v2, worker \"w\" speaks v3 — rebuild the worker from the same revision"},
+		"error_response":  ErrorResponse{Error: "protocol version mismatch: coordinator speaks v3, worker \"w\" speaks v4 — rebuild the worker from the same revision"},
 	}
 }
 
@@ -96,7 +109,8 @@ func sampleSpec() CampaignSpec {
 	return CampaignSpec{
 		Bench: "scmi_mailbox", Interval: 50, Threshold: 2, MaxVectors: 3000,
 		Seed: 7, Workers: 2, UseSnapshots: true, ContinueAfterCoverage: true,
-		Props: []PropSpec{{Name: "extra", Expr: "err |-> en", DisableIff: "!rst_ni"}},
+		Profile: true,
+		Props:   []PropSpec{{Name: "extra", Expr: "err |-> en", DisableIff: "!rst_ni"}},
 	}
 }
 

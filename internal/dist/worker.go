@@ -13,6 +13,7 @@ import (
 	"repro/internal/designs"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/prof"
 	"repro/internal/props"
 )
 
@@ -236,6 +237,14 @@ func (w *worker) runRank(ctx context.Context, lr LeaseResponse) error {
 
 	wc := specConfig(w.spec, lr.Rank)
 	wc.Obs = lane
+	// The rank ledger ships with the report (proto v3); prof ranks are
+	// 0-based shard ranks, matching the in-process par orchestrator so
+	// the coordinator's rank-ordered merge is byte-identical to it.
+	var profiler *prof.Profiler
+	if w.spec.Profile {
+		profiler = prof.New(prof.Options{Rank: lr.Rank})
+		wc.Prof = profiler
+	}
 	if w.cache != nil {
 		wc.PlanCache = w.cache
 	}
@@ -320,6 +329,7 @@ func (w *worker) runRank(ctx context.Context, lr LeaseResponse) error {
 		Coverage: CovToWire(eng.Coverage()),
 		Events:   buf.take(),
 		Trace:    &TraceCtx{Worker: lane.Lane(), Span: lane.RootSpan()},
+		Ledger:   profiler.Ledger(),
 	})
 	if err != nil {
 		return err

@@ -19,6 +19,11 @@ type SolveStats struct {
 	Vars         int
 	BlastNS      int64
 	SolveNS      int64
+	// SlicedVars is the dispatch's net cone-of-influence variable
+	// saving; Infeasible marks a statically refuted target (the unsat
+	// outcome was decided without running the solver).
+	SlicedVars int64
+	Infeasible bool
 }
 
 // CacheRef describes how a solve was satisfied by the shared plan
@@ -327,7 +332,10 @@ func (o *Observer) CampaignStart(vectors uint64, points int) {
 // campaign's final event; Points must equal the report's FinalPoints
 // so offline analyses reconcile with the report. The span record is
 // emitted before campaign_end because the trace schema requires
-// campaign_end to be the lane's last event.
+// campaign_end to be the lane's last event. campaign_end carries the
+// lane's slicing totals (net variables sliced away, statically refuted
+// targets) so offline reports reconcile with Report.SlicedVars /
+// Report.InfeasibleTargets without replaying every dispatch.
 func (o *Observer) CampaignEnd(vectors uint64, points int) {
 	if o == nil {
 		return
@@ -343,7 +351,11 @@ func (o *Observer) CampaignEnd(vectors uint64, points int) {
 			Span: o.RootSpan(), Kind: SpanCampaign, DurNS: now - start,
 		})
 	}
-	o.emit(&Event{TNS: o.Now(), Type: EvCampaignEnd, Vectors: vectors, Points: points})
+	o.emit(&Event{
+		TNS: o.Now(), Type: EvCampaignEnd, Vectors: vectors, Points: points,
+		SlicedVars:        o.cSliceVars.Value(),
+		InfeasibleTargets: o.cSliceSkip.Value(),
+	})
 }
 
 // IntervalStart marks the start of one I-cycle fuzz interval and opens
@@ -490,6 +502,7 @@ func (o *Observer) SolverDispatch(graph, edge int, vectors uint64, points int, s
 			Conflicts: st.Conflicts, Decisions: st.Decisions, Propagations: st.Propagations,
 			Restarts: st.Restarts, Clauses: st.Clauses, Vars: st.Vars,
 			BlastNS: st.BlastNS, SolveNS: st.SolveNS, DurNS: st.BlastNS + st.SolveNS,
+			SlicedVars: st.SlicedVars, Infeasible: st.Infeasible,
 			Cache: cache.State, OriginWorker: cache.OriginWorker, OriginSpan: cache.OriginSpan,
 		})
 	}
@@ -499,6 +512,7 @@ func (o *Observer) SolverDispatch(graph, edge int, vectors uint64, points int, s
 		Conflicts: st.Conflicts, Decisions: st.Decisions, Propagations: st.Propagations,
 		Restarts: st.Restarts, Clauses: st.Clauses, Vars: st.Vars,
 		BlastNS: st.BlastNS, SolveNS: st.SolveNS, DurNS: st.BlastNS + st.SolveNS,
+		SlicedVars: st.SlicedVars, Infeasible: st.Infeasible,
 		Span: span,
 	})
 	return span

@@ -28,6 +28,10 @@ type SolveRecord struct {
 	SolveNS   int64  `json:"solve_ns"` // bit-blast + CDCL wall time
 	Unlocked  int    `json:"unlocked"` // coverage tuples attributed
 	Reuses    int    `json:"reuses"`   // cache hits resolving to this solve
+	// SlicedVars is the solve's net cone-of-influence variable saving;
+	// Infeasible marks a target refuted statically (no solver ran).
+	SlicedVars int64 `json:"sliced_vars,omitempty"`
+	Infeasible bool  `json:"infeasible,omitempty"`
 }
 
 // UnsolvedTarget is a CFG edge the campaign dispatched solves for
@@ -37,6 +41,17 @@ type UnsolvedTarget struct {
 	Edge      int   `json:"edge"`
 	Attempts  int   `json:"attempts"`
 	Conflicts int64 `json:"conflicts"`
+	// Infeasible counts attempts refuted statically by value-range
+	// slicing — an edge whose every attempt was infeasible is dead by
+	// construction, not hard for the solver.
+	Infeasible int `json:"infeasible,omitempty"`
+}
+
+// SlicingSummary aggregates the campaign's cone-of-influence slicing
+// effect from the lanes' campaign_end totals.
+type SlicingSummary struct {
+	SlicedVars        int64 `json:"sliced_vars"`
+	InfeasibleTargets int64 `json:"infeasible_targets"`
 }
 
 // LaneBreakdown aggregates one lane's solver effort.
@@ -69,6 +84,7 @@ type CampaignReport struct {
 	TopSolves []SolveRecord         `json:"top_solves"`
 	Unsolved  []UnsolvedTarget      `json:"unsolved"`
 	Lanes     []LaneBreakdown       `json:"lanes"`
+	Slicing   SlicingSummary        `json:"slicing"`
 	Chain     *CausalChain          `json:"chain,omitempty"`
 }
 
@@ -110,13 +126,17 @@ func BuildCampaignReport(events []Event) (*CampaignReport, error) {
 		switch {
 		case ev.Type == EvIntervalEnd:
 			r.Curves[ev.Worker] = append(r.Curves[ev.Worker], CurveSample{TNS: ev.TNS, Vectors: ev.Vectors, Points: ev.Points})
+		case ev.Type == EvCampaignEnd:
+			r.Slicing.SlicedVars += ev.SlicedVars
+			r.Slicing.InfeasibleTargets += ev.InfeasibleTargets
 		case ev.Type == EvSpan && ev.Kind == SpanSolve:
 			solves[ev.Span] = &SolveRecord{
 				Span: ev.Span, Lane: ev.Worker, Graph: ev.Graph, Edge: ev.Edge,
 				Outcome: ev.Outcome, Cache: ev.Cache,
 				Vars: ev.Vars, Clauses: ev.Clauses,
 				Conflicts: ev.Conflicts, Restarts: ev.Restarts,
-				SolveNS: ev.BlastNS + ev.SolveNS,
+				SolveNS:    ev.BlastNS + ev.SolveNS,
+				SlicedVars: ev.SlicedVars, Infeasible: ev.Infeasible,
 			}
 			lb := lane(ev.Worker)
 			lb.Solves++
@@ -139,6 +159,9 @@ func BuildCampaignReport(events []Event) (*CampaignReport, error) {
 			}
 			at.Attempts++
 			at.Conflicts += ev.Conflicts
+			if ev.Infeasible {
+				at.Infeasible++
+			}
 			if ev.Outcome == "sat" {
 				satTargets[tg] = true
 			}
@@ -243,6 +266,10 @@ func RenderText(w io.Writer, r *CampaignReport) {
 		fmt.Fprintf(w, "  cross-rank cache links %d  dangling origins %d\n",
 			r.Spans.CrossRankLinks, r.Spans.DanglingOrigins)
 	}
+	if r.Slicing.SlicedVars > 0 || r.Slicing.InfeasibleTargets > 0 {
+		fmt.Fprintf(w, "  slicing: %d solver vars sliced away, %d targets refuted statically\n",
+			r.Slicing.SlicedVars, r.Slicing.InfeasibleTargets)
+	}
 	if r.Chain != nil {
 		fmt.Fprintf(w, "\ncross-process causal chain (+%d coverage):\n", r.Chain.Gained)
 		fmt.Fprintf(w, "  %s -> %s (rank %d solve) -> cache -> %s (rank %d hit) -> %s -> %s\n",
@@ -251,18 +278,18 @@ func RenderText(w io.Writer, r *CampaignReport) {
 	}
 	if len(r.TopSolves) > 0 {
 		fmt.Fprintf(w, "\ntop solves by coverage unlocked:\n")
-		fmt.Fprintf(w, "  %-14s %4s %5s %5s %7s %8s %8s %8s %6s\n",
-			"span", "lane", "graph", "edge", "outcome", "unlocked", "reuses", "conflicts", "cache")
+		fmt.Fprintf(w, "  %-14s %4s %5s %5s %7s %8s %8s %8s %6s %6s\n",
+			"span", "lane", "graph", "edge", "outcome", "unlocked", "reuses", "conflicts", "sliced", "cache")
 		for _, sv := range r.TopSolves {
-			fmt.Fprintf(w, "  %-14s %4d %5d %5d %7s %8d %8d %8d %6s\n",
-				sv.Span, sv.Lane, sv.Graph, sv.Edge, sv.Outcome, sv.Unlocked, sv.Reuses, sv.Conflicts, sv.Cache)
+			fmt.Fprintf(w, "  %-14s %4d %5d %5d %7s %8d %8d %8d %6d %6s\n",
+				sv.Span, sv.Lane, sv.Graph, sv.Edge, sv.Outcome, sv.Unlocked, sv.Reuses, sv.Conflicts, sv.SlicedVars, sv.Cache)
 		}
 	}
 	if len(r.Unsolved) > 0 {
 		fmt.Fprintf(w, "\nunsolved targets:\n")
-		fmt.Fprintf(w, "  %5s %5s %9s %10s\n", "graph", "edge", "attempts", "conflicts")
+		fmt.Fprintf(w, "  %5s %5s %9s %10s %10s\n", "graph", "edge", "attempts", "conflicts", "infeasible")
 		for _, u := range r.Unsolved {
-			fmt.Fprintf(w, "  %5d %5d %9d %10d\n", u.Graph, u.Edge, u.Attempts, u.Conflicts)
+			fmt.Fprintf(w, "  %5d %5d %9d %10d %10d\n", u.Graph, u.Edge, u.Attempts, u.Conflicts, u.Infeasible)
 		}
 	}
 	if len(r.Lanes) > 0 {
@@ -342,6 +369,10 @@ func RenderHTML(w io.Writer, r *CampaignReport) error {
 	fmt.Fprintf(&b, "<p>%d events, %d spans, wall %.3fs, %d vectors, %d coverage points, %d bugs.</p>\n",
 		r.Summary.Events, r.Spans.Spans, float64(r.Summary.WallNS)/1e9,
 		r.Summary.FinalVectors, r.Summary.FinalPoints, r.Summary.Bugs)
+	if r.Slicing.SlicedVars > 0 || r.Slicing.InfeasibleTargets > 0 {
+		fmt.Fprintf(&b, "<p>Cone-of-influence slicing removed <b>%d</b> solver variables and refuted <b>%d</b> targets statically (no solver dispatch paid).</p>\n",
+			r.Slicing.SlicedVars, r.Slicing.InfeasibleTargets)
+	}
 
 	b.WriteString("<h2>Coverage over time</h2>\n")
 	b.WriteString(coverageSVG(r))
@@ -357,12 +388,12 @@ func RenderHTML(w io.Writer, r *CampaignReport) error {
 	}
 
 	b.WriteString("<h2>Top solves by coverage unlocked</h2>\n")
-	b.WriteString("<table><tr><th class=\"id\">span</th><th>lane</th><th>graph</th><th>edge</th><th>outcome</th><th>cache</th><th>vars</th><th>clauses</th><th>conflicts</th><th>restarts</th><th>solve ms</th><th>unlocked</th><th>reuses</th></tr>\n")
+	b.WriteString("<table><tr><th class=\"id\">span</th><th>lane</th><th>graph</th><th>edge</th><th>outcome</th><th>cache</th><th>vars</th><th>sliced</th><th>clauses</th><th>conflicts</th><th>restarts</th><th>solve ms</th><th>unlocked</th><th>reuses</th></tr>\n")
 	for _, sv := range r.TopSolves {
-		fmt.Fprintf(&b, "<tr><td class=\"id\">%s</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%.3f</td><td>%d</td><td>%d</td></tr>\n",
+		fmt.Fprintf(&b, "<tr><td class=\"id\">%s</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%.3f</td><td>%d</td><td>%d</td></tr>\n",
 			html.EscapeString(sv.Span), sv.Lane, sv.Graph, sv.Edge,
 			html.EscapeString(sv.Outcome), html.EscapeString(sv.Cache),
-			sv.Vars, sv.Clauses, sv.Conflicts, sv.Restarts, float64(sv.SolveNS)/1e6, sv.Unlocked, sv.Reuses)
+			sv.Vars, sv.SlicedVars, sv.Clauses, sv.Conflicts, sv.Restarts, float64(sv.SolveNS)/1e6, sv.Unlocked, sv.Reuses)
 	}
 	b.WriteString("</table>\n")
 
@@ -370,10 +401,10 @@ func RenderHTML(w io.Writer, r *CampaignReport) error {
 	if len(r.Unsolved) == 0 {
 		b.WriteString("<p>Every dispatched target reached sat.</p>\n")
 	} else {
-		b.WriteString("<table><tr><th>graph</th><th>edge</th><th>attempts</th><th>conflicts</th></tr>\n")
+		b.WriteString("<table><tr><th>graph</th><th>edge</th><th>attempts</th><th>conflicts</th><th>infeasible</th></tr>\n")
 		for _, u := range r.Unsolved {
-			fmt.Fprintf(&b, "<tr><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
-				u.Graph, u.Edge, u.Attempts, u.Conflicts)
+			fmt.Fprintf(&b, "<tr><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+				u.Graph, u.Edge, u.Attempts, u.Conflicts, u.Infeasible)
 		}
 		b.WriteString("</table>\n")
 	}

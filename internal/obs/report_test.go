@@ -25,6 +25,7 @@ func reportFixture() []Event {
 	miss := spanEv("w1.i0.s1", "w1.i0.s0", SpanSolve, 1)
 	miss.Cache, miss.Outcome, miss.Graph, miss.Edge = "miss", "sat", 0, 3
 	miss.BlastNS, miss.SolveNS, miss.Conflicts = 1000, 2000, 5
+	miss.SlicedVars = 40
 	missApply := spanEv("w1.i0.s2", "w1.i0.s1", SpanPlanApply, 1)
 	missApply.Cache = "miss"
 	missDelta := spanEv("w1.i0.s3", "w1.i0.s2", SpanCovDelta, 1)
@@ -42,9 +43,11 @@ func reportFixture() []Event {
 	unsat := spanEv("w2.i0.s4", "w2.i0.s0", SpanSolve, 2)
 	unsat.Outcome, unsat.Graph, unsat.Edge = "unsat", 1, 7
 	unsat.Conflicts, unsat.SolveNS = 40, 900
+	unsat.Infeasible = true
 
 	events = append(events, miss, missApply, missDelta, hit, hitApply, hitDelta, unsat)
-	events = append(events, Event{Type: EvCampaignEnd, TNS: 300, Vectors: 1600, Points: 20})
+	events = append(events, Event{Type: EvCampaignEnd, TNS: 300, Vectors: 1600, Points: 20,
+		SlicedVars: 40, InfeasibleTargets: 1})
 	return events
 }
 
@@ -63,10 +66,22 @@ func TestBuildCampaignReport(t *testing.T) {
 	if top.Unlocked != 8 || top.Reuses != 1 {
 		t.Errorf("top solve unlocked %d reuses %d, want 8 and 1", top.Unlocked, top.Reuses)
 	}
+	if top.SlicedVars != 40 {
+		t.Errorf("top solve sliced vars %d, want 40", top.SlicedVars)
+	}
 
-	// The unsat target shows up in the unsolved table.
+	// The unsat target shows up in the unsolved table, flagged as
+	// statically refuted.
 	if len(r.Unsolved) != 1 || r.Unsolved[0].Graph != 1 || r.Unsolved[0].Edge != 7 || r.Unsolved[0].Attempts != 1 {
 		t.Errorf("unsolved = %+v", r.Unsolved)
+	}
+	if r.Unsolved[0].Infeasible != 1 {
+		t.Errorf("unsolved infeasible count %d, want 1", r.Unsolved[0].Infeasible)
+	}
+
+	// Slicing totals come off the campaign_end record.
+	if r.Slicing.SlicedVars != 40 || r.Slicing.InfeasibleTargets != 1 {
+		t.Errorf("slicing summary = %+v, want {40 1}", r.Slicing)
 	}
 
 	// Per-lane breakdown: lane 2's hit costs it no solver wall time;
@@ -113,6 +128,7 @@ func TestRenderHTMLDeterministic(t *testing.T) {
 	for _, want := range []string{
 		"<!DOCTYPE html>", "<svg", "w1.i0.s1",
 		"Cross-process causal chain", "Unsolved targets", "Per-rank solver time",
+		"Cone-of-influence slicing removed <b>40</b>",
 	} {
 		if !strings.Contains(html, want) {
 			t.Errorf("HTML report missing %q", want)
@@ -128,7 +144,8 @@ func TestRenderTextReport(t *testing.T) {
 	var buf bytes.Buffer
 	RenderText(&buf, r)
 	out := buf.String()
-	for _, want := range []string{"campaign report", "top solves", "unsolved targets", "per-rank solver time", "w1.i0.s1"} {
+	for _, want := range []string{"campaign report", "top solves", "unsolved targets", "per-rank solver time", "w1.i0.s1",
+		"slicing: 40 solver vars sliced away, 1 targets refuted statically"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("text report missing %q in:\n%s", want, out)
 		}

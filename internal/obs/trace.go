@@ -98,6 +98,14 @@ type Event struct {
 	BlastNS      int64 `json:"blast_ns,omitempty"`
 	SolveNS      int64 `json:"cdcl_ns,omitempty"`
 	Restarts     int64 `json:"restarts,omitempty"`
+	// SlicedVars is the net solver-variable saving of cone-of-influence
+	// slicing: per dispatch on solver_dispatch / solve-span events, the
+	// campaign total on campaign_end. Infeasible marks a dispatch
+	// refuted statically (no solver ran); InfeasibleTargets is its
+	// campaign_end total.
+	SlicedVars        int64 `json:"sliced_vars,omitempty"`
+	Infeasible        bool  `json:"infeasible,omitempty"`
+	InfeasibleTargets int64 `json:"infeasible_targets,omitempty"`
 
 	// Causal-span fields (type "span", plus Span on solver_dispatch so
 	// the wire cache can attribute remote hits). Span IDs are

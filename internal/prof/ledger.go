@@ -1,0 +1,209 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// DumpSchema identifies the ledger dump format.
+const DumpSchema = "symbfuzz-prof/v1"
+
+// SimEntry attributes simulator effort to one IR process. Evals is the
+// deterministic count of body executions; the Sampled* pair is the
+// wall-clock annotation (every SampleEvery-th eval is timed).
+type SimEntry struct {
+	Proc string `json:"proc"`
+	Kind string `json:"kind"` // "comb" | "seq"
+	// Level is the levelized settle depth of the process's
+	// combinational cone (max over written signals), -1 for
+	// sequential processes. Entries sharing a level form the cluster
+	// a compiled backend would evaluate together.
+	Level int    `json:"level"`
+	Evals uint64 `json:"evals"`
+
+	SampledEvals uint64 `json:"sampled_evals,omitempty"` // annotation
+	SampledNS    int64  `json:"sampled_ns,omitempty"`    // annotation
+}
+
+// SolverEntry attributes solver effort to one CFG target. All unnamed
+// fields are deterministic counts: on a plan-cache hit the origin
+// solve's stats are replayed canonically, so Clauses/Conflicts/
+// Restarts/SlicedVars are split-independent. The annotation fields —
+// the hit/miss split and wall times — are not.
+type SolverEntry struct {
+	Graph int `json:"graph"`
+	Edge  int `json:"edge"`
+
+	Dispatches int64 `json:"dispatches"`
+	Sat        int64 `json:"sat"`
+	Unsat      int64 `json:"unsat"`
+	// CacheLookups is hits+misses: the sum is trajectory-determined
+	// even though the split depends on which worker solved first.
+	CacheLookups int64 `json:"cache_lookups"`
+	Clauses      int64 `json:"clauses"`
+	Conflicts    int64 `json:"conflicts"`
+	Restarts     int64 `json:"restarts"`
+	SlicedVars   int64 `json:"sliced_vars"`
+	// Infeasible counts lattice-refuted dispatches (recorded by the
+	// engine as zero-cost unsats: no CNF was ever built).
+	Infeasible int64 `json:"infeasible,omitempty"`
+	// Unlocked is coverage points gained by plans solved for this
+	// target — the numerator of coverage-per-cost.
+	Unlocked int64 `json:"unlocked"`
+
+	CacheHits   int64 `json:"cache_hits,omitempty"`   // annotation
+	CacheMisses int64 `json:"cache_misses,omitempty"` // annotation
+	BlastNS     int64 `json:"blast_ns,omitempty"`     // annotation
+	SolveNS     int64 `json:"cdcl_ns,omitempty"`      // annotation
+}
+
+// CostPoint is one sample of the cumulative coverage-unlocked-per-cost
+// curve, taken at each solver dispatch.
+type CostPoint struct {
+	Dispatch  int64 `json:"n"`
+	Clauses   int64 `json:"clauses"`
+	Conflicts int64 `json:"conflicts"`
+	Unlocked  int64 `json:"unlocked"`
+}
+
+// RankLedger is one worker rank's complete ledger. It is the unit
+// shipped on the dist report wire (proto v3) and merged rank-ordered.
+type RankLedger struct {
+	Rank   int           `json:"rank"`
+	Sim    []SimEntry    `json:"sim,omitempty"`
+	Solver []SolverEntry `json:"solver,omitempty"`
+	Curve  []CostPoint   `json:"curve,omitempty"`
+}
+
+// Totals is the campaign-wide rollup over all rank ledgers.
+type Totals struct {
+	Evals        uint64 `json:"evals"`
+	Dispatches   int64  `json:"dispatches"`
+	Sat          int64  `json:"sat"`
+	Unsat        int64  `json:"unsat"`
+	CacheLookups int64  `json:"cache_lookups"`
+	Clauses      int64  `json:"clauses"`
+	Conflicts    int64  `json:"conflicts"`
+	Restarts     int64  `json:"restarts"`
+	SlicedVars   int64  `json:"sliced_vars"`
+	Infeasible   int64  `json:"infeasible"`
+	Unlocked     int64  `json:"unlocked"`
+}
+
+// WireEntry is the per-RPC wire ledger of the distributed coordinator:
+// one row per /v1 endpoint. The whole section is an annotation —
+// heartbeats and publishes are timer-driven, so even the call counts
+// are non-deterministic.
+type WireEntry struct {
+	RPC      string `json:"rpc"`
+	Calls    int64  `json:"calls"`
+	BytesIn  int64  `json:"bytes_in"`
+	BytesOut int64  `json:"bytes_out"`
+	WallNS   int64  `json:"wall_ns"`
+}
+
+// Dump is the serialized ledger file written by symbfuzz -prof and
+// consumed by cmd/fuzzprof.
+type Dump struct {
+	Schema  string       `json:"schema"`
+	Bench   string       `json:"bench,omitempty"`
+	Seed    int64        `json:"seed"`
+	Workers int          `json:"workers"`
+	Ranks   []RankLedger `json:"ranks"`
+	Totals  Totals       `json:"totals"`
+	Wire    []WireEntry  `json:"wire,omitempty"` // annotation
+}
+
+// NewDump assembles a campaign dump from rank ledgers. Ledgers are
+// ordered by rank and totals recomputed, so two dumps built from equal
+// ledgers are byte-equal regardless of collection order.
+func NewDump(bench string, seed int64, ranks []*RankLedger) *Dump {
+	d := &Dump{Schema: DumpSchema, Bench: bench, Seed: seed, Workers: len(ranks)}
+	sorted := make([]*RankLedger, len(ranks))
+	copy(sorted, ranks)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Rank < sorted[j].Rank })
+	for _, l := range sorted {
+		if l == nil {
+			continue
+		}
+		d.Ranks = append(d.Ranks, *l)
+		for _, s := range l.Sim {
+			d.Totals.Evals += s.Evals
+		}
+		for _, s := range l.Solver {
+			d.Totals.Dispatches += s.Dispatches
+			d.Totals.Sat += s.Sat
+			d.Totals.Unsat += s.Unsat
+			d.Totals.CacheLookups += s.CacheLookups
+			d.Totals.Clauses += s.Clauses
+			d.Totals.Conflicts += s.Conflicts
+			d.Totals.Restarts += s.Restarts
+			d.Totals.SlicedVars += s.SlicedVars
+			d.Totals.Infeasible += s.Infeasible
+			d.Totals.Unlocked += s.Unlocked
+		}
+	}
+	d.Workers = len(d.Ranks)
+	return d
+}
+
+// Canonical returns a copy of the dump with every non-deterministic
+// annotation stripped: sampled eval times, per-target wall times, the
+// cache hit/miss split, and the wire ledger. For a fixed seed the
+// canonical dump is byte-identical across runs, worker counts, and the
+// in-process vs. distributed orchestrators.
+func (d *Dump) Canonical() *Dump {
+	out := &Dump{Schema: d.Schema, Bench: d.Bench, Seed: d.Seed, Workers: d.Workers, Totals: d.Totals}
+	out.Ranks = make([]RankLedger, len(d.Ranks))
+	for i, r := range d.Ranks {
+		cr := RankLedger{Rank: r.Rank, Curve: r.Curve}
+		cr.Sim = make([]SimEntry, len(r.Sim))
+		for j, s := range r.Sim {
+			s.SampledEvals, s.SampledNS = 0, 0
+			cr.Sim[j] = s
+		}
+		cr.Solver = make([]SolverEntry, len(r.Solver))
+		for j, s := range r.Solver {
+			s.CacheHits, s.CacheMisses, s.BlastNS, s.SolveNS = 0, 0, 0, 0
+			cr.Solver[j] = s
+		}
+		out.Ranks[i] = cr
+	}
+	return out
+}
+
+// MarshalIndent renders the dump as the on-disk JSON form.
+func (d *Dump) MarshalIndent() ([]byte, error) {
+	out, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// WriteFile writes the dump to path.
+func (d *Dump) WriteFile(path string) error {
+	data, err := d.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadDump loads and schema-checks a ledger dump.
+func ReadDump(path string) (*Dump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Schema != DumpSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, d.Schema, DumpSchema)
+	}
+	return &d, nil
+}

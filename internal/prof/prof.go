@@ -1,0 +1,262 @@
+// Package prof is the campaign cost profiler: deterministic ledgers
+// attributing simulator and solver effort to named design constructs.
+//
+// A ledger is a set of event counts keyed to constructs — IR processes
+// for the simulator, (graph, edge) CFG targets for the solver — plus a
+// cumulative coverage-unlocked-per-cost curve. Counts are derived from
+// the campaign trajectory alone, so for a fixed seed the canonical
+// ledger is byte-identical across runs, across `-workers N`, and
+// across the distributed two-process protocol. Wall-clock time is
+// recorded too, but only as a non-deterministic *annotation*: sampled
+// eval time, per-dispatch blast/CDCL time, and the cache hit/miss
+// split (which depends on inter-worker timing) are stripped by
+// Canonical() and never participate in determinism comparisons.
+//
+// The Profiler type mirrors the internal/obs nil-observer contract:
+// every method is safe — and a no-op — on a nil receiver, so the
+// engine hot path pays one nil check and zero allocations when
+// profiling is off.
+package prof
+
+import (
+	"sort"
+	"time"
+)
+
+// Cache states mirrored from the obs CacheRef vocabulary.
+const (
+	CacheHit  = "hit"
+	CacheMiss = "miss"
+)
+
+// Options configures a Profiler.
+type Options struct {
+	// Rank is the worker rank the ledger is attributed to (0 for a
+	// single-engine campaign).
+	Rank int
+	// Now returns monotonic nanoseconds for wall-clock annotations.
+	// Defaults to a process-monotonic clock.
+	Now func() int64
+	// SampleEvery samples the wall time of every Nth process
+	// evaluation (0 = default of 64). Sampling keeps the profiling-on
+	// overhead bounded: counting is unconditional, timing is not.
+	SampleEvery uint64
+}
+
+// Profiler accumulates one rank's cost ledger. It is owned by a single
+// engine goroutine; a nil *Profiler is the disabled facade and every
+// method no-ops on it.
+type Profiler struct {
+	rank        int
+	now         func() int64
+	sampleEvery uint64
+
+	solver map[[2]int]*SolverEntry
+	sim    []SimEntry
+	curve  []CostPoint
+
+	cumClauses   int64
+	cumConflicts int64
+	cumUnlocked  int64
+	dispatches   int64
+
+	children []*Profiler
+}
+
+// New creates an enabled Profiler.
+func New(opts Options) *Profiler {
+	now := opts.Now
+	if now == nil {
+		base := time.Now()
+		now = func() int64 { return time.Since(base).Nanoseconds() }
+	}
+	every := opts.SampleEvery
+	if every == 0 {
+		every = 64
+	}
+	return &Profiler{
+		rank:        opts.Rank,
+		now:         now,
+		sampleEvery: every,
+		solver:      map[[2]int]*SolverEntry{},
+	}
+}
+
+// Enabled reports whether profiling is on (nil-safe).
+func (p *Profiler) Enabled() bool { return p != nil }
+
+// Rank returns the ledger's worker rank.
+func (p *Profiler) Rank() int {
+	if p == nil {
+		return 0
+	}
+	return p.rank
+}
+
+// Clock returns the annotation clock, or nil when disabled. The engine
+// injects it into the simulator so the sim package itself never reads
+// wall time (the fuzzvet timenow rule keeps sim pure).
+func (p *Profiler) Clock() func() int64 {
+	if p == nil {
+		return nil
+	}
+	return p.now
+}
+
+// SampleEvery returns the eval-time sampling stride (0 when disabled).
+func (p *Profiler) SampleEvery() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.sampleEvery
+}
+
+// ForWorker derives a per-rank Profiler sharing the clock and sampling
+// stride. The child ledger is registered with the parent so Ledgers()
+// returns the whole campaign rank-ordered; mirror of obs.ForWorker.
+func (p *Profiler) ForWorker(rank int) *Profiler {
+	if p == nil {
+		return nil
+	}
+	w := New(Options{Rank: rank, Now: p.now, SampleEvery: p.sampleEvery})
+	p.children = append(p.children, w)
+	return w
+}
+
+// DispatchCost is one solver dispatch's deterministic effort counters
+// plus its wall-clock annotations. On a plan-cache hit the stats are
+// the origin solve's canonically-replayed values, so Clauses /
+// Conflicts / Restarts / SlicedVars do not depend on which worker
+// solved first — only the Cache split and the NS fields do.
+type DispatchCost struct {
+	Sat        bool
+	Clauses    int64
+	Conflicts  int64
+	Restarts   int64
+	SlicedVars int64
+	// Infeasible marks a dispatch refuted statically by the value
+	// lattice: the engine records it as a zero-cost unsat.
+	Infeasible bool
+	Cache      string // CacheHit, CacheMiss, or "" when no cache is consulted
+	BlastNS    int64  // annotation
+	SolveNS    int64  // annotation
+}
+
+// SolverDispatch records one dispatch against a CFG target.
+func (p *Profiler) SolverDispatch(graph, edge int, c DispatchCost) {
+	if p == nil {
+		return
+	}
+	e := p.target(graph, edge)
+	e.Dispatches++
+	if c.Sat {
+		e.Sat++
+	} else {
+		e.Unsat++
+	}
+	e.Clauses += c.Clauses
+	e.Conflicts += c.Conflicts
+	e.Restarts += c.Restarts
+	e.SlicedVars += c.SlicedVars
+	if c.Infeasible {
+		e.Infeasible++
+	}
+	switch c.Cache {
+	case CacheHit:
+		e.CacheLookups++
+		e.CacheHits++
+	case CacheMiss:
+		e.CacheLookups++
+		e.CacheMisses++
+	}
+	if c.Cache != CacheHit {
+		// Cache hits replay the origin's stats; only live solves cost
+		// wall time here (annotation only — stripped by Canonical).
+		e.BlastNS += c.BlastNS
+		e.SolveNS += c.SolveNS
+	}
+	p.dispatches++
+	p.cumClauses += c.Clauses
+	p.cumConflicts += c.Conflicts
+	p.curve = append(p.curve, CostPoint{
+		Dispatch:  p.dispatches,
+		Clauses:   p.cumClauses,
+		Conflicts: p.cumConflicts,
+		Unlocked:  p.cumUnlocked,
+	})
+}
+
+// PlanUnlocked attributes coverage points gained by applying a solved
+// plan to the target whose solve produced it.
+func (p *Profiler) PlanUnlocked(graph, edge, gained int) {
+	if p == nil || gained <= 0 {
+		return
+	}
+	p.target(graph, edge).Unlocked += int64(gained)
+	p.cumUnlocked += int64(gained)
+	if n := len(p.curve); n > 0 {
+		p.curve[n-1].Unlocked = p.cumUnlocked
+	}
+}
+
+// SetSim installs the simulator-side ledger (built by the engine at
+// campaign end from the sim's per-process counters and the analysis
+// depgraph levels). Entries are stored in the given order, which the
+// engine derives from the design's process list — deterministic.
+func (p *Profiler) SetSim(entries []SimEntry) {
+	if p == nil {
+		return
+	}
+	p.sim = entries
+}
+
+func (p *Profiler) target(graph, edge int) *SolverEntry {
+	k := [2]int{graph, edge}
+	e := p.solver[k]
+	if e == nil {
+		e = &SolverEntry{Graph: graph, Edge: edge}
+		p.solver[k] = e
+	}
+	return e
+}
+
+// Ledger finalizes and returns this rank's ledger. Solver entries are
+// emitted sorted by (graph, edge) so the serialized form is canonical.
+func (p *Profiler) Ledger() *RankLedger {
+	if p == nil {
+		return nil
+	}
+	l := &RankLedger{Rank: p.rank, Sim: p.sim, Curve: p.curve}
+	keys := make([][2]int, 0, len(p.solver))
+	for k := range p.solver {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		l.Solver = append(l.Solver, *p.solver[k])
+	}
+	return l
+}
+
+// Ledgers returns the campaign's rank ledgers in rank order: the
+// children derived with ForWorker if any, else this Profiler's own
+// ledger. Call only after all workers have finished.
+func (p *Profiler) Ledgers() []*RankLedger {
+	if p == nil {
+		return nil
+	}
+	if len(p.children) == 0 {
+		return []*RankLedger{p.Ledger()}
+	}
+	out := make([]*RankLedger, 0, len(p.children))
+	for _, c := range p.children {
+		out = append(out, c.Ledger())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}

@@ -1,0 +1,195 @@
+package prof
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func fakeClock() func() int64 {
+	var t int64
+	return func() int64 {
+		t += 1_000
+		return t
+	}
+}
+
+// TestNilProfilerZeroAlloc pins the disabled fast path: every method on
+// a nil *Profiler must be a branch-and-return with no heap allocation,
+// so threading the profiler through the engine is free when it is off
+// (the obs nil-observer contract, mirrored).
+func TestNilProfilerZeroAlloc(t *testing.T) {
+	var p *Profiler
+	c := DispatchCost{Sat: true, Clauses: 10, Conflicts: 2, Cache: CacheMiss, BlastNS: 5, SolveNS: 7}
+	allocs := testing.AllocsPerRun(100, func() {
+		if p.Enabled() {
+			t.Fatal("nil profiler reports enabled")
+		}
+		_ = p.Rank()
+		_ = p.Clock()
+		_ = p.SampleEvery()
+		_ = p.ForWorker(3)
+		p.SolverDispatch(0, 1, c)
+		p.PlanUnlocked(0, 1, 4)
+		p.SetSim(nil)
+		_ = p.Ledger()
+		_ = p.Ledgers()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil Profiler allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSolverLedgerAccumulation checks the per-target arithmetic: the
+// hit/miss split, the hits-skip-NS rule, and infeasible counting.
+func TestSolverLedgerAccumulation(t *testing.T) {
+	p := New(Options{Rank: 2, Now: fakeClock()})
+	p.SolverDispatch(0, 7, DispatchCost{Sat: true, Clauses: 100, Conflicts: 9, Restarts: 1,
+		SlicedVars: 12, Cache: CacheMiss, BlastNS: 50, SolveNS: 60})
+	p.PlanUnlocked(0, 7, 3)
+	p.SolverDispatch(0, 7, DispatchCost{Sat: true, Clauses: 100, Conflicts: 9, Restarts: 1,
+		SlicedVars: 12, Cache: CacheHit, BlastNS: 999, SolveNS: 999})
+	p.SolverDispatch(0, 3, DispatchCost{Sat: false, Infeasible: true})
+
+	l := p.Ledger()
+	if l.Rank != 2 {
+		t.Fatalf("rank = %d, want 2", l.Rank)
+	}
+	if len(l.Solver) != 2 {
+		t.Fatalf("want 2 solver entries, got %d", len(l.Solver))
+	}
+	// Entries are sorted by (graph, edge): (0,3) before (0,7).
+	inf, hot := l.Solver[0], l.Solver[1]
+	if inf.Edge != 3 || inf.Unsat != 1 || inf.Infeasible != 1 || inf.Clauses != 0 {
+		t.Fatalf("infeasible entry wrong: %+v", inf)
+	}
+	want := SolverEntry{Graph: 0, Edge: 7, Dispatches: 2, Sat: 2, CacheLookups: 2,
+		Clauses: 200, Conflicts: 18, Restarts: 2, SlicedVars: 24, Unlocked: 3,
+		CacheHits: 1, CacheMisses: 1, BlastNS: 50, SolveNS: 60}
+	if hot != want {
+		t.Fatalf("hot entry:\n got %+v\nwant %+v", hot, want)
+	}
+
+	// The curve is cumulative and the plan's unlock patched the point
+	// of the dispatch that produced it.
+	if len(l.Curve) != 3 {
+		t.Fatalf("want 3 curve points, got %d", len(l.Curve))
+	}
+	if got := l.Curve[0]; got != (CostPoint{Dispatch: 1, Clauses: 100, Conflicts: 9, Unlocked: 3}) {
+		t.Fatalf("curve[0] = %+v", got)
+	}
+	if got := l.Curve[2]; got != (CostPoint{Dispatch: 3, Clauses: 200, Conflicts: 18, Unlocked: 3}) {
+		t.Fatalf("curve[2] = %+v", got)
+	}
+}
+
+// TestDumpOrderIndependence pins the NewDump contract: ledgers arriving
+// in any order produce byte-equal dumps (the distributed coordinator
+// collects rank ledgers in completion order).
+func TestDumpOrderIndependence(t *testing.T) {
+	mk := func(rank int) *RankLedger {
+		p := New(Options{Rank: rank, Now: fakeClock()})
+		p.SolverDispatch(rank, 1, DispatchCost{Sat: true, Clauses: int64(10 * (rank + 1))})
+		p.SetSim([]SimEntry{{Proc: "u.p0", Kind: "comb", Level: 1, Evals: uint64(100 * (rank + 1))}})
+		return p.Ledger()
+	}
+	a, b := mk(0), mk(1)
+	d1, err := NewDump("alu", 7, []*RankLedger{a, b}).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDump("alu", 7, []*RankLedger{b, a}).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatalf("dump depends on ledger collection order:\n%s\nvs\n%s", d1, d2)
+	}
+
+	d := NewDump("alu", 7, []*RankLedger{b, a})
+	if d.Workers != 2 || d.Totals.Clauses != 30 || d.Totals.Evals != 300 {
+		t.Fatalf("totals wrong: %+v", d)
+	}
+}
+
+// TestCanonicalStripsAnnotations checks that Canonical removes exactly
+// the non-deterministic fields — wall times, sampled times, the cache
+// split, the wire section — and nothing else.
+func TestCanonicalStripsAnnotations(t *testing.T) {
+	p := New(Options{Now: fakeClock(), SampleEvery: 1})
+	p.SolverDispatch(0, 0, DispatchCost{Sat: true, Clauses: 5, Cache: CacheMiss, BlastNS: 9, SolveNS: 9})
+	p.SetSim([]SimEntry{{Proc: "u.p0", Kind: "seq", Level: -1, Evals: 4, SampledEvals: 4, SampledNS: 77}})
+	d := NewDump("alu", 1, p.Ledgers())
+	d.Wire = []WireEntry{{RPC: "report", Calls: 1, BytesIn: 10, BytesOut: 20, WallNS: 5}}
+
+	c := d.Canonical()
+	if c.Wire != nil {
+		t.Error("canonical dump kept the wire ledger")
+	}
+	s := c.Ranks[0].Sim[0]
+	if s.SampledEvals != 0 || s.SampledNS != 0 {
+		t.Errorf("sampled annotations survive: %+v", s)
+	}
+	if s.Evals != 4 || s.Proc != "u.p0" || s.Level != -1 {
+		t.Errorf("canonical lost deterministic sim fields: %+v", s)
+	}
+	sv := c.Ranks[0].Solver[0]
+	if sv.CacheHits != 0 || sv.CacheMisses != 0 || sv.BlastNS != 0 || sv.SolveNS != 0 {
+		t.Errorf("solver annotations survive: %+v", sv)
+	}
+	if sv.Clauses != 5 || sv.CacheLookups != 1 || sv.Sat != 1 {
+		t.Errorf("canonical lost deterministic solver fields: %+v", sv)
+	}
+	// The original is untouched.
+	if d.Ranks[0].Solver[0].BlastNS != 9 {
+		t.Error("Canonical mutated its receiver")
+	}
+}
+
+// TestForWorkerLedgers checks the campaign-assembly path the par
+// orchestrator uses: children created out of rank order still come
+// back rank-ordered, and the base profiler's own (empty) ledger is
+// not included once children exist.
+func TestForWorkerLedgers(t *testing.T) {
+	base := New(Options{Now: fakeClock()})
+	w1 := base.ForWorker(1)
+	w0 := base.ForWorker(0)
+	w1.SolverDispatch(0, 0, DispatchCost{Sat: true})
+	w0.SolverDispatch(0, 0, DispatchCost{Sat: false})
+
+	ls := base.Ledgers()
+	if len(ls) != 2 || ls[0].Rank != 0 || ls[1].Rank != 1 {
+		t.Fatalf("ledgers not rank-ordered: %+v", ls)
+	}
+	if ls[0].Solver[0].Unsat != 1 || ls[1].Solver[0].Sat != 1 {
+		t.Fatalf("ledger contents swapped: %+v", ls)
+	}
+
+	solo := New(Options{Rank: 0, Now: fakeClock()})
+	solo.SolverDispatch(0, 0, DispatchCost{Sat: true})
+	if ls := solo.Ledgers(); len(ls) != 1 || ls[0].Solver[0].Sat != 1 {
+		t.Fatalf("childless profiler must return its own ledger: %+v", ls)
+	}
+}
+
+// TestDumpRoundTrip pins the file format: write, read back, compare.
+func TestDumpRoundTrip(t *testing.T) {
+	p := New(Options{Now: fakeClock()})
+	p.SolverDispatch(1, 2, DispatchCost{Sat: true, Clauses: 3, Cache: CacheMiss})
+	d := NewDump("bus_arb", 42, p.Ledgers())
+	path := filepath.Join(t.TempDir(), "prof.json")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("round trip changed the dump:\n got %+v\nwant %+v", got, d)
+	}
+	if _, err := ReadDump(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("reading a missing dump must fail")
+	}
+}

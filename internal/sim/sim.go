@@ -48,6 +48,16 @@ type Simulator struct {
 
 	// scratch for edge detection
 	inProcess bool
+
+	// profiling (nil/zero when off): per-process eval counts, plus
+	// sampled eval wall time through an injected clock — this package
+	// never reads the clock itself, keeping it pure (fuzzvet timenow).
+	profEvals   []uint64
+	profClock   func() int64
+	profEvery   uint64
+	profTick    uint64
+	profNS      []int64
+	profSamples []uint64
 }
 
 type pendingEdge struct{ proc int }
@@ -128,6 +138,50 @@ func New(d *elab.Design) (*Simulator, error) {
 
 // Design returns the elaborated design under simulation.
 func (s *Simulator) Design() *elab.Design { return s.d }
+
+// EnableProfile turns on per-process evaluation counting. clock (may
+// be nil) supplies monotonic nanoseconds for sampled eval timing — it
+// is injected by the caller so the simulator itself stays free of
+// wall-clock reads; every sampleEvery-th process evaluation is timed.
+func (s *Simulator) EnableProfile(clock func() int64, sampleEvery uint64) {
+	s.profEvals = make([]uint64, len(s.d.Procs))
+	s.profNS = make([]int64, len(s.d.Procs))
+	s.profSamples = make([]uint64, len(s.d.Procs))
+	s.profClock = clock
+	if sampleEvery == 0 {
+		sampleEvery = 64
+	}
+	s.profEvery = sampleEvery
+}
+
+// ProfileCounts returns the per-process profile: total body
+// executions, sampled-eval wall nanoseconds, and how many evals were
+// sampled. All three are indexed by process; nil when profiling is off.
+func (s *Simulator) ProfileCounts() (evals []uint64, sampledNS []int64, sampled []uint64) {
+	return s.profEvals, s.profNS, s.profSamples
+}
+
+// execProc runs one process body, attributing the eval to the profile
+// when enabled. The disabled cost is a single nil check.
+func (s *Simulator) execProc(pi int) {
+	body := s.d.Procs[pi].Body
+	if s.profEvals != nil {
+		s.profEvals[pi]++
+		s.profTick++
+		if s.profClock != nil && s.profTick%s.profEvery == 0 {
+			t0 := s.profClock()
+			for _, st := range body {
+				st.Exec(s)
+			}
+			s.profNS[pi] += s.profClock() - t0
+			s.profSamples[pi]++
+			return
+		}
+	}
+	for _, st := range body {
+		st.Exec(s)
+	}
+}
 
 // Cycle returns the number of completed clock cycles.
 func (s *Simulator) Cycle() uint64 { return s.cycle }
@@ -238,13 +292,10 @@ func (s *Simulator) Settle() error {
 			pi := s.queue[0]
 			s.queue = s.queue[1:]
 			s.queued[pi] = false
-			p := s.d.Procs[pi]
-			for _, st := range p.Body {
-				st.Exec(s)
-			}
+			s.execProc(pi)
 			steps++
 			if steps > limit*16 {
-				return fmt.Errorf("%w (process %s)", ErrCombLoop, p.Name)
+				return fmt.Errorf("%w (process %s)", ErrCombLoop, s.d.Procs[pi].Name)
 			}
 		}
 		if len(s.pendEdges) == 0 {
@@ -260,9 +311,7 @@ func (s *Simulator) Settle() error {
 				continue
 			}
 			seen[e.proc] = true
-			for _, st := range s.d.Procs[e.proc].Body {
-				st.Exec(s)
-			}
+			s.execProc(e.proc)
 		}
 		nba := s.nba
 		s.nba = s.nba[:0]

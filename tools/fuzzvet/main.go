@@ -8,7 +8,7 @@
 //     order (channel sends, goroutine launches, method calls on
 //     loop-external receivers, unsorted appends to loop-external
 //     slices) in the deterministic packages (cfg, core, uvm, par,
-//     dist). Order-insensitive bodies — map/set inserts, counter
+//     dist, prof). Order-insensitive bodies — map/set inserts, counter
 //     sums, deletes — are fine. A loop that is genuinely
 //     order-insensitive despite matching a pattern can be waived with
 //     a `//fuzzvet:ordered` comment on or directly above the range
@@ -43,14 +43,15 @@ import (
 )
 
 // rangemapPkgs are the packages whose map iteration must not leak
-// order: they produce reports, traces, or solver queries that must be
-// identical across runs.
+// order: they produce reports, traces, cost ledgers, or solver queries
+// that must be identical across runs.
 var rangemapPkgs = map[string]bool{
 	"internal/cfg":  true,
 	"internal/core": true,
 	"internal/uvm":  true,
 	"internal/par":  true,
 	"internal/dist": true,
+	"internal/prof": true,
 }
 
 // timenowPkgs are the pure packages: nothing in them may read the wall

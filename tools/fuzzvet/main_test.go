@@ -38,6 +38,28 @@ func TestBadFixture(t *testing.T) {
 	}
 }
 
+// TestLedgerFixture vets the cost-ledger fixture under the
+// internal/prof scope: both order-leaking ledger ranges are caught,
+// the sorted collect-then-index idiom passes, and the wall-clock
+// sampling prof legitimately does draws no timenow finding (prof is
+// deterministic, not pure — its sampled timings are annotations).
+func TestLedgerFixture(t *testing.T) {
+	fs, err := vetFile(filepath.Join("testdata", "ledger.go"), "internal/prof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := countByRule(fs)
+	if got["rangemap"] != 2 {
+		t.Errorf("rangemap: %d findings, want 2 (unsorted append + external emit)\nall: %v", got["rangemap"], fs)
+	}
+	if got["timenow"] != 0 {
+		t.Errorf("timenow fired in internal/prof (sampled timings are allowed): %v", fs)
+	}
+	if len(fs) != 2 {
+		t.Errorf("total findings = %d, want 2: %v", len(fs), fs)
+	}
+}
+
 // TestGoodFixture checks the clean-idiom file produces zero findings.
 func TestGoodFixture(t *testing.T) {
 	fs, err := vetFile(filepath.Join("testdata", "good.go"), "internal/cfg")
