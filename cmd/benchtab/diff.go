@@ -54,6 +54,12 @@ var diffMetrics = map[string][]metricDef{
 	"symbfuzz-bench-dist/v1": {
 		{"rows.*.wire_overhead", false},
 	},
+	"symbfuzz-bench-sim/v1": {
+		{"rows.*.interp_vectors_per_sec", true},
+		{"rows.*.compiled_vectors_per_sec", true},
+		{"rows.*.speedup", true},
+		{"best_speedup", true},
+	},
 }
 
 // runDiff compares baseline -> candidate. Returns true when at least

@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|par|dist|flight|slice|prof|all (par, dist, flight, slice and prof never run under all)")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|par|dist|flight|slice|prof|sim|all (par, dist, flight, slice, prof and sim never run under all)")
 		budget     = flag.Uint64("budget", 0, "vector budget per IP run (0 = defaults)")
 		soc        = flag.Uint64("soc-budget", 0, "vector budget for SoC curves")
 		runs       = flag.Int("runs", 0, "runs averaged (figure 4, table 2)")
@@ -47,6 +47,9 @@ func main() {
 		sliceOut   = flag.String("slice-out", "BENCH_slice.json", "slicing record output path (with -exp slice)")
 		profOut    = flag.String("prof-out", "BENCH_prof.json", "profiler-overhead record output path (with -exp prof)")
 		profRuns   = flag.Int("prof-runs", 3, "interleaved runs per arm for -exp prof")
+		simOut     = flag.String("sim-out", "BENCH_sim.json", "backend-throughput record output path (with -exp sim)")
+		simCycles  = flag.Int("sim-cycles", 2000, "vectors per design per run for -exp sim")
+		simRuns    = flag.Int("sim-runs", 3, "interleaved runs per arm for -exp sim")
 		diffBase   = flag.String("diff", "", "baseline bench record for the perf-regression gate")
 		diffWith   = flag.String("with", "", "candidate bench record to compare against -diff")
 		warnTol    = flag.Float64("warn-tol", 0.10, "relative regression that prints a warning (with -diff)")
@@ -114,6 +117,17 @@ func main() {
 	if *exp == "prof" {
 		if err := runProf(*seed, *profRuns, *profOut, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab: prof:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// And for sim: it races the interpreter against the compiled
+	// backend on raw stepping throughput, so it is wall-clock-sensitive
+	// too.
+	if *exp == "sim" {
+		if err := runSimExp(*simCycles, *simRuns, *seed, *simOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab: sim:", err)
 			os.Exit(1)
 		}
 		return

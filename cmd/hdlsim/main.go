@@ -15,16 +15,18 @@ import (
 	symbfuzz "repro"
 	"repro/internal/logic"
 	"repro/internal/sim"
+	"repro/internal/uvm"
 	"repro/internal/vcd"
 )
 
 func main() {
 	var (
-		srcF   = flag.String("src", "", "HDL source file")
-		top    = flag.String("top", "", "top module")
-		cycles = flag.Int("cycles", 100, "clock cycles to simulate")
-		seed   = flag.Int64("seed", 1, "stimulus seed")
-		vcdOut = flag.String("vcd", "", "VCD output file (optional)")
+		srcF    = flag.String("src", "", "HDL source file")
+		top     = flag.String("top", "", "top module")
+		cycles  = flag.Int("cycles", 100, "clock cycles to simulate")
+		seed    = flag.Int64("seed", 1, "stimulus seed")
+		vcdOut  = flag.String("vcd", "", "VCD output file (optional)")
+		simBack = flag.String("sim", "interp", "simulation backend: interp or compiled")
 	)
 	flag.Parse()
 	if *srcF == "" || *top == "" {
@@ -39,7 +41,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	s, err := symbfuzz.NewSimulator(d)
+	s, err := uvm.NewBackend(d, *simBack)
 	if err != nil {
 		fail(err)
 	}
@@ -56,7 +58,7 @@ func main() {
 		for _, sig := range d.Signals {
 			w.Declare(sig.Name, sig.Width)
 		}
-		s.OnCycle(func(sm *sim.Simulator) {
+		s.OnCycle(func(sm sim.DUV) {
 			_ = w.Sample(sm.Cycle(), func(name string) logic.BV {
 				idx := sm.SignalIndex(name)
 				if idx < 0 {

@@ -47,6 +47,12 @@ type Config struct {
 	Seed int64
 	// ResetCycles for the reset sequence (default 2).
 	ResetCycles int
+	// SimBackend selects the DUV implementation: "" or "interp" for
+	// the event-driven four-state interpreter, "compiled" for the
+	// closure-compiled backend (internal/simc). The backends are
+	// observationally identical, so a campaign's Report does not depend
+	// on the choice — only its wall-clock does.
+	SimBackend string
 	// CFG options for static graph construction.
 	CFG cfg.Options
 	// UseSnapshots selects fast snapshot rollback; when false the
@@ -329,6 +335,7 @@ func New(d *elab.Design, properties []*props.Property, c Config) (*Engine, error
 		Seed:        c.Seed,
 		Properties:  properties,
 		ResetCycles: c.ResetCycles,
+		SimBackend:  c.SimBackend,
 	})
 	if err != nil {
 		return nil, err
@@ -392,7 +399,7 @@ func New(d *elab.Design, properties []*props.Property, c Config) (*Engine, error
 	cov.Attach(env.Sim, mon)
 	// Cycles are counted monotonically: snapshot restores rewind the
 	// simulator's own clock but not the amount of simulation performed.
-	env.Sim.OnCycle(func(*sim.Simulator) { e.report.Cycles++ })
+	env.Sim.OnCycle(func(sim.DUV) { e.report.Cycles++ })
 	if c.DumpVCD {
 		e.vcdWriter = vcd.NewWriter(&e.vcdBuf)
 		for _, g := range part.Graphs {
@@ -400,7 +407,7 @@ func New(d *elab.Design, properties []*props.Property, c Config) (*Engine, error
 				e.vcdWriter.Declare(cr.Sig.Name, cr.Sig.Width)
 			}
 		}
-		env.Sim.OnCycle(func(s *sim.Simulator) {
+		env.Sim.OnCycle(func(s sim.DUV) {
 			_ = e.vcdWriter.Sample(s.Cycle(), func(name string) logic.BV {
 				idx := s.SignalIndex(name)
 				if idx < 0 {

@@ -24,17 +24,17 @@ type Monitor interface {
 	// Branch receives branch-arm events (sim tracer).
 	Branch(id, arm int)
 	// Sample is called once per completed cycle.
-	Sample(s *sim.Simulator)
+	Sample(s sim.DUV)
 	// Points is the current number of distinct coverage points.
 	Points() int
 	// Name identifies the model.
 	Name() string
 }
 
-// Attach wires a monitor to a simulator (tracer + cycle listener).
-func Attach(s *sim.Simulator, m Monitor) {
+// Attach wires a monitor to a DUV backend (tracer + cycle listener).
+func Attach(s sim.DUV, m Monitor) {
 	s.SetTracer(tracerFunc(m.Branch))
-	s.OnCycle(func(sm *sim.Simulator) { m.Sample(sm) })
+	s.OnCycle(func(sm sim.DUV) { m.Sample(sm) })
 }
 
 type tracerFunc func(id, arm int)
@@ -151,7 +151,7 @@ func (c *CFGCov) drainEvents() {
 }
 
 // nodeKeyOf renders a cluster's current control-register valuation.
-func nodeKeyOf(g *cfg.Graph, s *sim.Simulator) string {
+func nodeKeyOf(g *cfg.Graph, s sim.DUV) string {
 	key := ""
 	for _, cr := range g.Regs {
 		key += s.Get(cr.Sig.Index).BitString() + "|"
@@ -161,7 +161,7 @@ func nodeKeyOf(g *cfg.Graph, s *sim.Simulator) string {
 
 // Sample implements Monitor: map the cycle onto every cluster graph
 // (Alg. 1 l.9) and record the interaction tuples.
-func (c *CFGCov) Sample(s *sim.Simulator) {
+func (c *CFGCov) Sample(s sim.DUV) {
 	for gi, g := range c.P.Graphs {
 		key := nodeKeyOf(g, s)
 		nid := -1
@@ -318,7 +318,7 @@ func (c *CFGCov) ResetPosition() {
 // current state after a checkpoint restore, so the first transition out
 // of the restored state is credited as an edge without recording the
 // rollback jump itself.
-func (c *CFGCov) SyncPosition(s *sim.Simulator) {
+func (c *CFGCov) SyncPosition(s sim.DUV) {
 	for gi, g := range c.P.Graphs {
 		key := nodeKeyOf(g, s)
 		c.prevKey[gi] = key
@@ -353,7 +353,7 @@ func (m *MuxCov) Name() string { return "rfuzz-mux" }
 func (m *MuxCov) Branch(id, arm int) { m.Seen[[2]int{id, arm}] = true }
 
 // Sample implements Monitor (mux coverage needs no cycle sampling).
-func (m *MuxCov) Sample(*sim.Simulator) {}
+func (m *MuxCov) Sample(sim.DUV) {}
 
 // Points implements Monitor.
 func (m *MuxCov) Points() int { return len(m.Seen) }
@@ -390,7 +390,7 @@ func (r *RegCov) Name() string { return "difuzzrtl-reg" }
 func (r *RegCov) Branch(int, int) {}
 
 // Sample implements Monitor.
-func (r *RegCov) Sample(s *sim.Simulator) {
+func (r *RegCov) Sample(s sim.DUV) {
 	for i, idx := range r.Regs {
 		r.Seen[i][s.Get(idx).Key()] = true
 	}
@@ -435,7 +435,7 @@ func (e *EdgeHashCov) Branch(id, arm int) {
 }
 
 // Sample implements Monitor.
-func (e *EdgeHashCov) Sample(*sim.Simulator) { e.prev = 0 }
+func (e *EdgeHashCov) Sample(sim.DUV) { e.prev = 0 }
 
 // Points implements Monitor.
 func (e *EdgeHashCov) Points() int { return e.hits }
@@ -463,7 +463,7 @@ func (m *Multi) Branch(id, arm int) {
 }
 
 // Sample implements Monitor.
-func (m *Multi) Sample(s *sim.Simulator) {
+func (m *Multi) Sample(s sim.DUV) {
 	for _, mm := range m.Monitors {
 		mm.Sample(s)
 	}

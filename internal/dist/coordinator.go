@@ -277,6 +277,7 @@ func specConfig(s CampaignSpec, rank int) core.Config {
 		UseSnapshots:          s.UseSnapshots,
 		ContinueAfterCoverage: s.ContinueAfterCoverage,
 		DisableSlicing:        s.DisableSlicing,
+		SimBackend:            s.SimBackend,
 	}
 	if s.Workers > 1 {
 		wc.Shard = core.ShardSpec{Rank: rank, Workers: s.Workers}

@@ -765,6 +765,27 @@ func Mux(cond, t, f BV) BV {
 	return out.mask()
 }
 
+// FromWords builds a vector of the given width from aval/bval word
+// planes listed LSB-word first. The planes are copied and bits beyond
+// width are masked off, so the result is independent of the inputs and
+// upholds the package invariant that stored vectors carry no garbage in
+// the top word. Missing high words read as zero (known 0 bits). This is
+// the boundary between the immutable BV world and word-packed state
+// arenas (the compiled simulation backend).
+func FromWords(width int, a, b []uint64) BV {
+	v := newRaw(width)
+	copy(v.a, a)
+	copy(v.b, b)
+	return v.mask()
+}
+
+// Words exposes the vector's aval/bval word planes, LSB-word first.
+// The returned slices alias the vector's backing store and MUST NOT be
+// modified — BV values are shared structurally on the assumption of
+// immutability. Intended for bulk state transfer (snapshot packing);
+// use FromWords to go the other way.
+func (v BV) Words() (a, b []uint64) { return v.a, v.b }
+
 // Rand returns a fully defined random vector using the given source.
 func Rand(width int, next func() uint64) BV {
 	out := newRaw(width)

@@ -540,3 +540,51 @@ func TestTruthyEdgeCases(t *testing.T) {
 		t.Error("high set bit")
 	}
 }
+
+func TestFromWordsRoundTrip(t *testing.T) {
+	cases := []BV{
+		MustFromString("10xz"),
+		X(1),
+		Zero(64),
+		Ones(64),
+		MustFromString("1").Concat(X(70)).Concat(MustFromString("z0")),
+		FromUint64(37, 0x1234_5678_9a),
+	}
+	for _, v := range cases {
+		a, b := v.Words()
+		got := FromWords(v.Width(), a, b)
+		if !got.Eq4(v) {
+			t.Errorf("FromWords(Words(%s)) = %s", v, got)
+		}
+	}
+}
+
+func TestFromWordsCopiesAndMasks(t *testing.T) {
+	a := []uint64{^uint64(0), ^uint64(0)}
+	b := []uint64{0, ^uint64(0)}
+	v := FromWords(70, a, b)
+	// Bits 64..69 come from word 1 (all-X there); bit 70+ is masked off.
+	if v.Bit(0) != L1 || v.Bit(63) != L1 || v.Bit(64) != LX || v.Bit(69) != LX {
+		t.Fatalf("unexpected bits in %s", v)
+	}
+	va, vb := v.Words()
+	if va[1] != topMask(70)&a[1] || vb[1] != topMask(70)&b[1] {
+		t.Error("top word must be masked")
+	}
+	// Mutating the inputs must not affect the vector.
+	a[0] = 0
+	b[1] = 0
+	if v.Bit(0) != L1 || v.Bit(69) != LX {
+		t.Error("FromWords must copy its inputs")
+	}
+}
+
+func TestFromWordsShortPlanesZeroExtend(t *testing.T) {
+	v := FromWords(100, []uint64{7}, []uint64{4})
+	if v.Bit(0) != L1 || v.Bit(1) != L1 || v.Bit(2) != LX {
+		t.Fatalf("low word wrong: %s", v)
+	}
+	if v.Bit(64) != L0 || v.Bit(99) != L0 {
+		t.Error("missing high words must read as known 0")
+	}
+}

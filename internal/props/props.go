@@ -338,7 +338,7 @@ type Checker struct {
 	history    map[string][]logic.BV // ring buffers
 	histPos    int
 	histFilled int
-	sim        *sim.Simulator
+	sim        sim.DUV
 	violations []Violation
 	// FirstOnly reports each property at most once.
 	FirstOnly bool
@@ -387,10 +387,11 @@ func (c *Checker) AddProperty(p *Property) {
 	c.histFilled = 0
 }
 
-// Bind attaches the checker to a simulator; it samples on every cycle.
-func (c *Checker) Bind(s *sim.Simulator) {
+// Bind attaches the checker to a DUV backend; it samples on every
+// cycle.
+func (c *Checker) Bind(s sim.DUV) {
 	c.sim = s
-	s.OnCycle(func(*sim.Simulator) { c.Sample() })
+	s.OnCycle(func(sim.DUV) { c.Sample() })
 }
 
 // Val implements Ctx.

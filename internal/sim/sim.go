@@ -22,8 +22,11 @@ var ErrCombLoop = errors.New("sim: combinational loop did not settle")
 // to import elab.
 type Tracer = elab.Tracer
 
-// CycleListener is called after each completed clock cycle.
-type CycleListener func(s *Simulator)
+// CycleListener is called after each completed clock cycle. It
+// receives the DUV interface rather than the concrete simulator so the
+// same listeners (coverage sampling, property checking, VCD dumping)
+// work unchanged against the compiled backend.
+type CycleListener func(s DUV)
 
 // Simulator executes an elaborated design.
 type Simulator struct {
@@ -521,39 +524,7 @@ func DetectClockReset(d *elab.Design) ResetInfo {
 // ApplyReset asserts the detected reset for the given number of cycles
 // and deasserts it, leaving the design in its deterministic start state.
 func (s *Simulator) ApplyReset(info ResetInfo, cycles int) error {
-	if info.Reset >= 0 {
-		v := logic.Zero(1)
-		if !info.ActiveLow {
-			v = logic.Ones(1)
-		}
-		s.apply(info.Reset, v)
-		if err := s.Settle(); err != nil {
-			return err
-		}
-	}
-	if info.Clock >= 0 {
-		// Start the clock from a defined low level.
-		s.apply(info.Clock, logic.Zero(1))
-		if err := s.Settle(); err != nil {
-			return err
-		}
-		for i := 0; i < cycles; i++ {
-			if err := s.Tick(info.Clock); err != nil {
-				return err
-			}
-		}
-	}
-	if info.Reset >= 0 {
-		v := logic.Ones(1)
-		if !info.ActiveLow {
-			v = logic.Zero(1)
-		}
-		s.apply(info.Reset, v)
-		if err := s.Settle(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return RunReset(s, info, cycles)
 }
 
 // ---- snapshots (checkpoint substrate, §4.5) ----

@@ -326,7 +326,7 @@ func TestSnapshotRestore(t *testing.T) {
 func TestCycleListener(t *testing.T) {
 	s := newSim(t, counterSrc, "counter")
 	n := 0
-	s.OnCycle(func(*Simulator) { n++ })
+	s.OnCycle(func(DUV) { n++ })
 	info := DetectClockReset(s.Design())
 	_ = s.ApplyReset(info, 2)
 	for i := 0; i < 3; i++ {
@@ -531,7 +531,7 @@ func TestPokePeekErrors(t *testing.T) {
 func TestAdvanceCycleFiresListeners(t *testing.T) {
 	s := newSim(t, combSrc, "comb")
 	n := 0
-	s.OnCycle(func(*Simulator) { n++ })
+	s.OnCycle(func(DUV) { n++ })
 	s.AdvanceCycle()
 	s.AdvanceCycle()
 	if n != 2 || s.Cycle() != 2 {
@@ -556,5 +556,119 @@ func TestResizeOnApply(t *testing.T) {
 	}
 	if got := peekU(t, s, "a"); got != 0xFF {
 		t.Errorf("a = %#x, want truncated 0xFF", got)
+	}
+}
+
+// --- four-state truth tables ---------------------------------------
+//
+// These pin the 0/1/X/Z propagation rules for the core operators as
+// observed through the simulator, edge by edge. The compiled backend
+// (internal/simc) reimplements every one of these kernels on packed
+// word planes, so any drift in the tables here is exactly the kind of
+// bug the differential harness must catch — keeping the interpreter's
+// behaviour pinned makes the reference itself trustworthy.
+
+const gatesSrc = `
+module gates (input a, input b, input sel,
+              output and_o, output or_o, output xor_o,
+              output mux_o, output eq_o, output lt_o);
+  assign and_o = a & b;
+  assign or_o = a | b;
+  assign xor_o = a ^ b;
+  assign mux_o = sel ? a : b;
+  assign eq_o = a == b;
+  assign lt_o = a < b;
+endmodule`
+
+// bit4 maps a table character to a 1-bit four-state value.
+func bit4(t *testing.T, c byte) logic.BV {
+	t.Helper()
+	switch c {
+	case '0':
+		return logic.Zero(1)
+	case '1':
+		return logic.Ones(1)
+	case 'x':
+		return logic.X(1)
+	case 'z':
+		return logic.Z(1)
+	}
+	t.Fatalf("bad table bit %q", c)
+	return logic.BV{}
+}
+
+func TestFourStateTruthTables(t *testing.T) {
+	s := newSim(t, gatesSrc, "gates")
+	const states = "01xz"
+	// Rows are indexed [a][b] in state order 0,1,x,z. A Z input to a
+	// gate behaves as unknown: it can never dominate, so it
+	// contaminates exactly like X. 0 dominates AND, 1 dominates OR,
+	// XOR and the comparisons contaminate on any unknown operand.
+	tables := []struct {
+		out  string
+		want [4]string
+	}{
+		{"and_o", [4]string{"0000", "01xx", "0xxx", "0xxx"}},
+		{"or_o", [4]string{"01xx", "1111", "x1xx", "x1xx"}},
+		{"xor_o", [4]string{"01xx", "10xx", "xxxx", "xxxx"}},
+		{"eq_o", [4]string{"10xx", "01xx", "xxxx", "xxxx"}},
+		{"lt_o", [4]string{"01xx", "00xx", "xxxx", "xxxx"}},
+	}
+	for ai := 0; ai < len(states); ai++ {
+		for bi := 0; bi < len(states); bi++ {
+			ac, bc := states[ai], states[bi]
+			mustPoke(t, s, "a", bit4(t, ac))
+			mustPoke(t, s, "b", bit4(t, bc))
+			for _, tb := range tables {
+				got, err := s.Peek(tb.out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := bit4(t, tb.want[ai][bi])
+				if !got.Eq4(want) {
+					t.Errorf("%s(a=%c, b=%c) = %s, want %s", tb.out, ac, bc, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFourStateMuxTable(t *testing.T) {
+	s := newSim(t, gatesSrc, "gates")
+	const states = "01xz"
+	for si := 0; si < len(states); si++ {
+		for ai := 0; ai < len(states); ai++ {
+			for bi := 0; bi < len(states); bi++ {
+				sc, ac, bc := states[si], states[ai], states[bi]
+				mustPoke(t, s, "sel", bit4(t, sc))
+				mustPoke(t, s, "a", bit4(t, ac))
+				mustPoke(t, s, "b", bit4(t, bc))
+				var want logic.BV
+				switch sc {
+				case '1':
+					// A known select passes the branch through
+					// verbatim — including Z.
+					want = bit4(t, ac)
+				case '0':
+					want = bit4(t, bc)
+				default:
+					// Unknown select merges the branches: a bit
+					// survives only when both sides agree on a known
+					// value; disagreeing or Z/X bits collapse to X.
+					if ac == bc && (ac == '0' || ac == '1') {
+						want = bit4(t, ac)
+					} else {
+						want = logic.X(1)
+					}
+				}
+				got, err := s.Peek("mux_o")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Eq4(want) {
+					t.Errorf("mux(sel=%c, a=%c, b=%c) = %s, want %s", sc, ac, bc, got, want)
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,375 @@
+// Package diff is the differential proof obligation for the compiled
+// simulation backend: it runs the four-state interpreter (internal/sim)
+// and the compiled machine (internal/simc) in lockstep on the same
+// elaborated design and the same stimulus — including injected X/Z —
+// and demands identical values, identical branch-event streams, and
+// identical snapshots cycle for cycle. The designs come from two
+// sources: every builtin benchmark, and a seeded generator that emits
+// random but well-formed IR directly (this file), covering every
+// expression, target, and statement form the elaborator can produce.
+package diff
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/elab"
+	"repro/internal/logic"
+)
+
+// genConfig bounds the shape of a generated design.
+type genConfig struct {
+	Inputs  int // data inputs (plus the implicit clock)
+	Regs    int
+	Combs   int
+	Mems    int
+	MaxW    int // widest signal; crossing 64 exercises multi-word paths
+	Depth   int // expression tree depth
+	XConsts bool
+}
+
+func defaultGen(rng *rand.Rand) genConfig {
+	return genConfig{
+		Inputs:  2 + rng.Intn(3),
+		Regs:    2 + rng.Intn(3),
+		Combs:   2 + rng.Intn(4),
+		Mems:    rng.Intn(2),
+		MaxW:    70,
+		Depth:   3,
+		XConsts: true,
+	}
+}
+
+// builder accumulates a design plus the read/write bookkeeping the
+// simulator's sensitivity construction depends on.
+type builder struct {
+	rng *rand.Rand
+	cfg genConfig
+	d   *elab.Design
+
+	// per-process accumulation
+	reads    map[int]bool
+	memReads map[int]bool
+}
+
+// Generate builds a random, deterministic (same seed, same design),
+// acyclic elaborated design: combinational process i only reads
+// inputs, registers, and combinational signals defined by earlier
+// processes, so the dependency graph is a DAG by construction and the
+// combinational fixpoint is unique.
+func Generate(seed int64) *elab.Design {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := defaultGen(rng)
+	b := &builder{
+		rng: rng,
+		cfg: cfg,
+		d: &elab.Design{
+			Name:   fmt.Sprintf("rand_%d", seed),
+			Top:    "rand",
+			ByName: map[string]*elab.Signal{},
+		},
+	}
+
+	pickW := func() int {
+		// Bias toward word-boundary widths: 1, small, 63..66, MaxW.
+		switch b.rng.Intn(5) {
+		case 0:
+			return 1
+		case 1:
+			return 1 + b.rng.Intn(8)
+		case 2:
+			return 63 + b.rng.Intn(4)
+		default:
+			return 1 + b.rng.Intn(cfg.MaxW)
+		}
+	}
+
+	clk := b.addSignal("clk", 1, elab.SigInput, false)
+	var inputs, regs, combs []int
+	for i := 0; i < cfg.Inputs; i++ {
+		inputs = append(inputs, b.addSignal(fmt.Sprintf("in%d", i), pickW(), elab.SigInput, false))
+	}
+	for i := 0; i < cfg.Regs; i++ {
+		regs = append(regs, b.addSignal(fmt.Sprintf("r%d", i), pickW(), elab.SigInternal, true))
+	}
+	for i := 0; i < cfg.Combs; i++ {
+		kind := elab.SigInternal
+		if i == cfg.Combs-1 {
+			kind = elab.SigOutput
+		}
+		combs = append(combs, b.addSignal(fmt.Sprintf("c%d", i), pickW(), kind, false))
+	}
+	for i := 0; i < cfg.Mems; i++ {
+		b.d.Memories = append(b.d.Memories, &elab.Memory{
+			Index: i,
+			Name:  fmt.Sprintf("m%d", i),
+			Width: 1 + b.rng.Intn(cfg.MaxW),
+			Depth: 4 + b.rng.Intn(12),
+		})
+	}
+
+	// Combinational processes: c_i = f(inputs, regs, c_0..c_{i-1}).
+	for i, ci := range combs {
+		pool := append(append([]int{}, inputs...), regs...)
+		pool = append(pool, combs[:i]...)
+		b.beginProc(pool)
+		w := b.d.Signals[ci].Width
+		body := []elab.Stmt{elab.SAssign{LHS: elab.TSig{Idx: ci, W: w}, RHS: b.expr(pool, w, cfg.Depth)}}
+		// Optionally overwrite parts of the freshly assigned value
+		// through a branch, exercising RMW targets and branch tracing.
+		if b.rng.Intn(2) == 0 {
+			body = append(body, b.branchStmt(pool, ci, false))
+		}
+		b.endProc(fmt.Sprintf("comb_c%d", i), elab.ProcComb, nil, body, []int{ci})
+	}
+
+	// Sequential processes: one per register, posedge clk, NBA writes.
+	for i, ri := range regs {
+		pool := append(append([]int{}, inputs...), regs...)
+		pool = append(pool, combs...)
+		b.beginProc(pool)
+		w := b.d.Signals[ri].Width
+		var body []elab.Stmt
+		switch b.rng.Intn(3) {
+		case 0:
+			body = append(body, elab.SAssign{LHS: elab.TSig{Idx: ri, W: w}, RHS: b.expr(pool, w, cfg.Depth), NB: true})
+		case 1:
+			body = append(body, b.branchStmt(pool, ri, true))
+		default:
+			body = append(body,
+				elab.SAssign{LHS: elab.TSig{Idx: ri, W: w}, RHS: b.expr(pool, w, cfg.Depth), NB: true},
+				b.branchStmt(pool, ri, true))
+		}
+		// One register per memory also drives a write port.
+		if i < len(b.d.Memories) {
+			mem := b.d.Memories[i]
+			body = append(body, elab.SAssign{
+				LHS: elab.TMem{Mem: mem.Index, W: mem.Width, Depth: mem.Depth, Addr: b.expr(pool, 4, 1)},
+				RHS: b.expr(pool, mem.Width, cfg.Depth),
+				NB:  true,
+			})
+			b.memReads[mem.Index] = true
+		}
+		b.endProc(fmt.Sprintf("seq_r%d", i), elab.ProcSeq,
+			[]elab.ClockEdge{{Signal: clk, Posedge: true}}, body, []int{ri})
+	}
+	return b.d
+}
+
+func (b *builder) addSignal(name string, w int, kind elab.SignalKind, isReg bool) int {
+	idx := len(b.d.Signals)
+	s := &elab.Signal{Index: idx, Name: name, Width: w, Kind: kind, IsReg: isReg}
+	b.d.Signals = append(b.d.Signals, s)
+	b.d.ByName[name] = s
+	return idx
+}
+
+func (b *builder) beginProc(pool []int) {
+	b.reads = map[int]bool{}
+	b.memReads = map[int]bool{}
+	_ = pool
+}
+
+func (b *builder) endProc(name string, kind elab.ProcessKind, edges []elab.ClockEdge, body []elab.Stmt, writes []int) {
+	p := &elab.Process{
+		Index:  len(b.d.Procs),
+		Name:   name,
+		Kind:   kind,
+		Edges:  edges,
+		Body:   body,
+		Writes: writes,
+	}
+	// Deterministic read order: ascending signal index.
+	for i := range b.d.Signals {
+		if b.reads[i] {
+			p.Reads = append(p.Reads, i)
+		}
+	}
+	for i := range b.d.Memories {
+		if b.memReads[i] {
+			p.MemReads = append(p.MemReads, i)
+		}
+	}
+	b.d.Procs = append(b.d.Procs, p)
+}
+
+func (b *builder) branch(kind string, arms int) int {
+	id := b.d.Branches
+	b.d.Branches++
+	b.d.BranchInfo = append(b.d.BranchInfo, elab.BranchInfo{
+		ID: id, Where: fmt.Sprintf("gen.%s%d", kind, id), Kind: kind, Arms: arms,
+		Proc: len(b.d.Procs),
+	})
+	return id
+}
+
+// branchStmt emits an SIf or SCase whose arms partially rewrite the
+// given signal through TSig/TRange/TBit/TCat targets.
+func (b *builder) branchStmt(pool []int, sig int, nb bool) elab.Stmt {
+	if b.rng.Intn(2) == 0 {
+		return elab.SIf{
+			BranchID: b.branch("if", 3),
+			Cond:     b.expr(pool, 1, b.cfg.Depth-1),
+			Then:     []elab.Stmt{b.assignStmt(pool, sig, nb)},
+			Else:     []elab.Stmt{b.assignStmt(pool, sig, nb)},
+		}
+	}
+	subjW := 2 + b.rng.Intn(3)
+	items := make([]elab.SCaseItem, 1+b.rng.Intn(3))
+	for i := range items {
+		items[i] = elab.SCaseItem{
+			Matches: []elab.Expr{elab.Const{V: logic.FromUint64(subjW, uint64(i))}},
+			Body:    []elab.Stmt{b.assignStmt(pool, sig, nb)},
+		}
+	}
+	return elab.SCase{
+		BranchID: b.branch("case", len(items)+1),
+		Subject:  b.expr(pool, subjW, b.cfg.Depth-1),
+		Items:    items,
+		Default:  []elab.Stmt{b.assignStmt(pool, sig, nb)},
+	}
+}
+
+// assignStmt emits one assignment to sig through a randomly chosen
+// target shape.
+func (b *builder) assignStmt(pool []int, sig int, nb bool) elab.Stmt {
+	w := b.d.Signals[sig].Width
+	switch b.rng.Intn(4) {
+	case 0: // whole signal
+		return elab.SAssign{LHS: elab.TSig{Idx: sig, W: w}, RHS: b.expr(pool, w, b.cfg.Depth-1), NB: nb}
+	case 1: // constant range (read-modify-write)
+		lo := b.rng.Intn(w)
+		hi := lo + b.rng.Intn(w-lo)
+		b.reads[sig] = true
+		return elab.SAssign{
+			LHS: elab.TRange{Idx: sig, W: w, Hi: hi, Lo: lo},
+			RHS: b.expr(pool, hi-lo+1, b.cfg.Depth-1),
+			NB:  nb,
+		}
+	case 2: // dynamic bit
+		b.reads[sig] = true
+		return elab.SAssign{
+			LHS: elab.TBit{Idx: sig, W: w, BitE: b.expr(pool, 4, 1)},
+			RHS: b.expr(pool, 1, b.cfg.Depth-1),
+			NB:  nb,
+		}
+	default: // concatenated split of the signal
+		if w < 2 {
+			return elab.SAssign{LHS: elab.TSig{Idx: sig, W: w}, RHS: b.expr(pool, w, b.cfg.Depth-1), NB: nb}
+		}
+		cut := 1 + b.rng.Intn(w-1)
+		b.reads[sig] = true // TRange parts read-modify-write
+		return elab.SAssign{
+			LHS: elab.TCat{Parts: []elab.Target{
+				elab.TRange{Idx: sig, W: w, Hi: w - 1, Lo: cut},
+				elab.TRange{Idx: sig, W: w, Hi: cut - 1, Lo: 0},
+			}, W: w},
+			RHS: b.expr(pool, w, b.cfg.Depth-1),
+			NB:  nb,
+		}
+	}
+}
+
+// expr builds a random expression of exactly the given width, reading
+// only signals from pool.
+func (b *builder) expr(pool []int, w, depth int) elab.Expr {
+	if depth <= 0 {
+		return b.leaf(pool, w)
+	}
+	// 1-bit results have extra forms: comparisons, reductions, logical
+	// connectives, bit selects.
+	if w == 1 && b.rng.Intn(2) == 0 {
+		switch b.rng.Intn(5) {
+		case 0:
+			wo := 1 + b.rng.Intn(b.cfg.MaxW)
+			ops := []elab.BinOp{elab.OpEq, elab.OpNeq, elab.OpLt, elab.OpLe, elab.OpGt, elab.OpGe, elab.OpCaseEq, elab.OpCaseNeq}
+			return elab.Bin{Op: ops[b.rng.Intn(len(ops))], X: b.expr(pool, wo, depth-1), Y: b.expr(pool, wo, depth-1), W: 1}
+		case 1:
+			ops := []elab.UnOp{elab.OpLNot, elab.OpRedAnd, elab.OpRedOr, elab.OpRedXor, elab.OpRedNand, elab.OpRedNor, elab.OpRedXnor}
+			wo := 1 + b.rng.Intn(b.cfg.MaxW)
+			return elab.Un{Op: ops[b.rng.Intn(len(ops))], X: b.expr(pool, wo, depth-1), W: 1}
+		case 2:
+			ops := []elab.BinOp{elab.OpLAnd, elab.OpLOr}
+			wx := 1 + b.rng.Intn(8)
+			wy := 1 + b.rng.Intn(8)
+			return elab.Bin{Op: ops[b.rng.Intn(2)], X: b.expr(pool, wx, depth-1), Y: b.expr(pool, wy, depth-1), W: 1}
+		case 3:
+			wo := 2 + b.rng.Intn(b.cfg.MaxW-1)
+			return elab.BitSel{X: b.expr(pool, wo, depth-1), Idx: b.expr(pool, 4, 1)}
+		default:
+			// fall through to the general forms below
+		}
+	}
+	switch b.rng.Intn(8) {
+	case 0:
+		ops := []elab.BinOp{elab.OpAdd, elab.OpSub, elab.OpMul, elab.OpAnd, elab.OpOr, elab.OpXor, elab.OpXnor}
+		return elab.Bin{Op: ops[b.rng.Intn(len(ops))], X: b.expr(pool, w, depth-1), Y: b.expr(pool, w, depth-1), W: w}
+	case 1:
+		ops := []elab.BinOp{elab.OpShl, elab.OpShr, elab.OpAshr}
+		return elab.Bin{Op: ops[b.rng.Intn(3)], X: b.expr(pool, w, depth-1), Y: b.expr(pool, 1+b.rng.Intn(4), 1), W: w}
+	case 2:
+		op := elab.OpNot
+		if b.rng.Intn(2) == 0 {
+			op = elab.OpNeg
+		}
+		return elab.Un{Op: op, X: b.expr(pool, w, depth-1), W: w}
+	case 3:
+		return elab.Cond{C: b.expr(pool, 1, depth-1), T: b.expr(pool, w, depth-1), F: b.expr(pool, w, depth-1), W: w}
+	case 4:
+		if w >= 2 {
+			cut := 1 + b.rng.Intn(w-1)
+			return elab.CatE{Parts: []elab.Expr{b.expr(pool, w-cut, depth-1), b.expr(pool, cut, depth-1)}, W: w}
+		}
+		return b.leaf(pool, w)
+	case 5:
+		// Slice out of a wider value; occasionally reach past its top
+		// so out-of-range bits read X.
+		we := w + b.rng.Intn(16)
+		lo := b.rng.Intn(we)
+		return elab.Slice{X: b.expr(pool, we, depth-1), Hi: lo + w - 1, Lo: lo}
+	case 6:
+		we := w + b.rng.Intn(16)
+		return elab.DynSlice{X: b.expr(pool, we, depth-1), Start: b.expr(pool, 4, 1), W: w}
+	default:
+		if len(b.d.Memories) > 0 && b.rng.Intn(3) == 0 {
+			mem := b.d.Memories[b.rng.Intn(len(b.d.Memories))]
+			b.memReads[mem.Index] = true
+			return elab.ZExt{X: elab.MemRead{Mem: mem.Index, Addr: b.expr(pool, 5, 1), W: mem.Width, Depth: mem.Depth}, W: w}
+		}
+		wo := 1 + b.rng.Intn(b.cfg.MaxW)
+		return elab.ZExt{X: b.expr(pool, wo, depth-1), W: w}
+	}
+}
+
+// leaf emits a signal read (width-adapted) or a constant; constants
+// occasionally carry X/Z bits so unknown propagation is exercised even
+// without stimulus injection.
+func (b *builder) leaf(pool []int, w int) elab.Expr {
+	if len(pool) > 0 && b.rng.Intn(3) != 0 {
+		idx := pool[b.rng.Intn(len(pool))]
+		b.reads[idx] = true
+		sw := b.d.Signals[idx].Width
+		sig := elab.Sig{Idx: idx, W: sw}
+		switch {
+		case sw == w:
+			return sig
+		case sw > w:
+			lo := b.rng.Intn(sw - w + 1)
+			return elab.Slice{X: sig, Hi: lo + w - 1, Lo: lo}
+		default:
+			return elab.ZExt{X: sig, W: w}
+		}
+	}
+	v := logic.Rand(w, b.rng.Uint64)
+	if b.cfg.XConsts && b.rng.Intn(4) == 0 {
+		n := 1 + b.rng.Intn(3)
+		for i := 0; i < n; i++ {
+			bit := logic.LX
+			if b.rng.Intn(2) == 0 {
+				bit = logic.LZ
+			}
+			v = v.WithBit(b.rng.Intn(w), bit)
+		}
+	}
+	return elab.Const{V: v}
+}

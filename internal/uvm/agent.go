@@ -8,21 +8,22 @@ import (
 	"repro/internal/logic"
 	"repro/internal/props"
 	"repro/internal/sim"
+	"repro/internal/simc"
 )
 
 // Driver translates sequence items into DUV pin assignments and clocks
 // the design (Figure 2, block 4).
 type Driver struct {
 	BaseComponent
-	Sim   *sim.Simulator
+	Sim   sim.DUV
 	Clock int // clock signal index, -1 for purely combinational DUVs
 	// fieldIdx maps item fields to input signal indices.
 	fieldIdx map[string]int
 }
 
-// NewDriver binds a driver to a simulator. Field-to-port mapping is by
-// name against the design's input ports.
-func NewDriver(name string, s *sim.Simulator, clock int) *Driver {
+// NewDriver binds a driver to a DUV backend. Field-to-port mapping is
+// by name against the design's input ports.
+func NewDriver(name string, s sim.DUV, clock int) *Driver {
 	d := &Driver{
 		BaseComponent: NewBaseComponent(name),
 		Sim:           s,
@@ -80,7 +81,7 @@ func (d *Driver) Apply(it *Item) error {
 // (Figure 2, block 5; §4.9's violation detection).
 type Monitor struct {
 	BaseComponent
-	Sim     *sim.Simulator
+	Sim     sim.DUV
 	Checker *props.Checker
 	// Observations holds the most recent output sample per port.
 	Observations map[string]logic.BV
@@ -88,7 +89,7 @@ type Monitor struct {
 }
 
 // NewMonitor builds a monitor with an optional property checker.
-func NewMonitor(name string, s *sim.Simulator, chk *props.Checker) *Monitor {
+func NewMonitor(name string, s sim.DUV, chk *props.Checker) *Monitor {
 	m := &Monitor{
 		BaseComponent: NewBaseComponent(name),
 		Sim:           s,
@@ -98,7 +99,7 @@ func NewMonitor(name string, s *sim.Simulator, chk *props.Checker) *Monitor {
 	if chk != nil {
 		chk.Bind(s)
 	}
-	s.OnCycle(func(*sim.Simulator) { m.sample() })
+	s.OnCycle(func(sim.DUV) { m.sample() })
 	return m
 }
 
@@ -172,7 +173,7 @@ type Agent struct {
 // connects the agent and scoreboard around a simulated DUV.
 type Env struct {
 	BaseComponent
-	Sim         *sim.Simulator
+	Sim         sim.DUV
 	Agent       *Agent
 	Scoreboard  *Scoreboard
 	ClockInfo   sim.ResetInfo
@@ -187,13 +188,31 @@ type EnvConfig struct {
 	Properties []*props.Property
 	// ResetCycles applied by Reset (default 2).
 	ResetCycles int
+	// SimBackend selects the DUV implementation: "interp" (default,
+	// the event-driven four-state interpreter) or "compiled" (the
+	// internal/simc closure-compiled backend). Both are observationally
+	// identical, so campaign trajectories do not depend on the choice.
+	SimBackend string
+}
+
+// NewBackend constructs a DUV for the design using the named backend
+// ("", "interp", or "compiled").
+func NewBackend(d *elab.Design, backend string) (sim.DUV, error) {
+	switch backend {
+	case "", "interp":
+		return sim.New(d)
+	case "compiled":
+		return simc.New(d)
+	default:
+		return nil, fmt.Errorf("uvm: unknown sim backend %q (want interp or compiled)", backend)
+	}
 }
 
 // NewEnv builds the standard environment around a design: detects the
 // clock/reset tree (§4.3), builds the sequencer over the remaining
 // input ports (§4.2), and wires driver, monitor and scoreboard.
 func NewEnv(d *elab.Design, cfg EnvConfig) (*Env, error) {
-	s, err := sim.New(d)
+	s, err := NewBackend(d, cfg.SimBackend)
 	if err != nil {
 		return nil, err
 	}

@@ -60,6 +60,7 @@ var timenowPkgs = map[string]bool{
 	"internal/cfg":      true,
 	"internal/cov":      true,
 	"internal/sim":      true,
+	"internal/simc":     true,
 	"internal/logic":    true,
 	"internal/elab":     true,
 	"internal/hdl":      true,
