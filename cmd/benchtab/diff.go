@@ -54,6 +54,10 @@ var diffMetrics = map[string][]metricDef{
 	"symbfuzz-bench-dist/v1": {
 		{"rows.*.wire_overhead", false},
 	},
+	"symbfuzz-bench-fleet/v1": {
+		{"rows.*.publish_reduction", true},
+		{"fleet_vectors_per_sec", true},
+	},
 	"symbfuzz-bench-sim/v1": {
 		{"rows.*.interp_vectors_per_sec", true},
 		{"rows.*.compiled_vectors_per_sec", true},

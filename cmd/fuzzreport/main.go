@@ -15,6 +15,11 @@
 //	fuzzreport trace.jsonl
 //	fuzzreport -html report.html trace.jsonl
 //	symbfuzz ... -trace /dev/stdout | fuzzreport -
+//	fuzzreport -fleet [-html rollup.html] fleet.json
+//
+// With -fleet the input is not a trace but the whole-fleet rollup
+// JSON from `fuzzctl fleet -out` (the /v1/fleet document); the report
+// is then one row per campaign with its admission/queue telemetry.
 //
 // Exit status 0 on a valid trace, 1 otherwise.
 package main
@@ -31,9 +36,10 @@ import (
 
 func main() {
 	htmlOut := flag.String("html", "", "write a self-contained HTML report to this path")
+	fleetIn := flag.Bool("fleet", false, "input is a fleet rollup JSON (from fuzzctl fleet -out), not a trace")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fuzzreport [-html report.html] <trace.jsonl | ->")
+		fmt.Fprintln(os.Stderr, "usage: fuzzreport [-fleet] [-html report.html] <trace.jsonl | fleet.json | ->")
 		os.Exit(1)
 	}
 
@@ -46,6 +52,13 @@ func main() {
 	}
 	if err != nil {
 		fail(err)
+	}
+
+	if *fleetIn {
+		if err := runFleetReport(data, *htmlOut); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if _, err := obs.ValidateTrace(bytes.NewReader(data)); err != nil {

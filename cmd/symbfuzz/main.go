@@ -13,6 +13,14 @@
 //	symbfuzz -connect host:7070            # on each worker machine
 //	symbfuzz -serve :7070 ... -journal camp.jsonl -resume   # after a crash
 //
+// Fleet mode hosts many named campaigns on one coordinator process;
+// campaigns are managed over the control surface with fuzzctl:
+//
+//	symbfuzz -fleet :7070 -journal-dir fleetdir             # coordinator
+//	fuzzctl -addr host:7070 create -name nightly -bench scmi_mailbox -workers 4
+//	symbfuzz -connect host:7070 -campaign nightly           # workers
+//	symbfuzz -fleet :7070 -journal-dir fleetdir -resume     # after a crash
+//
 // SIGINT/SIGTERM interrupt any mode gracefully: the engine stops at
 // the next cycle, the JSONL trace and metrics snapshot are flushed,
 // and the partial report is printed (and serialized with
@@ -38,6 +46,7 @@ import (
 	symbfuzz "repro"
 	"repro/internal/designs"
 	"repro/internal/dist"
+	"repro/internal/fleet"
 )
 
 // propFlags collects repeated -prop name=expr[;disable] flags, keeping
@@ -94,8 +103,14 @@ func main() {
 		rankHint = flag.Int("rank-hint", -1, "preferred shard rank when connecting (-1 = any)")
 		maxRanks = flag.Int("max-ranks", 0, "maximum shard ranks this worker runs (0 = until campaign done)")
 		journal  = flag.String("journal", "", "coordinator journal path (JSONL; enables -resume)")
-		resume   = flag.Bool("resume", false, "resume a coordinator from an existing -journal")
+		resume   = flag.Bool("resume", false, "resume a coordinator (or fleet) from its journal(s)")
 		leaseTTL = flag.Duration("lease-ttl", 5*time.Second, "coordinator rank-lease TTL")
+
+		fleetOn    = flag.String("fleet", "", "run as multi-campaign fleet coordinator on this address (create campaigns with fuzzctl)")
+		journalDir = flag.String("journal-dir", "", "fleet journal directory (one <campaign>.jsonl per campaign; enables -resume)")
+		traceDir   = flag.String("trace-dir", "", "fleet trace directory (one merged <campaign>.trace.jsonl per campaign)")
+		campaign   = flag.String("campaign", "", "campaign name to work on when connecting to a fleet coordinator")
+		syncPub    = flag.Bool("sync-publish", false, "worker: force the v3 synchronous full-snapshot publish path (wire-overhead ablation)")
 	)
 	flag.Var(&extraProps, "prop",
 		`extra security property, repeatable: -prop 'name=err |-> en;!rst_ni'`)
@@ -106,8 +121,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *fleetOn != "" {
+		if err := runFleet(ctx, *fleetOn, *journalDir, *traceDir, *resume, *leaseTTL); err != nil && ctx.Err() == nil {
+			fmt.Fprintln(os.Stderr, "symbfuzz:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *connect != "" {
-		if err := runConnect(ctx, *connect, *rankHint, *maxRanks); err != nil && ctx.Err() == nil {
+		if err := runConnect(ctx, *connect, *campaign, *rankHint, *maxRanks, *syncPub); err != nil && ctx.Err() == nil {
 			fmt.Fprintln(os.Stderr, "symbfuzz:", err)
 			os.Exit(1)
 		}
@@ -324,16 +346,42 @@ func runServe(ctx context.Context, addr string, spec dist.CampaignSpec, benchNam
 	return rep, dump, err
 }
 
+// runFleet hosts the multi-campaign fleet coordinator until ctx is
+// interrupted. Campaigns are created, inspected, and cancelled over
+// the /v1/campaigns control surface (see cmd/fuzzctl); workers target
+// them with -connect -campaign <name>.
+func runFleet(ctx context.Context, addr, journalDir, traceDir string, resume bool, leaseTTL time.Duration) error {
+	s, err := fleet.NewServer(addr, fleet.Config{
+		JournalDir: journalDir,
+		TraceDir:   traceDir,
+		Resume:     resume,
+		LeaseTTL:   leaseTTL,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet coordinator listening on %s (control surface: http://%s/v1/campaigns, metrics: /metrics)\n",
+		s.Addr(), s.Addr())
+	<-ctx.Done()
+	fmt.Println("fleet coordinator shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(sctx)
+}
+
 // runConnect runs the distributed-campaign worker loop against a
-// remote coordinator.
-func runConnect(ctx context.Context, addr string, rankHint, maxRanks int) error {
+// remote coordinator (optionally targeting one campaign of a fleet).
+func runConnect(ctx context.Context, addr, campaign string, rankHint, maxRanks int, syncPublish bool) error {
 	host, _ := os.Hostname()
 	if host == "" {
 		host = "worker"
 	}
 	id := fmt.Sprintf("%s-%d", host, os.Getpid())
 	fmt.Printf("worker %s connecting to %s\n", id, addr)
-	err := dist.RunWorker(ctx, dist.WorkerConfig{Addr: addr, WorkerID: id, RankHint: rankHint, MaxRanks: maxRanks})
+	err := dist.RunWorker(ctx, dist.WorkerConfig{
+		Addr: addr, WorkerID: id, Campaign: campaign,
+		RankHint: rankHint, MaxRanks: maxRanks, SyncPublish: syncPublish,
+	})
 	if err == nil {
 		fmt.Println("worker done; exiting")
 	}

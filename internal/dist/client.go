@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -39,6 +40,17 @@ type ProtoError struct {
 
 func (e *ProtoError) Error() string {
 	return fmt.Sprintf("dist: coordinator rejected request (%d): %s", e.Status, e.Msg)
+}
+
+// retryAfterError is an HTTP 429 backpressure answer: retryable, but
+// the coordinator named the delay (Retry-After, seconds) instead of
+// leaving it to the client's backoff schedule.
+type retryAfterError struct {
+	delay time.Duration
+}
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("dist: coordinator backpressure (429), retry after %s", e.delay)
 }
 
 // NewClient returns a client for a coordinator at host:port (scheme
@@ -85,6 +97,13 @@ func (c *Client) call(ctx context.Context, path string, req, out any) error {
 			return fmt.Errorf("dist: %s unreachable after %d attempts: %w", path, attempt+1, lastErr)
 		}
 		sleep := backoff/2 + time.Duration(c.rng.Int63n(int64(backoff)))
+		var ra *retryAfterError
+		if errors.As(lastErr, &ra) && ra.delay > 0 {
+			// Backpressure: honor the coordinator's Retry-After instead
+			// of the local backoff schedule (jitter still applies so a
+			// fleet of throttled workers doesn't thundering-herd back).
+			sleep = ra.delay + time.Duration(c.rng.Int63n(int64(ra.delay)/4+1))
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
@@ -119,6 +138,14 @@ func (c *Client) once(ctx context.Context, path string, body []byte, out any) er
 			return nil
 		}
 		return json.Unmarshal(data, out)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		delay := time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+				delay = time.Duration(secs) * time.Second
+			}
+		}
+		return &retryAfterError{delay: delay}
 	case resp.StatusCode >= 400 && resp.StatusCode < 500:
 		var er ErrorResponse
 		_ = json.Unmarshal(data, &er)
@@ -166,5 +193,11 @@ func (c *Client) Cache(ctx context.Context, req CacheRequest) (CacheResponse, er
 func (c *Client) Report(ctx context.Context, req ReportRequest) (ReportResponse, error) {
 	var out ReportResponse
 	err := c.call(ctx, "/v1/report", req, &out)
+	return out, err
+}
+
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.call(ctx, "/v1/batch", req, &out)
 	return out, err
 }

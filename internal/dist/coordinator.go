@@ -3,16 +3,11 @@ package dist
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"net"
 	"net/http"
-	"sort"
-	"sync"
 	"time"
 
-	"repro/internal/cfg"
 	"repro/internal/core"
-	"repro/internal/cov"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/prof"
@@ -21,6 +16,11 @@ import (
 // CoordConfig parameterizes a campaign coordinator.
 type CoordConfig struct {
 	Spec CampaignSpec
+
+	// Name is the fleet campaign name this state serves under (empty
+	// for a single-campaign coordinator). It is journaled so a fleet
+	// resume can sanity-check the file it picked up.
+	Name string
 
 	// LeaseTTL is how long a rank lease survives without a heartbeat
 	// or publish before the rank becomes claimable by another worker
@@ -32,6 +32,13 @@ type CoordConfig struct {
 	// a restarted coordinator keeps the ranks that already finished.
 	JournalPath string
 	Resume      bool
+
+	// CompactBytes is the journal size past which the coordinator
+	// rewrites the file down to its live state (the campaign record
+	// plus the last report per rank), keeping resume O(live state)
+	// instead of O(appended history). 0 means the 1 MiB default;
+	// negative disables compaction.
+	CompactBytes int64
 
 	// Obs receives campaign telemetry: the coordinator emits
 	// campaign_start/campaign_end on the campaign lane and re-emits
@@ -47,195 +54,43 @@ type CoordConfig struct {
 	StopWhenAllCovered bool
 }
 
-// rankResult is a completed rank: its report, final coverage
-// snapshot, telemetry lane, and (when the campaign profiles) its cost
-// ledger.
-type rankResult struct {
-	report *core.Report
-	cov    *cov.CFGCov
-	events []obs.Event
-	ledger *prof.RankLedger
-}
-
-// lease is one live rank assignment.
-type lease struct {
-	worker  string
-	expires time.Time
-}
-
-// Coordinator hosts one distributed campaign: the wire API, the
-// global frontier, the shared plan cache, the lease table, and the
-// journal. Campaign state that must survive a coordinator crash lives
-// either in the journal (completed ranks) or on the workers (their
-// engines, which republish cumulative coverage and retry deliveries
-// until a coordinator — the same or a restarted one — acknowledges).
+// Coordinator hosts one distributed campaign over HTTP: the thin wire
+// layer around a CampaignState, which owns the frontier, the shared
+// plan cache, the lease table, and the journal. Campaign state that
+// must survive a coordinator crash lives either in the journal
+// (completed ranks) or on the workers (their engines, which republish
+// cumulative coverage and retry deliveries until a coordinator — the
+// same or a restarted one — acknowledges).
 type Coordinator struct {
-	cfg        CoordConfig
-	spec       CampaignSpec
-	campaignID string
+	cfg CoordConfig
+	cs  *CampaignState
 
-	part  *cfg.Partition
-	fr    *par.Frontier
-	cache *par.SolveCache
-	jr    *journal
-
-	ln    net.Listener
-	srv   *http.Server
-	start time.Time
-
-	mu     sync.Mutex
-	leases map[int]*lease
-	done   map[int]*rankResult
-	doneCh chan struct{}
-	ended  bool
-
-	wire wireTally
-}
-
-// wireTally tallies per-RPC wire cost on the coordinator side: calls,
-// request/response bytes, and handler wall time per /v1 endpoint. It
-// is pure annotation — heartbeat and publish cadence are timer-driven,
-// so these numbers are not reproducible and never enter a canonical
-// ledger (Dump.Canonical drops the whole Wire section).
-type wireTally struct {
-	mu sync.Mutex
-	m  map[string]*prof.WireEntry
-}
-
-func (t *wireTally) add(rpc string, in, out, wallNS int64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.m == nil {
-		t.m = map[string]*prof.WireEntry{}
-	}
-	e := t.m[rpc]
-	if e == nil {
-		e = &prof.WireEntry{RPC: rpc}
-		t.m[rpc] = e
-	}
-	e.Calls++
-	if in > 0 {
-		e.BytesIn += in
-	}
-	e.BytesOut += out
-	e.WallNS += wallNS
-}
-
-// snapshot returns the tally sorted by RPC name.
-func (t *wireTally) snapshot() []prof.WireEntry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var out []prof.WireEntry
-	for _, e := range t.m {
-		out = append(out, *e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].RPC < out[j].RPC })
-	return out
-}
-
-// countingWriter counts response bytes for the wire tally.
-type countingWriter struct {
-	http.ResponseWriter
-	n int64
-}
-
-func (w *countingWriter) Write(p []byte) (int, error) {
-	n, err := w.ResponseWriter.Write(p)
-	w.n += int64(n)
-	return n, err
+	ln  net.Listener
+	srv *http.Server
 }
 
 // NewCoordinator validates the spec (it must elaborate — better to
 // fail here than on every worker), replays the journal when resuming,
 // and binds the listener. Serve traffic starts immediately.
 func NewCoordinator(addr string, c CoordConfig) (*Coordinator, error) {
-	if c.Spec.Workers < 1 {
-		c.Spec.Workers = 1
-	}
-	if c.LeaseTTL <= 0 {
-		c.LeaseTTL = 5 * time.Second
-	}
-
-	// Elaborate a probe engine: it checks that every worker will be
-	// able to build the same campaign, and its partition gives the
-	// frontier its shape and the final merge its graph (cluster graphs
-	// are built deterministically, so worker partitions agree).
-	bench, properties, err := ResolveSpec(c.Spec)
+	cs, err := NewCampaignState(c)
 	if err != nil {
 		return nil, err
 	}
-	d, err := bench.Elaborate()
-	if err != nil {
-		return nil, err
-	}
-	probe, err := core.New(d, properties, specConfig(c.Spec, 0))
-	if err != nil {
-		return nil, err
-	}
-	part := probe.Graph()
-	edgesTotal := 0
-	for _, g := range part.Graphs {
-		edgesTotal += len(g.Edges)
-	}
-
-	co := &Coordinator{
-		cfg:        c,
-		spec:       c.Spec,
-		campaignID: fmt.Sprintf("%s-w%d-seed%d", bench.Name, c.Spec.Workers, c.Spec.Seed),
-		part:       part,
-		cache:      par.NewSolveCache(),
-		leases:     map[int]*lease{},
-		done:       map[int]*rankResult{},
-		doneCh:     make(chan struct{}),
-	}
-	co.fr = par.NewFrontier(len(part.Graphs), edgesTotal, c.Spec.Workers,
-		c.StopAtPoints, c.StopWhenAllCovered, c.Obs)
-
-	if c.JournalPath != "" && c.Resume {
-		st, err := replayJournal(c.JournalPath)
-		if err != nil {
-			return nil, err
-		}
-		if st.Spec != nil && !specEqual(*st.Spec, c.Spec) {
-			return nil, fmt.Errorf("dist: journal %s was written by a different campaign spec", c.JournalPath)
-		}
-		for rank, rec := range st.Reports {
-			if rank < 0 || rank >= c.Spec.Workers {
-				continue
-			}
-			cv := CovFromWire(*rec.Coverage)
-			co.done[rank] = &rankResult{report: rec.Report, cov: cv, events: rec.Events, ledger: rec.Ledger}
-			co.fr.Publish(rank, cv, rec.Report.Vectors)
-		}
-		if len(co.done) == c.Spec.Workers {
-			close(co.doneCh)
-		}
-	}
-	if c.JournalPath != "" {
-		co.jr, err = openJournal(c.JournalPath)
-		if err != nil {
-			return nil, err
-		}
-		if err := co.jr.append(journalRecord{Kind: "campaign", CampaignID: co.campaignID, Spec: &co.spec}); err != nil {
-			return nil, err
-		}
-	}
-
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	co := &Coordinator{cfg: c, cs: cs, ln: ln}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/join", co.counted("join", co.handleJoin))
 	mux.HandleFunc("/v1/lease", co.counted("lease", co.handleLease))
 	mux.HandleFunc("/v1/heartbeat", co.counted("heartbeat", co.handleHeartbeat))
 	mux.HandleFunc("/v1/publish", co.counted("publish", co.handlePublish))
+	mux.HandleFunc("/v1/batch", co.counted("batch", co.handleBatch))
 	mux.HandleFunc("/v1/cache", co.counted("cache", co.handleCache))
 	mux.HandleFunc("/v1/report", co.counted("report", co.handleReport))
-	co.ln = ln
 	co.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-	co.start = time.Now()
-	c.Obs.CampaignStart(0, 0)
 	go func() { _ = co.srv.Serve(ln) }()
 	return co, nil
 }
@@ -261,7 +116,8 @@ func specEqual(a, b CampaignSpec) bool {
 		a.Workers == b.Workers && a.UseSnapshots == b.UseSnapshots &&
 		a.ContinueAfterCoverage == b.ContinueAfterCoverage &&
 		a.DisableSlicing == b.DisableSlicing &&
-		a.Profile == b.Profile
+		a.Profile == b.Profile &&
+		a.SimBackend == b.SimBackend
 }
 
 // specConfig builds rank's engine configuration from the campaign
@@ -317,13 +173,12 @@ func (co *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if req.Proto != ProtoVersion {
-		writeErr(w, http.StatusBadRequest, fmt.Sprintf(
-			"protocol version mismatch: coordinator speaks v%d, worker %q speaks v%d — rebuild the worker from the same revision",
-			ProtoVersion, req.WorkerID, req.Proto))
+	resp, herr := co.cs.Join(req, true)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
 		return
 	}
-	writeJSON(w, JoinResponse{Proto: ProtoVersion, CampaignID: co.campaignID, Spec: co.spec})
+	writeJSON(w, resp)
 }
 
 func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
@@ -331,65 +186,7 @@ func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	now := time.Now()
-	co.mu.Lock()
-	defer co.mu.Unlock()
-
-	if len(co.done) == co.spec.Workers {
-		writeJSON(w, LeaseResponse{Rank: -1, Done: true})
-		return
-	}
-	claimable := func(rank int) bool {
-		if co.done[rank] != nil {
-			return false
-		}
-		l := co.leases[rank]
-		return l == nil || now.After(l.expires) || l.worker == req.WorkerID
-	}
-	rank := -1
-	if req.Rank >= 0 && req.Rank < co.spec.Workers && claimable(req.Rank) {
-		rank = req.Rank
-	} else {
-		for r := 0; r < co.spec.Workers; r++ {
-			if claimable(r) {
-				rank = r
-				break
-			}
-		}
-	}
-	if rank < 0 {
-		writeJSON(w, LeaseResponse{Rank: -1, RetryMS: co.cfg.LeaseTTL.Milliseconds() / 2})
-		return
-	}
-	co.leases[rank] = &lease{worker: req.WorkerID, expires: now.Add(co.cfg.LeaseTTL)}
-	writeJSON(w, LeaseResponse{
-		Rank:  rank,
-		Seed:  par.WorkerSeed(co.spec.Seed, rank),
-		TTLMS: co.cfg.LeaseTTL.Milliseconds(),
-	})
-}
-
-// renewLease extends worker's lease on rank, adopting ownerless ranks:
-// after a coordinator restart the lease table is empty, so the first
-// heartbeat or publish from a surviving worker re-establishes its
-// claim. Returns false when the rank is finished or owned by another
-// live worker — the caller must abandon it.
-func (co *Coordinator) renewLease(worker string, rank int) bool {
-	if rank < 0 || rank >= co.spec.Workers {
-		return false
-	}
-	now := time.Now()
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	if co.done[rank] != nil {
-		return false
-	}
-	l := co.leases[rank]
-	if l != nil && l.worker != worker && now.Before(l.expires) {
-		return false
-	}
-	co.leases[rank] = &lease{worker: worker, expires: now.Add(co.cfg.LeaseTTL)}
-	return true
+	writeJSON(w, co.cs.Lease(req))
 }
 
 func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -397,8 +194,7 @@ func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	ok := co.renewLease(req.WorkerID, req.Rank)
-	writeJSON(w, HeartbeatResponse{OK: ok, Stop: co.fr.ShouldStop()})
+	writeJSON(w, co.cs.Heartbeat(req))
 }
 
 func (co *Coordinator) handlePublish(w http.ResponseWriter, r *http.Request) {
@@ -406,12 +202,15 @@ func (co *Coordinator) handlePublish(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if !co.renewLease(req.WorkerID, req.Rank) {
-		writeJSON(w, PublishResponse{OK: false})
+	writeJSON(w, co.cs.Publish(req))
+}
+
+func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decode(w, r, &req) {
 		return
 	}
-	co.fr.Publish(req.Rank, CovFromWire(req.Coverage), req.Vectors)
-	writeJSON(w, PublishResponse{OK: true, Stop: co.fr.ShouldStop()})
+	writeJSON(w, co.cs.ApplyBatch(req))
 }
 
 func (co *Coordinator) handleCache(w http.ResponseWriter, r *http.Request) {
@@ -419,29 +218,12 @@ func (co *Coordinator) handleCache(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	switch req.Op {
-	case "lookup":
-		v, ok := co.cache.Lookup(KeyFromWire(req.Key))
-		if !ok {
-			writeJSON(w, CacheResponse{})
-			return
-		}
-		writeJSON(w, CacheResponse{Found: true, Value: PlanToWire(v)})
-	case "store":
-		if req.Value == nil {
-			writeErr(w, http.StatusBadRequest, "store without value")
-			return
-		}
-		v, err := PlanFromWire(req.Value)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		co.cache.Store(KeyFromWire(req.Key), v)
-		writeJSON(w, CacheResponse{})
-	default:
-		writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown cache op %q", req.Op))
+	resp, herr := co.cs.Cache(req)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
+		return
 	}
+	writeJSON(w, resp)
 }
 
 func (co *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -449,52 +231,12 @@ func (co *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if req.Rank < 0 || req.Rank >= co.spec.Workers {
-		writeErr(w, http.StatusBadRequest, fmt.Sprintf("rank %d out of range", req.Rank))
+	resp, herr := co.cs.Report(req)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
 		return
 	}
-
-	co.mu.Lock()
-	if co.done[req.Rank] != nil {
-		// Duplicate delivery: the worker retried a report the previous
-		// coordinator incarnation already journaled. Ack idempotently.
-		n := len(co.done)
-		co.mu.Unlock()
-		writeJSON(w, ReportResponse{OK: true, Done: n == co.spec.Workers})
-		return
-	}
-	l := co.leases[req.Rank]
-	if l != nil && l.worker != req.WorkerID && time.Now().Before(l.expires) {
-		co.mu.Unlock()
-		writeJSON(w, ReportResponse{OK: false})
-		return
-	}
-	co.mu.Unlock()
-
-	// Journal before acknowledging: once the worker sees OK it will
-	// never redeliver, so the record must be durable first.
-	rep := req.Report
-	if err := co.jr.append(journalRecord{
-		Kind: "report", Rank: req.Rank,
-		Report: &rep, Coverage: &req.Coverage, Events: req.Events, Ledger: req.Ledger,
-	}); err != nil {
-		writeErr(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-
-	cv := CovFromWire(req.Coverage)
-	co.fr.Publish(req.Rank, cv, rep.Vectors)
-
-	co.mu.Lock()
-	co.done[req.Rank] = &rankResult{report: &rep, cov: cv, events: req.Events, ledger: req.Ledger}
-	delete(co.leases, req.Rank)
-	n := len(co.done)
-	if n == co.spec.Workers && !co.ended {
-		co.ended = true
-		close(co.doneCh)
-	}
-	co.mu.Unlock()
-	writeJSON(w, ReportResponse{OK: true, Done: n == co.spec.Workers})
+	writeJSON(w, resp)
 }
 
 // ---- campaign lifecycle ----
@@ -509,76 +251,16 @@ func (co *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 func (co *Coordinator) Wait(ctx context.Context) (*par.Report, error) {
 	interrupted := false
 	select {
-	case <-co.doneCh:
+	case <-co.cs.Done():
 	case <-ctx.Done():
 		interrupted = true
-		co.fr.ForceStop()
+		co.cs.ForceStop()
 		select {
-		case <-co.doneCh:
-		case <-time.After(co.cfg.LeaseTTL + 5*time.Second):
+		case <-co.cs.Done():
+		case <-time.After(co.cs.cfg.LeaseTTL + 5*time.Second):
 		}
 	}
-
-	co.mu.Lock()
-	ranks := make([]int, 0, len(co.done))
-	for r := 0; r < co.spec.Workers; r++ {
-		if co.done[r] != nil {
-			ranks = append(ranks, r)
-		}
-	}
-	covs := make([]*cov.CFGCov, 0, len(ranks))
-	reports := make([]*core.Report, 0, len(ranks))
-	var events []obs.Event
-	for _, r := range ranks {
-		covs = append(covs, co.done[r].cov)
-		reports = append(reports, co.done[r].report)
-		events = append(events, co.done[r].events...)
-	}
-	co.mu.Unlock()
-
-	if len(reports) == 0 {
-		return nil, fmt.Errorf("dist: campaign interrupted before any rank completed")
-	}
-
-	merged := par.MergeReports(co.part, covs, reports)
-	if interrupted {
-		merged.Interrupted = true
-	}
-
-	// Fold each completed rank's telemetry lane into the campaign
-	// trace, in rank order. Events are re-emitted verbatim (they carry
-	// the worker's own stamps), so each lane stays monotonic even when
-	// a replacement worker produced it.
-	o := co.cfg.Obs
-	for i := range events {
-		o.EmitRaw(&events[i])
-	}
-	par.FinalizeMetrics(o, merged)
-	o.Cycles(merged.Cycles)
-	o.CampaignEnd(merged.Vectors, merged.FinalPoints)
-
-	out := &par.Report{
-		Workers:        co.spec.Workers,
-		Merged:         merged,
-		WallNS:         int64(time.Since(co.start)),
-		TargetPoints:   co.cfg.StopAtPoints,
-		TimeToTargetNS: co.fr.TimeToTargetNS(),
-		CacheHits:      co.cache.Hits(),
-		CacheMisses:    co.cache.Misses(),
-		Curve:          co.fr.Curve(),
-	}
-	for r := 0; r < co.spec.Workers; r++ {
-		out.Seeds = append(out.Seeds, par.WorkerSeed(co.spec.Seed, r))
-	}
-	// PerWorker is indexed by rank; interrupted campaigns may have
-	// holes (nil) for ranks that never reported.
-	out.PerWorker = make([]*core.Report, co.spec.Workers)
-	co.mu.Lock()
-	for r, res := range co.done {
-		out.PerWorker[r] = res.report
-	}
-	co.mu.Unlock()
-	return out, nil
+	return co.cs.Finalize(interrupted)
 }
 
 // counted wraps an RPC handler with the wire tally.
@@ -587,38 +269,38 @@ func (co *Coordinator) counted(rpc string, h http.HandlerFunc) http.HandlerFunc 
 		t0 := time.Now()
 		cw := &countingWriter{ResponseWriter: w}
 		h(cw, r)
-		co.wire.add(rpc, r.ContentLength, cw.n, int64(time.Since(t0)))
+		co.cs.AddWire(rpc, r.ContentLength, cw.n, int64(time.Since(t0)))
 	}
+}
+
+// countingWriter counts response bytes for the wire tally.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.n += int64(n)
+	return n, err
 }
 
 // WireLedger returns the coordinator's per-RPC wire cost tally, sorted
 // by RPC name. Annotation only — see wireTally.
 func (co *Coordinator) WireLedger() []prof.WireEntry {
-	return co.wire.snapshot()
+	return co.cs.WireLedger()
 }
 
-// Ledgers returns the completed ranks' cost ledgers in rank order
-// (nil entries are skipped — a rank ledger is only present when the
-// campaign spec enables profiling). Call after Wait: the result is the
-// same rank-ordered sequence an in-process par campaign's base
-// profiler yields, so prof.NewDump over it is byte-identical to the
-// `-workers N` run's canonical dump.
+// Ledgers returns the completed ranks' cost ledgers in rank order.
+// Call after Wait — see CampaignState.Ledgers.
 func (co *Coordinator) Ledgers() []*prof.RankLedger {
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	var out []*prof.RankLedger
-	for r := 0; r < co.spec.Workers; r++ {
-		if res := co.done[r]; res != nil && res.ledger != nil {
-			out = append(out, res.ledger)
-		}
-	}
-	return out
+	return co.cs.Ledgers()
 }
 
 // Shutdown stops serving and closes the journal. Safe after Wait.
 func (co *Coordinator) Shutdown(ctx context.Context) error {
 	err := co.srv.Shutdown(ctx)
-	if cerr := co.jr.Close(); err == nil {
+	if cerr := co.cs.CloseJournal(); err == nil {
 		err = cerr
 	}
 	return err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
@@ -499,7 +500,7 @@ func TestProfiledLedgerMatchesPar(t *testing.T) {
 	}
 
 	// The wire ledger (annotation) saw every RPC kind a full campaign
-	// exercises.
+	// exercises — under v4 the interval publishes ride /v1/batch.
 	seen := map[string]bool{}
 	for _, e := range got1.Wire {
 		seen[e.RPC] = true
@@ -507,7 +508,7 @@ func TestProfiledLedgerMatchesPar(t *testing.T) {
 			t.Errorf("wire entry %q with nonpositive calls: %+v", e.RPC, e)
 		}
 	}
-	for _, rpc := range []string{"join", "lease", "publish", "report"} {
+	for _, rpc := range []string{"join", "lease", "batch", "report"} {
 		if !seen[rpc] {
 			t.Errorf("wire ledger missing %q: %+v", rpc, got1.Wire)
 		}
@@ -535,12 +536,196 @@ func TestVersionSkew(t *testing.T) {
 	}
 }
 
+// TestSyncPublishParity pins the v3 synchronous-publish ablation: a
+// worker forced onto the full-snapshot path produces the same merged
+// report as the batched default and the in-process baseline. This is
+// the arm the wire-overhead benchmark compares against.
+func TestSyncPublishParity(t *testing.T) {
+	want := parBaseline(t)
+
+	co := newTestCoordinator(t, CoordConfig{Spec: mailboxSpec(7)})
+	defer co.Shutdown(context.Background())
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = RunWorker(ctx, WorkerConfig{
+				Addr: co.Addr(), WorkerID: []string{"sA", "sB"}[i], RankHint: i,
+				SyncPublish: true,
+				Client:      testClient(co.Addr(), int64(i)),
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	got, err := co.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	requireParity(t, got, want)
+
+	// The ablation really did use the synchronous endpoint.
+	for _, e := range co.WireLedger() {
+		if e.RPC == "batch" {
+			t.Errorf("sync-publish run sent batches: %+v", e)
+		}
+	}
+}
+
+// TestBatchResyncAfterCoordinatorRestart exercises the v4 resync
+// path: a batching worker survives a coordinator restart mid-rank
+// (its client retries ride out the gap), the new incarnation answers
+// its next delta with Resync, the worker folds its full coverage back
+// in, and the campaign still ends byte-identical to the in-process
+// baseline.
+func TestBatchResyncAfterCoordinatorRestart(t *testing.T) {
+	want := parBaseline(t)
+	journal := filepath.Join(t.TempDir(), "campaign.jsonl")
+	ctx := context.Background()
+
+	co1 := newTestCoordinator(t, CoordConfig{Spec: mailboxSpec(7), JournalPath: journal})
+	addr := co1.Addr()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[0] = RunWorker(ctx, WorkerConfig{
+			Addr: addr, WorkerID: "survivor", RankHint: 0, MaxRanks: 1,
+			Client: testClient(addr, 1),
+		})
+	}()
+
+	// Restart the coordinator on the same address while the worker is
+	// mid-rank. Its in-memory delta baseline dies with it.
+	time.Sleep(300 * time.Millisecond)
+	if err := co1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	co2, err := NewCoordinator(addr, CoordConfig{Spec: mailboxSpec(7), JournalPath: journal, Resume: true})
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer co2.Shutdown(context.Background())
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[1] = RunWorker(ctx, WorkerConfig{
+			Addr: addr, WorkerID: "late", RankHint: 1,
+			Client: testClient(addr, 2),
+		})
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	got, err := co2.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	requireParity(t, got, want)
+}
+
+// TestJournalCompactionKillResume pins the compaction contract: a
+// journal bloated far past its live state compacts down to the
+// campaign record plus the last report per rank, and a coordinator
+// resumed from the compacted file finishes the campaign with full
+// parity — resume cost is O(live state), not O(append history).
+func TestJournalCompactionKillResume(t *testing.T) {
+	want := parBaseline(t)
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	ctx := context.Background()
+
+	co1 := newTestCoordinator(t, CoordConfig{Spec: mailboxSpec(7), JournalPath: path, CompactBytes: 64})
+	if err := RunWorker(ctx, WorkerConfig{
+		Addr: co1.Addr(), WorkerID: "early", RankHint: 0, MaxRanks: 1,
+		Client: testClient(co1.Addr(), 1),
+	}); err != nil {
+		t.Fatalf("early worker: %v", err)
+	}
+	if err := co1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Bloat the journal with duplicate appends of the rank-0 record —
+	// the append-history growth compaction must bound.
+	st, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reports[0] == nil {
+		t.Fatal("rank 0 record missing before bloat")
+	}
+	jr, err := openJournal(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.seed(st)
+	for i := 0; i < 40; i++ {
+		if err := jr.append(*st.Reports[0]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Size bound: the file holds at most a handful of records, not 40+.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1
+	if lines > 8 {
+		t.Fatalf("compaction left %d journal lines; want O(live state)", lines)
+	}
+
+	// The compacted journal replays to exactly the live state...
+	st2, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Spec == nil || len(st2.Reports) != 1 || st2.Reports[0] == nil {
+		t.Fatalf("compacted journal lost live state: %+v", st2)
+	}
+	if st2.Reports[0].Report.Vectors != st.Reports[0].Report.Vectors {
+		t.Fatalf("rank 0 record corrupted by compaction")
+	}
+
+	// ...and a resumed coordinator finishes the campaign with parity.
+	co2 := newTestCoordinator(t, CoordConfig{Spec: mailboxSpec(7), JournalPath: path, Resume: true, CompactBytes: 64})
+	defer co2.Shutdown(context.Background())
+	if err := RunWorker(ctx, WorkerConfig{
+		Addr: co2.Addr(), WorkerID: "late", RankHint: -1,
+		Client: testClient(co2.Addr(), 2),
+	}); err != nil {
+		t.Fatalf("late worker: %v", err)
+	}
+	got, err := co2.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	requireParity(t, got, want)
+}
+
 // TestJournalReplayTolerance pins the torn-line contract: a journal
 // whose final line was cut mid-write replays cleanly, keeping every
 // complete record and dropping the torn one.
 func TestJournalReplayTolerance(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "j.jsonl")
-	jr, err := openJournal(path)
+	jr, err := openJournal(path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -557,7 +742,7 @@ func TestJournalReplayTolerance(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Simulate a crash mid-write: append half a record.
-	f, err := openJournal(path)
+	f, err := openJournal(path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -19,11 +20,22 @@ import (
 // lane). In-flight state — leases, partial frontier contents, cache
 // entries — is deliberately NOT journaled: leases are re-established
 // by worker heartbeats/publishes after a restart, frontier contents
-// are restored by the next full-coverage publish (publishes are
-// cumulative), and the plan cache is a pure memoization whose loss
-// costs only repeated solves, never a trajectory change. A restarted
-// coordinator with -resume therefore converges to the same merged
-// report as one that never crashed.
+// are restored by the next full-coverage publish or delta resync, and
+// the plan cache is a pure memoization whose loss costs only repeated
+// solves, never a trajectory change. A restarted coordinator with
+// -resume therefore converges to the same merged report as one that
+// never crashed.
+//
+// Compaction keeps resume O(live state): the live state is exactly
+// the campaign record plus the last report record per rank, so once
+// the file grows past a threshold (re-runs appending onto the same
+// path, duplicate redeliveries) the journal rewrites itself down to
+// those records via tmp-file + fsync + rename. The on-disk format is
+// unchanged — a compacted journal replays through the same reader.
+
+// defaultCompactBytes is the journal size that triggers a compaction
+// check when CoordConfig.CompactBytes is zero.
+const defaultCompactBytes = 1 << 20
 
 // journalRecord is one JSONL line. Kind selects which payload fields
 // are meaningful.
@@ -32,6 +44,7 @@ type journalRecord struct {
 
 	// kind == "campaign"
 	CampaignID string        `json:"campaign_id,omitempty"`
+	Name       string        `json:"name,omitempty"`
 	Spec       *CampaignSpec `json:"spec,omitempty"`
 
 	// kind == "report"
@@ -44,18 +57,51 @@ type journalRecord struct {
 
 // journal is the append side. Writes are fsynced per record — rank
 // completion is rare (once per rank per campaign), so durability is
-// cheap here and it is exactly the state a crash must not lose.
+// cheap here and it is exactly the state a crash must not lose. The
+// journal mirrors its own live state (last campaign record, last
+// report per rank) so it can compact without re-reading the file.
 type journal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu        sync.Mutex
+	path      string
+	f         *os.File
+	size      int64
+	compactAt int64
+
+	campaign *journalRecord
+	reports  map[int]*journalRecord
 }
 
-func openJournal(path string) (*journal, error) {
+func openJournal(path string, compactBytes int64) (*journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("dist: open journal: %w", err)
 	}
-	return &journal{f: f}, nil
+	j := &journal{path: path, f: f, compactAt: compactBytes, reports: map[int]*journalRecord{}}
+	if j.compactAt == 0 {
+		j.compactAt = defaultCompactBytes
+	}
+	if st, err := f.Stat(); err == nil {
+		j.size = st.Size()
+	}
+	return j, nil
+}
+
+// seed installs the live state recovered by replayJournal so the
+// first compaction after a resume preserves the replayed records.
+// Safe on nil state (cold start).
+func (j *journal) seed(st *journalState) {
+	if j == nil || st == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if st.Spec != nil {
+		j.campaign = &journalRecord{Kind: "campaign", CampaignID: st.CampaignID, Name: st.Name, Spec: st.Spec}
+	}
+	//fuzzvet:ordered — map-to-map copy, insertion order irrelevant
+	for rank, rec := range st.Reports {
+		j.reports[rank] = rec
+	}
 }
 
 func (j *journal) append(rec journalRecord) error {
@@ -72,7 +118,97 @@ func (j *journal) append(rec journalRecord) error {
 	if _, err := j.f.Write(data); err != nil {
 		return fmt.Errorf("dist: journal write: %w", err)
 	}
-	return j.f.Sync()
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("dist: journal sync: %w", err)
+	}
+	j.size += int64(len(data))
+	switch rec.Kind {
+	case "campaign":
+		j.campaign = &rec
+	case "report":
+		r := rec
+		j.reports[rec.Rank] = &r
+	}
+	return j.maybeCompactLocked()
+}
+
+// maybeCompactLocked rewrites the journal down to its live records
+// once the file passes the compaction threshold and the live state is
+// at most half the file (otherwise compaction would barely shrink
+// it, so the threshold is doubled instead of re-checking every
+// append). Called with j.mu held.
+func (j *journal) maybeCompactLocked() error {
+	if j.compactAt < 0 || j.size < j.compactAt {
+		return nil
+	}
+	var live [][]byte
+	var liveSize int64
+	add := func(rec *journalRecord) error {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		live = append(live, data)
+		liveSize += int64(len(data))
+		return nil
+	}
+	if j.campaign != nil {
+		if err := add(j.campaign); err != nil {
+			return err
+		}
+	}
+	ranks := make([]int, 0, len(j.reports))
+	for rank := range j.reports {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
+		if err := add(j.reports[rank]); err != nil {
+			return err
+		}
+	}
+	if j.size <= 2*liveSize {
+		j.compactAt = 2 * j.size
+		return nil
+	}
+
+	tmp := j.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("dist: journal compact: %w", err)
+	}
+	for _, line := range live {
+		if _, err := f.Write(line); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("dist: journal compact write: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("dist: journal compact sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dist: journal compact close: %w", err)
+	}
+	// Rename-over is atomic: a crash leaves either the old journal or
+	// the compacted one, both of which replay to the same live state.
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dist: journal compact rename: %w", err)
+	}
+	old := j.f
+	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("dist: journal reopen after compact: %w", err)
+	}
+	old.Close()
+	j.f = nf
+	j.size = liveSize
+	return nil
 }
 
 func (j *journal) Close() error {
@@ -87,6 +223,7 @@ func (j *journal) Close() error {
 // journalState is what replay recovers.
 type journalState struct {
 	CampaignID string
+	Name       string
 	Spec       *CampaignSpec
 	Reports    map[int]*journalRecord // rank -> last report record
 }
@@ -122,6 +259,7 @@ func replayJournal(path string) (*journalState, error) {
 		switch rec.Kind {
 		case "campaign":
 			st.CampaignID = rec.CampaignID
+			st.Name = rec.Name
 			st.Spec = rec.Spec
 		case "report":
 			if rec.Report != nil && rec.Coverage != nil {
@@ -134,4 +272,16 @@ func replayJournal(path string) (*journalState, error) {
 		return nil, fmt.Errorf("dist: journal replay: %w", err)
 	}
 	return st, nil
+}
+
+// LoadJournalSpec reads just the campaign identity out of a journal
+// file — what a fleet coordinator needs to re-admit a campaign from
+// its journal directory on resume. Returns a nil spec when the file
+// is missing or holds no campaign record.
+func LoadJournalSpec(path string) (*CampaignSpec, string, error) {
+	st, err := replayJournal(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return st.Spec, st.Name, nil
 }

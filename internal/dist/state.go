@@ -1,0 +1,633 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/cov"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/prof"
+)
+
+// CampaignState is one campaign's complete coordinator-side state
+// machine, factored out of the HTTP host so a single-campaign
+// Coordinator and a multi-campaign fleet server can share it: the
+// elaborated partition, the global frontier, the shared plan cache,
+// the lease table, the batch sequence tracking, the journal, and the
+// finalize-once merged-report builder. All methods take decoded wire
+// requests and return wire responses; HTTP status mapping is the
+// host's job (methods that can reject return *HTTPError).
+type CampaignState struct {
+	cfg        CoordConfig
+	spec       CampaignSpec
+	campaignID string
+
+	part  *cfg.Partition
+	fr    *par.Frontier
+	cache *par.SolveCache
+	jr    *journal
+	start time.Time
+
+	mu     sync.Mutex
+	leases map[int]*lease
+	done   map[int]*rankResult
+	// pubSeq is the highest applied batch-delta sequence per rank;
+	// duplicates at or below it are skipped (idempotent redelivery).
+	pubSeq map[int]uint64
+	// vectors is the latest cumulative vector count per rank (from
+	// heartbeats, publishes, and batch deltas) — status annotation only.
+	vectors  map[int]uint64
+	doneCh   chan struct{}
+	ended    bool
+	solverNS int64
+
+	finalOnce sync.Once
+	finalRep  *par.Report
+	finalErr  error
+
+	wire wireTally
+}
+
+// rankResult is a completed rank: its report, final coverage
+// snapshot, telemetry lane, and (when the campaign profiles) its cost
+// ledger.
+type rankResult struct {
+	report *core.Report
+	cov    *cov.CFGCov
+	events []obs.Event
+	ledger *prof.RankLedger
+}
+
+// lease is one live rank assignment.
+type lease struct {
+	worker  string
+	expires time.Time
+}
+
+// HTTPError carries the HTTP status a state-machine rejection maps to.
+type HTTPError struct {
+	Code int
+	Msg  string
+}
+
+func (e *HTTPError) Error() string { return e.Msg }
+
+// NewCampaignState validates the spec (it must elaborate — better to
+// fail here than on every worker) and replays the journal when
+// resuming. It does not bind any listener; hosts route requests in.
+func NewCampaignState(c CoordConfig) (*CampaignState, error) {
+	if c.Spec.Workers < 1 {
+		c.Spec.Workers = 1
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 5 * time.Second
+	}
+
+	// Elaborate a probe engine: it checks that every worker will be
+	// able to build the same campaign, and its partition gives the
+	// frontier its shape and the final merge its graph (cluster graphs
+	// are built deterministically, so worker partitions agree).
+	bench, properties, err := ResolveSpec(c.Spec)
+	if err != nil {
+		return nil, err
+	}
+	d, err := bench.Elaborate()
+	if err != nil {
+		return nil, err
+	}
+	probe, err := core.New(d, properties, specConfig(c.Spec, 0))
+	if err != nil {
+		return nil, err
+	}
+	part := probe.Graph()
+	edgesTotal := 0
+	for _, g := range part.Graphs {
+		edgesTotal += len(g.Edges)
+	}
+
+	cs := &CampaignState{
+		cfg:        c,
+		spec:       c.Spec,
+		campaignID: fmt.Sprintf("%s-w%d-seed%d", bench.Name, c.Spec.Workers, c.Spec.Seed),
+		part:       part,
+		cache:      par.NewSolveCache(),
+		leases:     map[int]*lease{},
+		done:       map[int]*rankResult{},
+		pubSeq:     map[int]uint64{},
+		vectors:    map[int]uint64{},
+		doneCh:     make(chan struct{}),
+	}
+	cs.fr = par.NewFrontier(len(part.Graphs), edgesTotal, c.Spec.Workers,
+		c.StopAtPoints, c.StopWhenAllCovered, c.Obs)
+
+	var replayed *journalState
+	if c.JournalPath != "" && c.Resume {
+		replayed, err = replayJournal(c.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		if replayed.Spec != nil && !specEqual(*replayed.Spec, c.Spec) {
+			return nil, fmt.Errorf("dist: journal %s was written by a different campaign spec", c.JournalPath)
+		}
+		ranks := make([]int, 0, len(replayed.Reports))
+		for rank := range replayed.Reports {
+			ranks = append(ranks, rank)
+		}
+		sort.Ints(ranks)
+		for _, rank := range ranks {
+			if rank < 0 || rank >= c.Spec.Workers {
+				continue
+			}
+			rec := replayed.Reports[rank]
+			cv := CovFromWire(*rec.Coverage)
+			cs.done[rank] = &rankResult{report: rec.Report, cov: cv, events: rec.Events, ledger: rec.Ledger}
+			cs.fr.Publish(rank, cv, rec.Report.Vectors)
+		}
+		if len(cs.done) == c.Spec.Workers {
+			cs.ended = true
+			close(cs.doneCh)
+		}
+	}
+	if c.JournalPath != "" {
+		cs.jr, err = openJournal(c.JournalPath, c.CompactBytes)
+		if err != nil {
+			return nil, err
+		}
+		cs.jr.seed(replayed)
+		if err := cs.jr.append(journalRecord{Kind: "campaign", CampaignID: cs.campaignID, Name: c.Name, Spec: &cs.spec}); err != nil {
+			return nil, err
+		}
+	}
+	cs.start = time.Now()
+	c.Obs.CampaignStart(0, 0)
+	return cs, nil
+}
+
+// ID returns the campaign identity string workers see on join.
+func (cs *CampaignState) ID() string { return cs.campaignID }
+
+// Spec returns the campaign spec.
+func (cs *CampaignState) Spec() CampaignSpec { return cs.spec }
+
+// Done is closed once every rank has reported.
+func (cs *CampaignState) Done() <-chan struct{} { return cs.doneCh }
+
+// ForceStop trips the frontier stop signal: workers stop at their
+// next boundary and deliver partial reports.
+func (cs *CampaignState) ForceStop() { cs.fr.ForceStop() }
+
+// AddWire records one RPC's wire cost against this campaign.
+func (cs *CampaignState) AddWire(rpc string, in, out, wallNS int64) {
+	cs.wire.add(rpc, in, out, wallNS)
+}
+
+// SolverNS returns the cumulative solver wall time (blast + CDCL)
+// that workers have reported into this campaign's plan cache and rank
+// ledgers — the admission layer's solver-seconds meter.
+func (cs *CampaignState) SolverNS() int64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.solverNS
+}
+
+func (cs *CampaignState) addSolverNS(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	cs.mu.Lock()
+	cs.solverNS += ns
+	cs.mu.Unlock()
+}
+
+// ---- wire-request state machine ----
+
+// Join answers a handshake. batch advertises the host's /v1/batch
+// endpoint support.
+func (cs *CampaignState) Join(req JoinRequest, batch bool) (JoinResponse, *HTTPError) {
+	if req.Proto != ProtoVersion {
+		return JoinResponse{}, &HTTPError{Code: 400, Msg: fmt.Sprintf(
+			"protocol version mismatch: coordinator speaks v%d, worker %q speaks v%d — rebuild the worker from the same revision",
+			ProtoVersion, req.WorkerID, req.Proto)}
+	}
+	return JoinResponse{Proto: ProtoVersion, CampaignID: cs.campaignID, Spec: cs.spec, Batch: batch}, nil
+}
+
+// Lease claims a shard rank for a worker.
+func (cs *CampaignState) Lease(req LeaseRequest) LeaseResponse {
+	now := time.Now()
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+
+	if len(cs.done) == cs.spec.Workers {
+		return LeaseResponse{Rank: -1, Done: true}
+	}
+	claimable := func(rank int) bool {
+		if cs.done[rank] != nil {
+			return false
+		}
+		l := cs.leases[rank]
+		return l == nil || now.After(l.expires) || l.worker == req.WorkerID
+	}
+	rank := -1
+	if req.Rank >= 0 && req.Rank < cs.spec.Workers && claimable(req.Rank) {
+		rank = req.Rank
+	} else {
+		for r := 0; r < cs.spec.Workers; r++ {
+			if claimable(r) {
+				rank = r
+				break
+			}
+		}
+	}
+	if rank < 0 {
+		return LeaseResponse{Rank: -1, RetryMS: cs.cfg.LeaseTTL.Milliseconds() / 2}
+	}
+	cs.leases[rank] = &lease{worker: req.WorkerID, expires: now.Add(cs.cfg.LeaseTTL)}
+	return LeaseResponse{
+		Rank:  rank,
+		Seed:  par.WorkerSeed(cs.spec.Seed, rank),
+		TTLMS: cs.cfg.LeaseTTL.Milliseconds(),
+	}
+}
+
+// renewLease extends worker's lease on rank, adopting ownerless ranks:
+// after a coordinator restart the lease table is empty, so the first
+// heartbeat or publish from a surviving worker re-establishes its
+// claim. Returns false when the rank is finished or owned by another
+// live worker — the caller must abandon it.
+func (cs *CampaignState) renewLease(worker string, rank int) bool {
+	if rank < 0 || rank >= cs.spec.Workers {
+		return false
+	}
+	now := time.Now()
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.done[rank] != nil {
+		return false
+	}
+	l := cs.leases[rank]
+	if l != nil && l.worker != worker && now.Before(l.expires) {
+		return false
+	}
+	cs.leases[rank] = &lease{worker: worker, expires: now.Add(cs.cfg.LeaseTTL)}
+	return true
+}
+
+// Heartbeat renews a lease and reports the stop signal.
+func (cs *CampaignState) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
+	ok := cs.renewLease(req.WorkerID, req.Rank)
+	if ok && req.Vectors > 0 {
+		cs.mu.Lock()
+		if req.Vectors > cs.vectors[req.Rank] {
+			cs.vectors[req.Rank] = req.Vectors
+		}
+		cs.mu.Unlock()
+	}
+	return HeartbeatResponse{OK: ok, Stop: cs.fr.ShouldStop()}
+}
+
+// Publish merges a synchronous full-snapshot publish (the v3 path,
+// kept for -sync-publish ablations and benchmarking).
+func (cs *CampaignState) Publish(req PublishRequest) PublishResponse {
+	if !cs.renewLease(req.WorkerID, req.Rank) {
+		return PublishResponse{OK: false}
+	}
+	cs.fr.Publish(req.Rank, CovFromWire(req.Coverage), req.Vectors)
+	cs.mu.Lock()
+	if req.Vectors > cs.vectors[req.Rank] {
+		cs.vectors[req.Rank] = req.Vectors
+	}
+	cs.mu.Unlock()
+	return PublishResponse{OK: true, Stop: cs.fr.ShouldStop()}
+}
+
+// ApplyBatch applies a batched fire-and-forget message: coverage
+// deltas in sequence order (skipping already-applied sequences) and
+// best-effort cache stores. Resync is set when the first delta the
+// coordinator sees from a rank has seq > 1 — a restarted coordinator
+// lost that rank's earlier deltas and asks for a full fold-in.
+func (cs *CampaignState) ApplyBatch(req BatchRequest) BatchResponse {
+	resp := BatchResponse{Stop: cs.fr.ShouldStop()}
+	if !cs.renewLease(req.WorkerID, req.Rank) {
+		return resp
+	}
+	resp.OK = true
+
+	cs.mu.Lock()
+	applied := cs.pubSeq[req.Rank]
+	cs.mu.Unlock()
+	for _, p := range req.Publishes {
+		if p.Seq <= applied {
+			continue
+		}
+		if applied == 0 && p.Seq > 1 {
+			resp.Resync = true
+		}
+		cs.fr.Publish(req.Rank, CovFromWire(p.Delta), p.Vectors)
+		applied = p.Seq
+		cs.mu.Lock()
+		if p.Vectors > cs.vectors[req.Rank] {
+			cs.vectors[req.Rank] = p.Vectors
+		}
+		cs.mu.Unlock()
+	}
+	cs.mu.Lock()
+	if applied > cs.pubSeq[req.Rank] {
+		cs.pubSeq[req.Rank] = applied
+	}
+	cs.mu.Unlock()
+
+	for _, s := range req.Stores {
+		if s.Value == nil {
+			continue
+		}
+		v, err := PlanFromWire(s.Value)
+		if err != nil {
+			continue // best-effort: a bad store only costs a re-solve
+		}
+		cs.cache.Store(KeyFromWire(s.Key), v)
+		cs.addSolverNS(v.Stats.BlastNS + v.Stats.SolveNS)
+	}
+
+	resp.AckSeq = applied
+	resp.Stop = cs.fr.ShouldStop()
+	return resp
+}
+
+// Cache answers a shared-plan-cache lookup or store.
+func (cs *CampaignState) Cache(req CacheRequest) (CacheResponse, *HTTPError) {
+	switch req.Op {
+	case "lookup":
+		v, ok := cs.cache.Lookup(KeyFromWire(req.Key))
+		if !ok {
+			return CacheResponse{}, nil
+		}
+		return CacheResponse{Found: true, Value: PlanToWire(v)}, nil
+	case "store":
+		if req.Value == nil {
+			return CacheResponse{}, &HTTPError{Code: 400, Msg: "store without value"}
+		}
+		v, err := PlanFromWire(req.Value)
+		if err != nil {
+			return CacheResponse{}, &HTTPError{Code: 400, Msg: err.Error()}
+		}
+		cs.cache.Store(KeyFromWire(req.Key), v)
+		cs.addSolverNS(v.Stats.BlastNS + v.Stats.SolveNS)
+		return CacheResponse{}, nil
+	default:
+		return CacheResponse{}, &HTTPError{Code: 400, Msg: fmt.Sprintf("unknown cache op %q", req.Op)}
+	}
+}
+
+// Report accepts a rank's final report. The journal write happens
+// before the ack: once the worker sees OK it will never redeliver, so
+// the record must be durable first.
+func (cs *CampaignState) Report(req ReportRequest) (ReportResponse, *HTTPError) {
+	if req.Rank < 0 || req.Rank >= cs.spec.Workers {
+		return ReportResponse{}, &HTTPError{Code: 400, Msg: fmt.Sprintf("rank %d out of range", req.Rank)}
+	}
+
+	cs.mu.Lock()
+	if cs.done[req.Rank] != nil {
+		// Duplicate delivery: the worker retried a report the previous
+		// coordinator incarnation already journaled. Ack idempotently.
+		n := len(cs.done)
+		cs.mu.Unlock()
+		return ReportResponse{OK: true, Done: n == cs.spec.Workers}, nil
+	}
+	l := cs.leases[req.Rank]
+	if l != nil && l.worker != req.WorkerID && time.Now().Before(l.expires) {
+		cs.mu.Unlock()
+		return ReportResponse{OK: false}, nil
+	}
+	cs.mu.Unlock()
+
+	rep := req.Report
+	if err := cs.jr.append(journalRecord{
+		Kind: "report", Rank: req.Rank,
+		Report: &rep, Coverage: &req.Coverage, Events: req.Events, Ledger: req.Ledger,
+	}); err != nil {
+		return ReportResponse{}, &HTTPError{Code: 500, Msg: err.Error()}
+	}
+
+	cv := CovFromWire(req.Coverage)
+	cs.fr.Publish(req.Rank, cv, rep.Vectors)
+	if req.Ledger != nil {
+		var ns int64
+		for i := range req.Ledger.Solver {
+			ns += req.Ledger.Solver[i].BlastNS + req.Ledger.Solver[i].SolveNS
+		}
+		cs.addSolverNS(ns)
+	}
+
+	cs.mu.Lock()
+	cs.done[req.Rank] = &rankResult{report: &rep, cov: cv, events: req.Events, ledger: req.Ledger}
+	delete(cs.leases, req.Rank)
+	n := len(cs.done)
+	if n == cs.spec.Workers && !cs.ended {
+		cs.ended = true
+		close(cs.doneCh)
+	}
+	cs.mu.Unlock()
+	return ReportResponse{OK: true, Done: n == cs.spec.Workers}, nil
+}
+
+// ---- finalization ----
+
+// Finalize merges the completed ranks by rank and builds the campaign
+// report — structurally the same par.Report an in-process campaign
+// produces. It runs at most once (telemetry re-emission must not
+// duplicate); later calls return the first result. Interrupted marks
+// a merge over a partial rank set.
+func (cs *CampaignState) Finalize(interrupted bool) (*par.Report, error) {
+	cs.finalOnce.Do(func() {
+		cs.finalRep, cs.finalErr = cs.finalize(interrupted)
+	})
+	return cs.finalRep, cs.finalErr
+}
+
+func (cs *CampaignState) finalize(interrupted bool) (*par.Report, error) {
+	cs.mu.Lock()
+	ranks := make([]int, 0, len(cs.done))
+	for r := 0; r < cs.spec.Workers; r++ {
+		if cs.done[r] != nil {
+			ranks = append(ranks, r)
+		}
+	}
+	covs := make([]*cov.CFGCov, 0, len(ranks))
+	reports := make([]*core.Report, 0, len(ranks))
+	var events []obs.Event
+	for _, r := range ranks {
+		covs = append(covs, cs.done[r].cov)
+		reports = append(reports, cs.done[r].report)
+		events = append(events, cs.done[r].events...)
+	}
+	cs.mu.Unlock()
+
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("dist: campaign interrupted before any rank completed")
+	}
+
+	merged := par.MergeReports(cs.part, covs, reports)
+	if interrupted {
+		merged.Interrupted = true
+	}
+
+	// Fold each completed rank's telemetry lane into the campaign
+	// trace, in rank order. Events are re-emitted verbatim (they carry
+	// the worker's own stamps), so each lane stays monotonic even when
+	// a replacement worker produced it.
+	o := cs.cfg.Obs
+	for i := range events {
+		o.EmitRaw(&events[i])
+	}
+	par.FinalizeMetrics(o, merged)
+	o.Cycles(merged.Cycles)
+	o.CampaignEnd(merged.Vectors, merged.FinalPoints)
+
+	out := &par.Report{
+		Workers:        cs.spec.Workers,
+		Merged:         merged,
+		WallNS:         int64(time.Since(cs.start)),
+		TargetPoints:   cs.cfg.StopAtPoints,
+		TimeToTargetNS: cs.fr.TimeToTargetNS(),
+		CacheHits:      cs.cache.Hits(),
+		CacheMisses:    cs.cache.Misses(),
+		Curve:          cs.fr.Curve(),
+	}
+	for r := 0; r < cs.spec.Workers; r++ {
+		out.Seeds = append(out.Seeds, par.WorkerSeed(cs.spec.Seed, r))
+	}
+	// PerWorker is indexed by rank; interrupted campaigns may have
+	// holes (nil) for ranks that never reported.
+	out.PerWorker = make([]*core.Report, cs.spec.Workers)
+	cs.mu.Lock()
+	for _, r := range ranks {
+		out.PerWorker[r] = cs.done[r].report
+	}
+	cs.mu.Unlock()
+	return out, nil
+}
+
+// Ledgers returns the completed ranks' cost ledgers in rank order
+// (nil entries are skipped — a rank ledger is only present when the
+// campaign spec enables profiling). The result is the same
+// rank-ordered sequence an in-process par campaign's base profiler
+// yields, so prof.NewDump over it is byte-identical to the
+// `-workers N` run's canonical dump.
+func (cs *CampaignState) Ledgers() []*prof.RankLedger {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	var out []*prof.RankLedger
+	for r := 0; r < cs.spec.Workers; r++ {
+		if res := cs.done[r]; res != nil && res.ledger != nil {
+			out = append(out, res.ledger)
+		}
+	}
+	return out
+}
+
+// WireLedger returns the per-RPC wire cost tally, sorted by RPC name.
+// Annotation only — see wireTally.
+func (cs *CampaignState) WireLedger() []prof.WireEntry {
+	return cs.wire.snapshot()
+}
+
+// Status is a point-in-time campaign summary for the fleet control
+// surface.
+type Status struct {
+	Campaign   string `json:"campaign,omitempty"`
+	CampaignID string `json:"campaign_id"`
+	Workers    int    `json:"workers"`
+	RanksDone  int    `json:"ranks_done"`
+	Leased     int    `json:"leased"`
+	Vectors    uint64 `json:"vectors"`
+	Points     int    `json:"points"`
+	Done       bool   `json:"done"`
+	SolverNS   int64  `json:"solver_ns"`
+	UptimeNS   int64  `json:"uptime_ns"`
+}
+
+// Status snapshots the campaign's progress.
+func (cs *CampaignState) Status() Status {
+	now := time.Now()
+	cs.mu.Lock()
+	leased := 0
+	for _, l := range cs.leases {
+		if now.Before(l.expires) {
+			leased++
+		}
+	}
+	var vectors uint64
+	ranks := make([]int, 0, len(cs.vectors))
+	for r := range cs.vectors {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		vectors += cs.vectors[r]
+	}
+	st := Status{
+		Campaign:   cs.cfg.Name,
+		CampaignID: cs.campaignID,
+		Workers:    cs.spec.Workers,
+		RanksDone:  len(cs.done),
+		Leased:     leased,
+		Vectors:    vectors,
+		Points:     cs.fr.Points(),
+		Done:       cs.ended,
+		SolverNS:   cs.solverNS,
+		UptimeNS:   int64(now.Sub(cs.start)),
+	}
+	cs.mu.Unlock()
+	return st
+}
+
+// CloseJournal closes the journal file (safe on nil journal).
+func (cs *CampaignState) CloseJournal() error { return cs.jr.Close() }
+
+// wireTally tallies per-RPC wire cost on the coordinator side: calls,
+// request/response bytes, and handler wall time per /v1 endpoint. It
+// is pure annotation — heartbeat and publish cadence are timer-driven,
+// so these numbers are not reproducible and never enter a canonical
+// ledger (Dump.Canonical drops the whole Wire section).
+type wireTally struct {
+	mu sync.Mutex
+	m  map[string]*prof.WireEntry
+}
+
+func (t *wireTally) add(rpc string, in, out, wallNS int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = map[string]*prof.WireEntry{}
+	}
+	e := t.m[rpc]
+	if e == nil {
+		e = &prof.WireEntry{RPC: rpc}
+		t.m[rpc] = e
+	}
+	e.Calls++
+	if in > 0 {
+		e.BytesIn += in
+	}
+	e.BytesOut += out
+	e.WallNS += wallNS
+}
+
+// snapshot returns the tally sorted by RPC name.
+func (t *wireTally) snapshot() []prof.WireEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []prof.WireEntry
+	for _, e := range t.m {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RPC < out[j].RPC })
+	return out
+}

@@ -48,7 +48,14 @@ import (
 // restart count in solver statistics. v3 added the Profile flag on
 // the campaign spec and the rank cost ledger on /v1/report, so the
 // coordinator can merge per-rank profiling ledgers rank-ordered.
-const ProtoVersion = 3
+// v4 added fleet multiplexing: the campaign name on every request (a
+// multi-campaign coordinator routes on it; a single-campaign
+// coordinator ignores it), the batched delta-encoded /v1/batch
+// message (coalesced coverage deltas + fire-and-forget cache stores,
+// with sequence numbers for idempotent redelivery and a resync signal
+// after a coordinator restart), and the Batch capability flag on the
+// join response.
+const ProtoVersion = 4
 
 // TraceCtx is the wire trace context: the emitting lane and span that
 // a message correlates with. On /v1/cache stores it names the solve
@@ -101,17 +108,23 @@ type CampaignSpec struct {
 
 // JoinRequest opens a worker session. RankHint (-1 for none) asks the
 // coordinator to prefer a specific shard rank at the next lease.
+// Campaign names the target campaign on a fleet coordinator (empty on
+// a single-campaign coordinator, which ignores it).
 type JoinRequest struct {
 	Proto    int    `json:"proto"`
 	WorkerID string `json:"worker_id"`
 	RankHint int    `json:"rank_hint"`
+	Campaign string `json:"campaign,omitempty"`
 }
 
-// JoinResponse carries the campaign identity and spec.
+// JoinResponse carries the campaign identity and spec. Batch=true
+// advertises the /v1/batch endpoint: the worker may switch coverage
+// publishes and cache stores to batched delta-encoded delivery.
 type JoinResponse struct {
 	Proto      int          `json:"proto"`
 	CampaignID string       `json:"campaign_id"`
 	Spec       CampaignSpec `json:"spec"`
+	Batch      bool         `json:"batch,omitempty"`
 }
 
 // LeaseRequest claims a shard rank. Rank -1 asks for any available
@@ -119,6 +132,7 @@ type JoinResponse struct {
 type LeaseRequest struct {
 	WorkerID string `json:"worker_id"`
 	Rank     int    `json:"rank"`
+	Campaign string `json:"campaign,omitempty"`
 }
 
 // LeaseResponse grants a rank (with its derived seed and the lease
@@ -137,6 +151,7 @@ type HeartbeatRequest struct {
 	WorkerID string `json:"worker_id"`
 	Rank     int    `json:"rank"`
 	Vectors  uint64 `json:"vectors"`
+	Campaign string `json:"campaign,omitempty"`
 }
 
 // HeartbeatResponse: OK=false means the lease was lost (expired and
@@ -159,6 +174,7 @@ type PublishRequest struct {
 	Vectors  uint64    `json:"vectors"`
 	Coverage CovWire   `json:"coverage"`
 	Trace    *TraceCtx `json:"trace,omitempty"`
+	Campaign string    `json:"campaign,omitempty"`
 }
 
 // PublishResponse mirrors HeartbeatResponse (a publish renews the
@@ -176,7 +192,8 @@ type CacheRequest struct {
 	Value *PlanWire   `json:"value,omitempty"`
 	// Trace carries the originating solve's span context on stores
 	// (mirrors Value.OriginWorker/OriginSpan).
-	Trace *TraceCtx `json:"trace,omitempty"`
+	Trace    *TraceCtx `json:"trace,omitempty"`
+	Campaign string    `json:"campaign,omitempty"`
 }
 
 // CacheResponse answers a lookup (Found + Value) or acks a store.
@@ -197,6 +214,7 @@ type ReportRequest struct {
 	Events   []obs.Event      `json:"events,omitempty"`
 	Trace    *TraceCtx        `json:"trace,omitempty"`
 	Ledger   *prof.RankLedger `json:"ledger,omitempty"`
+	Campaign string           `json:"campaign,omitempty"`
 }
 
 // ReportResponse acks the report; Done=true means every rank is
@@ -204,6 +222,52 @@ type ReportRequest struct {
 type ReportResponse struct {
 	OK   bool `json:"ok"`
 	Done bool `json:"done,omitempty"`
+}
+
+// PublishDelta is one delta-encoded coverage publish inside a batch:
+// only the coverage points the worker has not yet had acknowledged,
+// plus the rank's cumulative vector count at emit time. Seq numbers
+// deltas per rank so redelivery after a retried batch is idempotent
+// (the coordinator skips any delta at or below its applied sequence;
+// frontier inserts are set unions, so even a double-apply is
+// harmless).
+type PublishDelta struct {
+	Seq     uint64  `json:"seq"`
+	Vectors uint64  `json:"vectors"`
+	Delta   CovWire `json:"delta"`
+}
+
+// CacheStore is one fire-and-forget plan-cache store inside a batch.
+type CacheStore struct {
+	Key   PlanKeyWire `json:"key"`
+	Value *PlanWire   `json:"value"`
+	Trace *TraceCtx   `json:"trace,omitempty"`
+}
+
+// BatchRequest is the v4 batched fire-and-forget channel: coalesced
+// coverage deltas and cache stores from one rank, flushed by a
+// background publisher instead of blocking the engine at interval
+// boundaries. A batch renews the rank's lease like a publish does.
+type BatchRequest struct {
+	Campaign  string         `json:"campaign,omitempty"`
+	WorkerID  string         `json:"worker_id"`
+	Rank      int            `json:"rank"`
+	Publishes []PublishDelta `json:"publishes,omitempty"`
+	Stores    []CacheStore   `json:"stores,omitempty"`
+	Trace     *TraceCtx      `json:"trace,omitempty"`
+}
+
+// BatchResponse acks a batch. OK=false means the lease was lost.
+// AckSeq is the highest delta sequence applied for the rank. Resync
+// asks the worker to fold its full cumulative coverage into the next
+// delta: the coordinator restarted and lost earlier deltas, so the
+// baseline the worker has been diffing against is gone. Stop mirrors
+// the heartbeat stop signal.
+type BatchResponse struct {
+	OK     bool   `json:"ok"`
+	Stop   bool   `json:"stop,omitempty"`
+	AckSeq uint64 `json:"ack_seq,omitempty"`
+	Resync bool   `json:"resync,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx protocol answer.

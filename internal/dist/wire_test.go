@@ -32,9 +32,9 @@ func goldenFixtures() map[string]any {
 		Tuples: []string{"err|irq", "state|busy"},
 	}
 	return map[string]any{
-		"join_request":  JoinRequest{Proto: ProtoVersion, WorkerID: "host-1234", RankHint: 1},
-		"join_response": JoinResponse{Proto: ProtoVersion, CampaignID: "scmi_mailbox-w2-seed7", Spec: sampleSpec()},
-		"lease_request": LeaseRequest{WorkerID: "host-1234", Rank: -1},
+		"join_request":  JoinRequest{Proto: ProtoVersion, WorkerID: "host-1234", RankHint: 1, Campaign: "nightly-mailbox"},
+		"join_response": JoinResponse{Proto: ProtoVersion, CampaignID: "scmi_mailbox-w2-seed7", Spec: sampleSpec(), Batch: true},
+		"lease_request": LeaseRequest{WorkerID: "host-1234", Rank: -1, Campaign: "nightly-mailbox"},
 		"lease_response": LeaseResponse{
 			Rank: 1, Seed: 7 + 0x9E3779B9, TTLMS: 5000,
 		},
@@ -101,7 +101,28 @@ func goldenFixtures() map[string]any {
 			},
 		},
 		"report_response": ReportResponse{OK: true, Done: true},
-		"error_response":  ErrorResponse{Error: "protocol version mismatch: coordinator speaks v3, worker \"w\" speaks v4 — rebuild the worker from the same revision"},
+		"batch_request": BatchRequest{
+			Campaign: "nightly-mailbox", WorkerID: "host-1234", Rank: 1,
+			Publishes: []PublishDelta{
+				{Seq: 3, Vectors: 1450, Delta: CovWire{Nodes: [][]int{{5}, {}}, Edges: [][]int{{7}, {}}}},
+				{Seq: 4, Vectors: 1500, Delta: cw},
+			},
+			Stores: []CacheStore{{
+				Key: PlanKeyWire{Graph: 2, To: 5, Ctx: 0xDEADBEEF},
+				Value: &PlanWire{
+					Inputs: map[string]string{"din": "10x1", "we": "1"},
+					Stats: StatsWire{
+						Outcome: "sat", Conflicts: 3, Decisions: 17, Propagations: 120,
+						Restarts: 1, Clauses: 44, Vars: 18,
+					},
+					OriginWorker: 2, OriginSpan: "w2.i4.s2",
+				},
+				Trace: &TraceCtx{Worker: 2, Span: "w2.i4.s2"},
+			}},
+			Trace: &TraceCtx{Worker: 2, Span: "w2"},
+		},
+		"batch_response": BatchResponse{OK: true, AckSeq: 4, Resync: true},
+		"error_response": ErrorResponse{Error: "protocol version mismatch: coordinator speaks v3, worker \"w\" speaks v4 — rebuild the worker from the same revision"},
 	}
 }
 

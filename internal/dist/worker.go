@@ -24,12 +24,24 @@ type WorkerConfig struct {
 	// WorkerID must be unique per worker process (the CLI derives one
 	// from hostname+pid).
 	WorkerID string
+	// Campaign names the target campaign on a fleet coordinator; empty
+	// against a single-campaign coordinator.
+	Campaign string
 	// RankHint, when >= 0, asks for a specific shard rank first.
 	RankHint int
 	// MaxRanks bounds how many ranks this process will run (0 = keep
 	// leasing until the campaign is done; a single worker process can
 	// serially drain every rank of a campaign).
 	MaxRanks int
+
+	// SyncPublish forces the v3 synchronous full-snapshot publish path
+	// even when the coordinator advertises /v1/batch — the ablation arm
+	// of the wire-overhead benchmark.
+	SyncPublish bool
+	// FlushEvery / FlushInterval tune the batch publisher (defaults 8
+	// publishes / 25ms; test knobs).
+	FlushEvery    int
+	FlushInterval time.Duration
 
 	// test hooks (zero in production): DieAfterPublishes > 0 makes the
 	// worker return ErrWorkerDied after that many successful publishes
@@ -82,18 +94,22 @@ func (b *bufTracer) take() []obs.Event {
 // own entries. Network failures degrade to cache misses: the engine
 // then solves live, and because cached queries use canonical seeds
 // the result is byte-identical either way — cache availability can
-// change wall time, never a trajectory.
+// change wall time, never a trajectory. Lookups are synchronous (the
+// engine needs the answer); stores ride the batch publisher when one
+// is attached, the synchronous cache RPC otherwise.
 type remoteCache struct {
-	ctx context.Context
-	c   *Client
-	l1  *par.SolveCache
+	ctx      context.Context
+	c        *Client
+	l1       *par.SolveCache
+	campaign string
+	bp       *batchPublisher
 }
 
 func (rc *remoteCache) Lookup(k core.PlanKey) (core.CachedPlan, bool) {
 	if v, ok := rc.l1.Lookup(k); ok {
 		return v, true
 	}
-	resp, err := rc.c.Cache(rc.ctx, CacheRequest{Op: "lookup", Key: KeyToWire(k)})
+	resp, err := rc.c.Cache(rc.ctx, CacheRequest{Op: "lookup", Key: KeyToWire(k), Campaign: rc.campaign})
 	if err != nil || !resp.Found || resp.Value == nil {
 		return core.CachedPlan{}, false
 	}
@@ -110,9 +126,17 @@ func (rc *remoteCache) Store(k core.PlanKey, v core.CachedPlan) {
 	// Best-effort: a lost store only costs other workers a re-solve.
 	// The trace context names the solve span that produced the plan,
 	// so a hit on another rank links back to it in the merged trace.
+	if rc.bp != nil {
+		rc.bp.enqueueStore(CacheStore{
+			Key: KeyToWire(k), Value: PlanToWire(v),
+			Trace: &TraceCtx{Worker: v.OriginWorker, Span: v.OriginSpan},
+		})
+		return
+	}
 	_, _ = rc.c.Cache(rc.ctx, CacheRequest{
 		Op: "store", Key: KeyToWire(k), Value: PlanToWire(v),
-		Trace: &TraceCtx{Worker: v.OriginWorker, Span: v.OriginSpan},
+		Trace:    &TraceCtx{Worker: v.OriginWorker, Span: v.OriginSpan},
+		Campaign: rc.campaign,
 	})
 }
 
@@ -131,7 +155,7 @@ func RunWorker(ctx context.Context, c WorkerConfig) error {
 		cl = NewClient(c.Addr, seedFromID(c.WorkerID))
 	}
 
-	join, err := cl.Join(ctx, JoinRequest{Proto: ProtoVersion, WorkerID: c.WorkerID, RankHint: c.RankHint})
+	join, err := cl.Join(ctx, JoinRequest{Proto: ProtoVersion, WorkerID: c.WorkerID, RankHint: c.RankHint, Campaign: c.Campaign})
 	if err != nil {
 		return err
 	}
@@ -143,14 +167,18 @@ func RunWorker(ctx context.Context, c WorkerConfig) error {
 
 	w := &worker{
 		id:            c.WorkerID,
+		campaign:      c.Campaign,
 		cl:            cl,
 		spec:          spec,
 		bench:         bench,
 		properties:    properties,
+		batch:         join.Batch && !c.SyncPublish,
+		flushEvery:    c.FlushEvery,
+		flushInterval: c.FlushInterval,
 		publishesLeft: c.DieAfterPublishes,
 	}
 	if spec.Workers > 1 {
-		w.cache = &remoteCache{ctx: ctx, c: cl, l1: par.NewSolveCache()}
+		w.l1 = par.NewSolveCache()
 	}
 
 	hint := c.RankHint
@@ -158,7 +186,7 @@ func RunWorker(ctx context.Context, c WorkerConfig) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		lr, err := cl.Lease(ctx, LeaseRequest{WorkerID: c.WorkerID, Rank: hint})
+		lr, err := cl.Lease(ctx, LeaseRequest{WorkerID: c.WorkerID, Rank: hint, Campaign: c.Campaign})
 		if err != nil {
 			return err
 		}
@@ -198,11 +226,20 @@ func RunWorker(ctx context.Context, c WorkerConfig) error {
 // worker is the per-process state shared across the ranks it runs.
 type worker struct {
 	id         string
+	campaign   string
 	cl         *Client
 	spec       CampaignSpec
 	bench      *designs.Benchmark
 	properties []*props.Property
-	cache      *remoteCache
+	// l1 is the process-local plan cache shared across the ranks this
+	// worker runs (per-rank remoteCache adapters wrap it).
+	l1 *par.SolveCache
+
+	// batch selects the v4 batched publish path (the coordinator
+	// advertised /v1/batch and SyncPublish did not veto it).
+	batch         bool
+	flushEvery    int
+	flushInterval time.Duration
 
 	// publishesLeft counts down to the induced crash (test hook);
 	// negative or zero at start means never.
@@ -245,33 +282,66 @@ func (w *worker) runRank(ctx context.Context, lr LeaseResponse) error {
 		profiler = prof.New(prof.Options{Rank: lr.Rank})
 		wc.Prof = profiler
 	}
-	if w.cache != nil {
-		wc.PlanCache = w.cache
+	rankTrace := &TraceCtx{Worker: lane.Lane(), Span: lane.RootSpan()}
+	var pub *batchPublisher
+	if w.batch {
+		pub = newBatchPublisher(rankCtx, w.cl, w.campaign, w.id, lr.Rank, rankTrace,
+			w.flushEvery, w.flushInterval)
+		defer pub.close()
+	}
+	if w.l1 != nil {
+		wc.PlanCache = &remoteCache{ctx: rankCtx, c: w.cl, l1: w.l1, campaign: w.campaign, bp: pub}
 	}
 	var publishErr error
-	wc.Sync = func(cv *cov.CFGCov, rep *core.Report) bool {
-		resp, err := w.cl.Publish(rankCtx, PublishRequest{
-			WorkerID: w.id, Rank: lr.Rank, Vectors: rep.Vectors, Coverage: CovToWire(cv),
-			Trace: &TraceCtx{Worker: lane.Lane(), Span: lane.RootSpan()},
-		})
-		if err != nil {
-			// Coordinator unreachable past the client's retry budget:
-			// record and stop — the report can't be delivered either.
-			publishErr = err
-			return true
-		}
-		if !resp.OK {
-			abandon()
-			return true
-		}
-		if w.publishesLeft > 0 {
-			w.publishesLeft--
-			if w.publishesLeft == 0 {
-				publishErr = ErrWorkerDied
+	if pub != nil {
+		// Batched path: the Sync hook only diffs local coverage into
+		// the publisher's pending delta — no I/O at interval
+		// boundaries. Lease loss and stop conditions surface through
+		// batch responses and heartbeats.
+		wc.Sync = func(cv *cov.CFGCov, rep *core.Report) bool {
+			pub.enqueuePublish(cv, rep.Vectors)
+			if w.publishesLeft > 0 {
+				w.publishesLeft--
+				if w.publishesLeft == 0 {
+					publishErr = ErrWorkerDied
+					return true
+				}
+			}
+			if pub.lost.Load() {
+				abandon()
 				return true
 			}
+			if err := pub.Err(); err != nil {
+				publishErr = err
+				return true
+			}
+			return pub.stop.Load()
 		}
-		return resp.Stop
+	} else {
+		wc.Sync = func(cv *cov.CFGCov, rep *core.Report) bool {
+			resp, err := w.cl.Publish(rankCtx, PublishRequest{
+				WorkerID: w.id, Rank: lr.Rank, Vectors: rep.Vectors, Coverage: CovToWire(cv),
+				Trace: rankTrace, Campaign: w.campaign,
+			})
+			if err != nil {
+				// Coordinator unreachable past the client's retry budget:
+				// record and stop — the report can't be delivered either.
+				publishErr = err
+				return true
+			}
+			if !resp.OK {
+				abandon()
+				return true
+			}
+			if w.publishesLeft > 0 {
+				w.publishesLeft--
+				if w.publishesLeft == 0 {
+					publishErr = ErrWorkerDied
+					return true
+				}
+			}
+			return resp.Stop
+		}
 	}
 
 	eng, err := core.New(d, w.properties, wc)
@@ -297,10 +367,15 @@ func (w *worker) runRank(ctx context.Context, lr LeaseResponse) error {
 			case <-rankCtx.Done():
 				return
 			case <-tick.C:
-				resp, err := w.cl.Heartbeat(rankCtx, HeartbeatRequest{WorkerID: w.id, Rank: lr.Rank})
+				resp, err := w.cl.Heartbeat(rankCtx, HeartbeatRequest{WorkerID: w.id, Rank: lr.Rank, Campaign: w.campaign})
 				if err == nil && !resp.OK {
 					abandon()
 					return
+				}
+				if err == nil && resp.Stop && pub != nil {
+					// Batched publishes don't carry the stop signal back
+					// synchronously; relay it from the heartbeat.
+					pub.stop.Store(true)
 				}
 			}
 		}
@@ -321,6 +396,12 @@ func (w *worker) runRank(ctx context.Context, lr LeaseResponse) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if pub != nil {
+		// Drain the publisher before reporting so queued cache stores
+		// land; the report itself carries the full cumulative coverage,
+		// so lost deltas cannot cost correctness.
+		pub.close()
+	}
 
 	resp, err := w.cl.Report(ctx, ReportRequest{
 		WorkerID: w.id,
@@ -328,8 +409,9 @@ func (w *worker) runRank(ctx context.Context, lr LeaseResponse) error {
 		Report:   *rep,
 		Coverage: CovToWire(eng.Coverage()),
 		Events:   buf.take(),
-		Trace:    &TraceCtx{Worker: lane.Lane(), Span: lane.RootSpan()},
+		Trace:    rankTrace,
 		Ledger:   profiler.Ledger(),
+		Campaign: w.campaign,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,279 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/obs"
+)
+
+// ---- HTTP plumbing (mirrors the single-campaign coordinator's) ----
+
+func decode[T any](w http.ResponseWriter, r *http.Request, req *T) bool {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(req); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(dist.ErrorResponse{Error: msg})
+}
+
+// write429 answers a quota rejection with the Retry-After the worker
+// client's backoff honors.
+func write429(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusTooManyRequests, msg)
+}
+
+// ---- worker-facing endpoints (campaign-routed) ----
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req dist.JoinRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c, herr := s.lookup(req.Campaign)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
+		return
+	}
+	resp, herr := c.cs.Join(req, true)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req dist.LeaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c, herr := s.lookup(req.Campaign)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
+		return
+	}
+	if c.cancelled.Load() {
+		writeJSON(w, dist.LeaseResponse{Rank: -1, Done: true})
+		return
+	}
+	writeJSON(w, c.cs.Lease(req))
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req dist.HeartbeatRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c, herr := s.lookup(req.Campaign)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
+		return
+	}
+	resp := c.cs.Heartbeat(req)
+	if c.cancelled.Load() {
+		resp.Stop = true
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var req dist.PublishRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c, herr := s.lookup(req.Campaign)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
+		return
+	}
+	resp := c.cs.Publish(req)
+	if c.cancelled.Load() {
+		resp.Stop = true
+	}
+	writeJSON(w, resp)
+}
+
+// handleBatch is the admission-controlled ingest path: the request is
+// enqueued on its campaign's bounded queue and the handler waits for
+// the drainer's response. A full queue (depth or bytes) answers 429 +
+// Retry-After without touching campaign state — that rejection is the
+// backpressure signal, and the worker's delta survives locally until
+// a later flush succeeds.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req dist.BatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c, herr := s.lookup(req.Campaign)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
+		return
+	}
+	n := r.ContentLength
+	if n < 0 {
+		n = 0
+	}
+	if c.queuedBytes.Load()+n > s.quota.QueueBytes {
+		c.c429.Inc()
+		write429(w, "campaign ingest queue over byte budget")
+		return
+	}
+	in := ingest{req: req, bytes: n, resp: make(chan dist.BatchResponse, 1)}
+	select {
+	case c.queue <- in:
+	default:
+		c.c429.Inc()
+		write429(w, "campaign ingest queue full")
+		return
+	}
+	c.queuedBytes.Add(n)
+	c.gDepth.Set(int64(len(c.queue)))
+	c.gBytes.Set(c.queuedBytes.Load())
+	select {
+	case resp := <-in.resp:
+		writeJSON(w, resp)
+	case <-r.Context().Done():
+		// Client gave up; the drainer will still apply the batch and
+		// its buffered response just gets dropped.
+	}
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	var req dist.CacheRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c, herr := s.lookup(req.Campaign)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
+		return
+	}
+	resp, herr := c.cs.Cache(req)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req dist.ReportRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c, herr := s.lookup(req.Campaign)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
+		return
+	}
+	resp, herr := c.cs.Report(req)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// ---- control surface ----
+
+// handleCampaigns serves the collection: POST creates, GET lists.
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req CreateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "malformed request: "+err.Error())
+			return
+		}
+		c, herr := s.admit(req, false)
+		if herr != nil {
+			if herr.Code == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeErr(w, herr.Code, herr.Msg)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		writeJSON(w, c.status())
+	case http.MethodGet:
+		resp := ListResponse{Campaigns: []CampaignStatus{}}
+		for _, c := range s.campaignsSorted() {
+			resp.Campaigns = append(resp.Campaigns, c.status())
+		}
+		writeJSON(w, resp)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "POST or GET required")
+	}
+}
+
+// handleCampaign serves one campaign: GET status, GET <name>/report,
+// DELETE cancel.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/campaigns/")
+	name, sub := rest, ""
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		name, sub = rest[:i], rest[i+1:]
+	}
+	c, herr := s.lookup(name)
+	if herr != nil {
+		writeErr(w, herr.Code, herr.Msg)
+		return
+	}
+	switch {
+	case r.Method == http.MethodGet && sub == "":
+		writeJSON(w, c.status())
+	case r.Method == http.MethodGet && sub == "report":
+		rep, err := s.Report(name)
+		if err != nil {
+			writeErr(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeJSON(w, rep)
+	case r.Method == http.MethodDelete && sub == "":
+		// Cancel: trip the stop signal and mark the campaign. Workers
+		// stop at their next boundary; the journal and final report
+		// (marked Interrupted) remain fetchable.
+		c.cancelled.Store(true)
+		c.cs.ForceStop()
+		writeJSON(w, c.status())
+	default:
+		writeErr(w, http.StatusNotFound, "unknown campaign endpoint")
+	}
+}
+
+// handleFleet serves the whole-fleet rollup.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	st := FleetStatus{Campaigns: []CampaignStatus{}, UptimeNS: int64(sinceStart(s))}
+	for _, c := range s.campaignsSorted() {
+		st.Campaigns = append(st.Campaigns, c.status())
+	}
+	writeJSON(w, st)
+}
+
+// handleMetrics exports every campaign's registry under a
+// campaign="<name>" label on one endpoint.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	for _, c := range s.campaignsSorted() {
+		_ = obs.WritePrometheusLabeled(w, c.reg, map[string]string{"campaign": c.name})
+	}
+}

@@ -1,0 +1,547 @@
+// Package fleet is the multi-campaign coordinator: one process
+// hosting many named campaigns behind the v4 wire protocol. Each
+// campaign keeps its own frontier, plan cache, lease table, journal
+// and metrics registry — a dist.CampaignState — and every worker RPC
+// carries a campaign name that routes it to the right state machine.
+//
+// The fleet adds what a single-campaign coordinator does not need:
+//
+//   - Admission control: campaign names are validated, campaign count
+//     and per-campaign rank count are capped, and a full ingest queue
+//     answers 429 with Retry-After instead of buffering unboundedly.
+//     Workers already treat 429 as a retryable backoff signal, so
+//     backpressure degrades throughput, never correctness.
+//   - Bounded ingest: batched publishes/stores flow through one
+//     bounded queue per campaign, drained by one goroutine per
+//     campaign — so a noisy campaign saturates its own queue and its
+//     own drainer, not its neighbours'.
+//   - Budget enforcement: a campaign that exhausts its solver-seconds
+//     budget is force-stopped; its workers stop at the next interval
+//     boundary and deliver partial reports, exactly like a ctrl-C.
+//   - A control surface (/v1/campaigns) to create, list, inspect,
+//     fetch reports from, and cancel campaigns, plus a /metrics
+//     endpoint exporting every campaign's registry under a
+//     campaign="<name>" label.
+//
+// Determinism is inherited, not re-proven: the fleet routes wire
+// requests to the same CampaignState a single-campaign coordinator
+// uses, so each campaign's merged report stays byte-identical to the
+// equivalent -serve or in-process -workers run, regardless of what
+// the other campaigns on the process are doing.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// nameRE validates campaign names: they become journal file names and
+// metric label values, so the alphabet is deliberately narrow.
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
+
+// Quota is the fleet admission policy. Zero fields take defaults;
+// there is no "unlimited" campaign count or queue — a fleet without
+// bounds is a single tenant away from OOM.
+type Quota struct {
+	// MaxCampaigns caps concurrently hosted campaigns (default 16).
+	MaxCampaigns int
+	// MaxWorkers caps a single campaign's rank count (default 64).
+	MaxWorkers int
+	// QueueDepth bounds each campaign's ingest queue in batches
+	// (default 64). A full queue answers 429 + Retry-After.
+	QueueDepth int
+	// QueueBytes bounds each campaign's queued request bytes
+	// (default 8 MiB). Exceeding it answers 429 + Retry-After.
+	QueueBytes int64
+	// SolverBudgetNS force-stops a campaign once its accumulated
+	// solver wall time (blast + CDCL across all ranks) passes the
+	// budget. 0 means unlimited.
+	SolverBudgetNS int64
+}
+
+func (q Quota) withDefaults() Quota {
+	if q.MaxCampaigns <= 0 {
+		q.MaxCampaigns = 16
+	}
+	if q.MaxWorkers <= 0 {
+		q.MaxWorkers = 64
+	}
+	if q.QueueDepth <= 0 {
+		q.QueueDepth = 64
+	}
+	if q.QueueBytes <= 0 {
+		q.QueueBytes = 8 << 20
+	}
+	return q
+}
+
+// Config parameterizes a fleet server.
+type Config struct {
+	// JournalDir, when set, gives every campaign a journal at
+	// <dir>/<name>.jsonl. Resume re-admits each journaled campaign at
+	// startup (the journal's campaign record carries its spec).
+	JournalDir string
+	Resume     bool
+
+	// TraceDir, when set, writes every campaign's merged multi-rank
+	// event trace to <dir>/<name>.trace.jsonl at finalization. Rank
+	// events ride the report wire (and the journal), so the trace is
+	// complete even across worker replacement and fleet restart — a
+	// resumed campaign rewrites the file whole.
+	TraceDir string
+
+	// LeaseTTL and CompactBytes apply to every hosted campaign
+	// (dist.CoordConfig semantics).
+	LeaseTTL     time.Duration
+	CompactBytes int64
+
+	Quota Quota
+
+	// DrainDelay artificially slows each campaign's queue drainer —
+	// a test hook for forcing 429 backpressure deterministically.
+	DrainDelay time.Duration
+}
+
+// CreateRequest is the body of POST /v1/campaigns.
+type CreateRequest struct {
+	Name               string            `json:"name"`
+	Spec               dist.CampaignSpec `json:"spec"`
+	StopAtPoints       int               `json:"stop_at_points,omitempty"`
+	StopWhenAllCovered bool              `json:"stop_when_all_covered,omitempty"`
+}
+
+// CampaignStatus augments a campaign's state-machine status with the
+// fleet's queue and admission counters.
+type CampaignStatus struct {
+	dist.Status
+	QueueDepth  int   `json:"queue_depth"`
+	QueueBytes  int64 `json:"queue_bytes"`
+	Batches     int64 `json:"batches"`
+	Rejected429 int64 `json:"rejected_429"`
+	Dropped     int64 `json:"dropped"`
+	Cancelled   bool  `json:"cancelled,omitempty"`
+	BudgetStop  bool  `json:"budget_stop,omitempty"`
+}
+
+// FleetStatus is the GET /v1/fleet rollup: everything fuzzreport's
+// fleet page and fuzzctl's list view need in one response.
+type FleetStatus struct {
+	Campaigns []CampaignStatus `json:"campaigns"`
+	UptimeNS  int64            `json:"uptime_ns"`
+}
+
+// ListResponse is the body of GET /v1/campaigns.
+type ListResponse struct {
+	Campaigns []CampaignStatus `json:"campaigns"`
+}
+
+// campaign is one hosted campaign: its state machine, its bounded
+// ingest queue, and its pre-bound fleet instruments.
+type campaign struct {
+	name string
+	cs   *dist.CampaignState
+	reg  *obs.Registry
+	obs  *obs.Observer
+
+	queue       chan ingest
+	queuedBytes atomic.Int64
+	cancelled   atomic.Bool
+	budgetStop  atomic.Bool
+
+	gDepth   *obs.Gauge
+	gBytes   *obs.Gauge
+	cBatches *obs.Counter
+	c429     *obs.Counter
+	cDropped *obs.Counter
+	hBytes   *obs.Histogram // delta-batch sizes (request bytes)
+	hDeltas  *obs.Histogram // publishes coalesced per batch
+}
+
+// ingest is one queued batch plus its response rendezvous. resp is
+// buffered so the drainer never blocks on a handler that gave up.
+type ingest struct {
+	req   dist.BatchRequest
+	bytes int64
+	resp  chan dist.BatchResponse
+}
+
+// batchSizeBounds buckets delta-batch request sizes in bytes.
+var batchSizeBounds = []int64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// deltaCountBounds buckets publishes coalesced per batch.
+var deltaCountBounds = []int64{1, 2, 4, 8, 16, 32}
+
+// Server is the fleet host.
+type Server struct {
+	cfg   Config
+	quota Quota
+	start time.Time
+
+	mu    sync.Mutex
+	camps map[string]*campaign
+
+	quit     chan struct{} // closed on Shutdown, after the HTTP drain
+	quitOnce sync.Once
+	wg       sync.WaitGroup
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer binds addr and starts serving. With Resume set and a
+// journal directory, every <name>.jsonl journal found there is
+// re-admitted before the listener opens, so workers reconnecting
+// after a fleet restart find their campaigns already live.
+func NewServer(addr string, cfg Config) (*Server, error) {
+	s := &Server{
+		cfg:   cfg,
+		quota: cfg.Quota.withDefaults(),
+		camps: map[string]*campaign{},
+		quit:  make(chan struct{}),
+		start: time.Now(),
+	}
+	if cfg.TraceDir != "" {
+		if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: trace dir: %w", err)
+		}
+	}
+	if cfg.JournalDir != "" {
+		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: journal dir: %w", err)
+		}
+		if cfg.Resume {
+			if err := s.resumeJournals(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/join", s.handleJoin)
+	mux.HandleFunc("/v1/lease", s.handleLease)
+	mux.HandleFunc("/v1/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("/v1/publish", s.handlePublish)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/cache", s.handleCache)
+	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/campaigns", s.handleCampaigns)
+	mux.HandleFunc("/v1/campaigns/", s.handleCampaign)
+	mux.HandleFunc("/v1/fleet", s.handleFleet)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// resumeJournals re-admits every campaign whose journal survives in
+// the journal directory. Files without a campaign record (e.g. a
+// journal torn before its first fsync) are skipped, not fatal.
+func (s *Server) resumeJournals() error {
+	ents, err := os.ReadDir(s.cfg.JournalDir)
+	if err != nil {
+		return fmt.Errorf("fleet: resume: %w", err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".jsonl") {
+			names = append(names, strings.TrimSuffix(e.Name(), ".jsonl"))
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		spec, jname, err := dist.LoadJournalSpec(filepath.Join(s.cfg.JournalDir, name+".jsonl"))
+		if err != nil || spec == nil {
+			continue
+		}
+		if jname == "" {
+			jname = name
+		}
+		if jname != name || !nameRE.MatchString(name) {
+			continue // journal does not belong at this path; leave it alone
+		}
+		if _, herr := s.admit(CreateRequest{Name: name, Spec: *spec}, true); herr != nil {
+			return fmt.Errorf("fleet: resume %s: %s", name, herr.Msg)
+		}
+	}
+	return nil
+}
+
+// admit runs the admission pipeline and installs the campaign. The
+// quota errors are 4xx so a misbehaving tenant cannot distinguish
+// "rejected" from "broken" — both are its own problem, not ours.
+func (s *Server) admit(req CreateRequest, resume bool) (*campaign, *dist.HTTPError) {
+	if !nameRE.MatchString(req.Name) {
+		return nil, &dist.HTTPError{Code: 400, Msg: fmt.Sprintf("invalid campaign name %q (want %s)", req.Name, nameRE)}
+	}
+	if req.Spec.Workers > s.quota.MaxWorkers {
+		return nil, &dist.HTTPError{Code: 400, Msg: fmt.Sprintf(
+			"campaign %q wants %d ranks; quota allows %d", req.Name, req.Spec.Workers, s.quota.MaxWorkers)}
+	}
+
+	s.mu.Lock()
+	if s.camps[req.Name] != nil {
+		s.mu.Unlock()
+		return nil, &dist.HTTPError{Code: 409, Msg: fmt.Sprintf("campaign %q already exists", req.Name)}
+	}
+	if len(s.camps) >= s.quota.MaxCampaigns {
+		s.mu.Unlock()
+		return nil, &dist.HTTPError{Code: 429, Msg: fmt.Sprintf(
+			"fleet at capacity (%d campaigns); cancel one or retry later", s.quota.MaxCampaigns)}
+	}
+	s.mu.Unlock()
+
+	reg := obs.NewRegistry()
+	oo := obs.Options{Registry: reg}
+	if s.cfg.TraceDir != "" {
+		f, err := os.Create(filepath.Join(s.cfg.TraceDir, req.Name+".trace.jsonl"))
+		if err != nil {
+			return nil, &dist.HTTPError{Code: 500, Msg: fmt.Sprintf("trace file: %v", err)}
+		}
+		oo.Tracer = obs.NewJSONLTracer(f)
+	}
+	o := obs.New(oo)
+	cc := dist.CoordConfig{
+		Spec:               req.Spec,
+		Name:               req.Name,
+		LeaseTTL:           s.cfg.LeaseTTL,
+		CompactBytes:       s.cfg.CompactBytes,
+		Obs:                o,
+		StopAtPoints:       req.StopAtPoints,
+		StopWhenAllCovered: req.StopWhenAllCovered,
+	}
+	if s.cfg.JournalDir != "" {
+		cc.JournalPath = filepath.Join(s.cfg.JournalDir, req.Name+".jsonl")
+		cc.Resume = resume
+	}
+	cs, err := dist.NewCampaignState(cc)
+	if err != nil {
+		_ = o.Close()
+		return nil, &dist.HTTPError{Code: 400, Msg: err.Error()}
+	}
+
+	c := &campaign{
+		name:     req.Name,
+		cs:       cs,
+		reg:      reg,
+		obs:      o,
+		queue:    make(chan ingest, s.quota.QueueDepth),
+		gDepth:   reg.Gauge("fleet_queue_depth"),
+		gBytes:   reg.Gauge("fleet_queue_bytes"),
+		cBatches: reg.Counter("fleet_batches_total"),
+		c429:     reg.Counter("fleet_batch_rejected_total"),
+		cDropped: reg.Counter("fleet_batch_dropped_total"),
+		hBytes:   reg.Histogram("fleet_batch_bytes", batchSizeBounds),
+		hDeltas:  reg.Histogram("fleet_batch_publishes", deltaCountBounds),
+	}
+
+	s.mu.Lock()
+	if s.camps[req.Name] != nil {
+		s.mu.Unlock()
+		cs.CloseJournal()
+		_ = o.Close()
+		return nil, &dist.HTTPError{Code: 409, Msg: fmt.Sprintf("campaign %q already exists", req.Name)}
+	}
+	if len(s.camps) >= s.quota.MaxCampaigns {
+		s.mu.Unlock()
+		cs.CloseJournal()
+		_ = o.Close()
+		return nil, &dist.HTTPError{Code: 429, Msg: fmt.Sprintf(
+			"fleet at capacity (%d campaigns); cancel one or retry later", s.quota.MaxCampaigns)}
+	}
+	s.camps[req.Name] = c
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.drain(c)
+	return c, nil
+}
+
+// drain is a campaign's single ingest consumer: batches apply in
+// arrival order, the solver budget is enforced at the same point the
+// spend is recorded, and the queue gauges track the drain. One
+// goroutine per campaign means one campaign's backlog never delays
+// another's.
+func (s *Server) drain(c *campaign) {
+	defer s.wg.Done()
+	for {
+		select {
+		case in := <-c.queue:
+			if s.cfg.DrainDelay > 0 {
+				time.Sleep(s.cfg.DrainDelay)
+			}
+			var resp dist.BatchResponse
+			if c.cancelled.Load() {
+				// A cancelled campaign answers batches with OK=false —
+				// workers abandon the rank instead of retrying forever.
+				c.cDropped.Inc()
+			} else {
+				resp = c.cs.ApplyBatch(in.req)
+				c.cBatches.Inc()
+				c.hBytes.Observe(in.bytes)
+				c.hDeltas.Observe(int64(len(in.req.Publishes)))
+				c.cs.AddWire("batch", in.bytes, 0, 0)
+				if b := s.quota.SolverBudgetNS; b > 0 && c.cs.SolverNS() > b && !c.budgetStop.Swap(true) {
+					c.cs.ForceStop()
+					c.reg.Counter("fleet_budget_stops_total").Inc()
+				}
+			}
+			c.queuedBytes.Add(-in.bytes)
+			c.gDepth.Set(int64(len(c.queue)))
+			c.gBytes.Set(c.queuedBytes.Load())
+			in.resp <- resp
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// lookup resolves a campaign by name. An empty name resolves when the
+// fleet hosts exactly one campaign, so a plain single-campaign worker
+// (no -campaign flag) can target a one-tenant fleet.
+func (s *Server) lookup(name string) (*campaign, *dist.HTTPError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" {
+		if len(s.camps) == 1 {
+			for _, c := range s.camps {
+				return c, nil
+			}
+		}
+		return nil, &dist.HTTPError{Code: 404, Msg: fmt.Sprintf(
+			"request names no campaign and the fleet hosts %d; set the campaign field", len(s.camps))}
+	}
+	c := s.camps[name]
+	if c == nil {
+		return nil, &dist.HTTPError{Code: 404, Msg: fmt.Sprintf("no campaign %q", name)}
+	}
+	return c, nil
+}
+
+// status snapshots one campaign.
+func (c *campaign) status() CampaignStatus {
+	return CampaignStatus{
+		Status:      c.cs.Status(),
+		QueueDepth:  len(c.queue),
+		QueueBytes:  c.queuedBytes.Load(),
+		Batches:     c.cBatches.Value(),
+		Rejected429: c.c429.Value(),
+		Dropped:     c.cDropped.Value(),
+		Cancelled:   c.cancelled.Load(),
+		BudgetStop:  c.budgetStop.Load(),
+	}
+}
+
+// campaignsSorted snapshots the campaign set in name order.
+func (s *Server) campaignsSorted() []*campaign {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.camps))
+	for name := range s.camps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*campaign, 0, len(names))
+	for _, name := range names {
+		out = append(out, s.camps[name])
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Report finalizes and returns a completed campaign's merged report —
+// the same par.Report a single-campaign coordinator's Wait returns.
+// It fails while ranks are still running unless the campaign was
+// cancelled (a cancelled campaign merges what completed, marked
+// Interrupted).
+func (s *Server) Report(name string) (*par.Report, error) {
+	c, herr := s.lookup(name)
+	if herr != nil {
+		return nil, fmt.Errorf("%s", herr.Msg)
+	}
+	select {
+	case <-c.cs.Done():
+	default:
+		if !c.cancelled.Load() {
+			return nil, fmt.Errorf("fleet: campaign %q still running", name)
+		}
+	}
+	return c.cs.Finalize(c.cancelled.Load())
+}
+
+// WaitCampaign blocks until the named campaign's ranks all report (or
+// ctx ends, which cancels the campaign) and returns its merged report.
+func (s *Server) WaitCampaign(ctx context.Context, name string) (*par.Report, error) {
+	c, herr := s.lookup(name)
+	if herr != nil {
+		return nil, fmt.Errorf("%s", herr.Msg)
+	}
+	interrupted := false
+	select {
+	case <-c.cs.Done():
+	case <-ctx.Done():
+		interrupted = true
+		c.cancelled.Store(true)
+		c.cs.ForceStop()
+		select {
+		case <-c.cs.Done():
+		case <-time.After(s.leaseTTL() + 5*time.Second):
+		}
+	}
+	return c.cs.Finalize(interrupted)
+}
+
+func sinceStart(s *Server) time.Duration { return time.Since(s.start) }
+
+func (s *Server) leaseTTL() time.Duration {
+	if s.cfg.LeaseTTL > 0 {
+		return s.cfg.LeaseTTL
+	}
+	return 5 * time.Second
+}
+
+// Shutdown drains the HTTP server, stops the drainers, finalizes
+// every completed campaign (flushing its merged trace), and closes
+// every journal. Handlers parked on their campaign's drainer finish
+// first (Shutdown waits for in-flight requests), so no queued batch
+// is left unanswered.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	s.quitOnce.Do(func() { close(s.quit) })
+	s.wg.Wait()
+	for _, c := range s.campaignsSorted() {
+		select {
+		case <-c.cs.Done():
+			// Finalize is idempotent; this emits the merged trace if no
+			// report fetch already did.
+			_, _ = c.cs.Finalize(c.cancelled.Load())
+		default:
+		}
+		if cerr := c.obs.Close(); err == nil {
+			err = cerr
+		}
+		if cerr := c.cs.CloseJournal(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

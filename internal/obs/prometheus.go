@@ -19,6 +19,35 @@ const promNamespace = "symbfuzz_"
 // _sum and _count series. Names are emitted in sorted order so the
 // output is deterministic for a fixed registry state.
 func WritePrometheus(w io.Writer, r *Registry) error {
+	return WritePrometheusLabeled(w, r, nil)
+}
+
+// WritePrometheusLabeled is WritePrometheus with a fixed label set
+// attached to every sample — how a multi-campaign host exports one
+// registry per campaign on a single /metrics endpoint without name
+// collisions (e.g. labels = {"campaign": "nightly-mailbox"}). Label
+// names are emitted sorted; values are escaped per the exposition
+// format. Histogram buckets merge the label set with their le label.
+func WritePrometheusLabeled(w io.Writer, r *Registry, labels map[string]string) error {
+	var base string // rendered `k1="v1",k2="v2"` prefix, or ""
+	if len(labels) > 0 {
+		keys := sortedKeys(labels)
+		for i, k := range keys {
+			if i > 0 {
+				base += ","
+			}
+			base += k + `="` + escapeLabel(labels[k]) + `"`
+		}
+	}
+	plain := ""
+	if base != "" {
+		plain = "{" + base + "}"
+	}
+	leSep := ""
+	if base != "" {
+		leSep = base + ","
+	}
+
 	bw := bufio.NewWriter(w)
 	if r != nil {
 		// Copy instrument pointers under the lock: concurrent instrument
@@ -44,11 +73,11 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 
 		for _, name := range ctrNames {
 			fmt.Fprintf(bw, "# TYPE %s%s counter\n", promNamespace, name)
-			fmt.Fprintf(bw, "%s%s %d\n", promNamespace, name, ctrs[name].Value())
+			fmt.Fprintf(bw, "%s%s%s %d\n", promNamespace, name, plain, ctrs[name].Value())
 		}
 		for _, name := range gaugeNames {
 			fmt.Fprintf(bw, "# TYPE %s%s gauge\n", promNamespace, name)
-			fmt.Fprintf(bw, "%s%s %d\n", promNamespace, name, gauges[name].Value())
+			fmt.Fprintf(bw, "%s%s%s %d\n", promNamespace, name, plain, gauges[name].Value())
 		}
 		for _, name := range histNames {
 			h := hists[name]
@@ -56,15 +85,33 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 			var cum int64
 			for i, bound := range h.Bounds() {
 				cum += h.BucketCount(i)
-				fmt.Fprintf(bw, "%s%s_bucket{le=\"%d\"} %d\n", promNamespace, name, bound, cum)
+				fmt.Fprintf(bw, "%s%s_bucket{%sle=\"%d\"} %d\n", promNamespace, name, leSep, bound, cum)
 			}
 			cum += h.BucketCount(len(h.Bounds()))
-			fmt.Fprintf(bw, "%s%s_bucket{le=\"+Inf\"} %d\n", promNamespace, name, cum)
-			fmt.Fprintf(bw, "%s%s_sum %d\n", promNamespace, name, h.Sum())
-			fmt.Fprintf(bw, "%s%s_count %d\n", promNamespace, name, h.Count())
+			fmt.Fprintf(bw, "%s%s_bucket{%sle=\"+Inf\"} %d\n", promNamespace, name, leSep, cum)
+			fmt.Fprintf(bw, "%s%s_sum%s %d\n", promNamespace, name, plain, h.Sum())
+			fmt.Fprintf(bw, "%s%s_count%s %d\n", promNamespace, name, plain, h.Count())
 		}
 	}
 	return bw.Flush()
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		case '"':
+			out = append(out, '\\', '"')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

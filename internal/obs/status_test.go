@@ -176,3 +176,45 @@ symbfuzz_rollback_ns_count 4
 		t.Errorf("exposition format drifted:\ngot:\n%s\nwant:\n%s", a.String(), want)
 	}
 }
+
+// TestWritePrometheusLabeled pins the labeled exposition form used by
+// the fleet /metrics endpoint: every sample carries the fixed label
+// set, histogram buckets merge it with le, and values are escaped.
+func TestWritePrometheusLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("batches_total").Add(7)
+	r.Gauge("queue_depth").Set(3)
+	h := r.Histogram("batch_bytes", []int64{100})
+	h.Observe(40)
+	h.Observe(400)
+
+	var sb strings.Builder
+	if err := WritePrometheusLabeled(&sb, r, map[string]string{"campaign": `night"ly`}); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE symbfuzz_batches_total counter
+symbfuzz_batches_total{campaign="night\"ly"} 7
+# TYPE symbfuzz_queue_depth gauge
+symbfuzz_queue_depth{campaign="night\"ly"} 3
+# TYPE symbfuzz_batch_bytes histogram
+symbfuzz_batch_bytes_bucket{campaign="night\"ly",le="100"} 1
+symbfuzz_batch_bytes_bucket{campaign="night\"ly",le="+Inf"} 2
+symbfuzz_batch_bytes_sum{campaign="night\"ly"} 440
+symbfuzz_batch_bytes_count{campaign="night\"ly"} 2
+`
+	if sb.String() != want {
+		t.Errorf("labeled exposition drifted:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+
+	// Nil labels must reduce to the unlabeled form.
+	var plain, labeled strings.Builder
+	if err := WritePrometheus(&plain, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheusLabeled(&labeled, r, nil); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != labeled.String() {
+		t.Error("nil-label WritePrometheusLabeled differs from WritePrometheus")
+	}
+}
