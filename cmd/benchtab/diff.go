@@ -58,6 +58,9 @@ var diffMetrics = map[string][]metricDef{
 		{"rows.*.publish_reduction", true},
 		{"fleet_vectors_per_sec", true},
 	},
+	"symbfuzz-bench-watch/v1": {
+		{"overhead", false},
+	},
 	"symbfuzz-bench-sim/v1": {
 		{"rows.*.interp_vectors_per_sec", true},
 		{"rows.*.compiled_vectors_per_sec", true},

@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|par|dist|flight|slice|prof|sim|fleet|all (par, dist, flight, slice, prof, sim and fleet never run under all)")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|sec54|scalability|par|dist|flight|slice|prof|sim|fleet|watch|all (par, dist, flight, slice, prof, sim, fleet and watch never run under all)")
 		budget     = flag.Uint64("budget", 0, "vector budget per IP run (0 = defaults)")
 		soc        = flag.Uint64("soc-budget", 0, "vector budget for SoC curves")
 		runs       = flag.Int("runs", 0, "runs averaged (figure 4, table 2)")
@@ -49,6 +49,8 @@ func main() {
 		profRuns   = flag.Int("prof-runs", 3, "interleaved runs per arm for -exp prof")
 		simOut     = flag.String("sim-out", "BENCH_sim.json", "backend-throughput record output path (with -exp sim)")
 		fleetOut   = flag.String("fleet-out", "BENCH_fleet.json", "fleet wire-reduction record output path (with -exp fleet)")
+		watchOut   = flag.String("watch-out", "BENCH_watch.json", "watch-plane overhead record output path (with -exp watch)")
+		watchRuns  = flag.Int("watch-runs", 3, "interleaved runs per arm for -exp watch")
 		simCycles  = flag.Int("sim-cycles", 2000, "vectors per design per run for -exp sim")
 		simRuns    = flag.Int("sim-runs", 3, "interleaved runs per arm for -exp sim")
 		diffBase   = flag.String("diff", "", "baseline bench record for the perf-regression gate")
@@ -140,6 +142,16 @@ func main() {
 	if *exp == "fleet" {
 		if err := runFleetExp(*seed, *fleetOut, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab: fleet:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// And for watch: it times the streaming health plane against the
+	// nil-hook path, so it is wall-clock-sensitive too.
+	if *exp == "watch" {
+		if err := runWatchExp(*seed, *watchRuns, *watchOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab: watch:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/watch"
+)
+
+func fixtureModel() model {
+	// Campaigns arrive deliberately unsorted: render must sort.
+	return model{
+		Watch: true,
+		Campaigns: []fleet.CampaignStatus{
+			{Status: dist.Status{Campaign: "zeta", Workers: 2, RanksDone: 2, Vectors: 6000, Points: 41, Done: true}},
+			{Status: dist.Status{Campaign: "alpha", Workers: 4, RanksDone: 1, Vectors: 1200, Points: 17}},
+		},
+		Health: map[string]watch.CampaignHealth{
+			"alpha": {
+				Campaign: "alpha", Score: 60, AlertsTotal: 3,
+				Alerts: []watch.Alert{
+					{ID: "alpha/coverage_stall/r0/i9", Severity: watch.SevWarn, Msg: "no new points for 8 intervals"},
+					{ID: "alpha/rank_dead/r2/i0", Severity: watch.SevCrit, Msg: "lease expired without report"},
+				},
+				Series: []obs.SeriesPoint{
+					{Interval: 0, Vectors: 100, Points: 3}, {Interval: 1, Vectors: 200, Points: 9},
+					{Interval: 2, Vectors: 300, Points: 17}, {Interval: 3, Vectors: 400, Points: 17},
+				},
+			},
+			"zeta": {Campaign: "zeta", Score: 100, Done: true, AlertsTotal: 0},
+		},
+	}
+}
+
+// TestRenderDeterministic pins the -once contract: rendering the same
+// model twice (and rendering an independently built copy) is
+// byte-identical, campaigns come out name-sorted, and nothing
+// time-like leaks into the frame.
+func TestRenderDeterministic(t *testing.T) {
+	a, b := render(fixtureModel()), render(fixtureModel())
+	if a != b {
+		t.Fatalf("render diverged across identical models:\n%s\n---\n%s", a, b)
+	}
+	if strings.Contains(a, "ns") || strings.Contains(a, "NS") {
+		t.Errorf("frame leaks a duration field:\n%s", a)
+	}
+	ia, iz := strings.Index(a, "alpha"), strings.Index(a, "zeta")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Errorf("campaigns not name-sorted:\n%s", a)
+	}
+	for _, want := range []string{
+		"2 campaign(s)",
+		"alpha/rank_dead/r2/i0",
+		"crit",
+		"60", // alpha's score
+		"▁",  // sparkline low bar
+		"█",  // sparkline high bar
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("frame missing %q:\n%s", want, a)
+		}
+	}
+	if strings.Contains(a, "watch plane disabled") {
+		t.Errorf("watch-enabled frame carries the disabled banner:\n%s", a)
+	}
+}
+
+// TestRenderDegraded covers a fleet without the watch plane: health
+// columns show "-", no alert section, and the banner says why.
+func TestRenderDegraded(t *testing.T) {
+	m := fixtureModel()
+	m.Watch = false
+	m.Health = map[string]watch.CampaignHealth{}
+	out := render(m)
+	if !strings.Contains(out, "[watch plane disabled]") {
+		t.Errorf("missing disabled banner:\n%s", out)
+	}
+	if strings.Contains(out, "ACTIVE ALERTS") {
+		t.Errorf("alert section without health data:\n%s", out)
+	}
+	if !strings.Contains(out, " - ") {
+		t.Errorf("health column should degrade to '-':\n%s", out)
+	}
+}
+
+// TestSparkline covers the scaling edges.
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "" {
+		t.Errorf("empty series = %q", got)
+	}
+	if got := sparkline([]int{5, 5, 5}); got != "▅▅▅" {
+		t.Errorf("constant series = %q, want mid-scale bars", got)
+	}
+	got := sparkline([]int{0, 7})
+	if got != "▁█" {
+		t.Errorf("two-point range = %q, want low+high", got)
+	}
+	// Monotone ramps never decrease.
+	ramp := sparkline([]int{1, 2, 3, 4, 5, 6, 7, 8})
+	runes := []rune(ramp)
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("ramp %q decreases at %d", ramp, i)
+		}
+	}
+}

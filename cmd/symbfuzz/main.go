@@ -110,6 +110,7 @@ func main() {
 		journalDir = flag.String("journal-dir", "", "fleet journal directory (one <campaign>.jsonl per campaign; enables -resume)")
 		traceDir   = flag.String("trace-dir", "", "fleet trace directory (one merged <campaign>.trace.jsonl per campaign)")
 		campaign   = flag.String("campaign", "", "campaign name to work on when connecting to a fleet coordinator")
+		watchOn    = flag.Bool("watch", false, "fleet: enable the streaming health plane (journaled alerts, /v1/watch SSE, fuzztop)")
 		syncPub    = flag.Bool("sync-publish", false, "worker: force the v3 synchronous full-snapshot publish path (wire-overhead ablation)")
 	)
 	flag.Var(&extraProps, "prop",
@@ -122,7 +123,7 @@ func main() {
 	defer stop()
 
 	if *fleetOn != "" {
-		if err := runFleet(ctx, *fleetOn, *journalDir, *traceDir, *resume, *leaseTTL); err != nil && ctx.Err() == nil {
+		if err := runFleet(ctx, *fleetOn, *journalDir, *traceDir, *resume, *watchOn, *leaseTTL); err != nil && ctx.Err() == nil {
 			fmt.Fprintln(os.Stderr, "symbfuzz:", err)
 			os.Exit(1)
 		}
@@ -350,18 +351,22 @@ func runServe(ctx context.Context, addr string, spec dist.CampaignSpec, benchNam
 // interrupted. Campaigns are created, inspected, and cancelled over
 // the /v1/campaigns control surface (see cmd/fuzzctl); workers target
 // them with -connect -campaign <name>.
-func runFleet(ctx context.Context, addr, journalDir, traceDir string, resume bool, leaseTTL time.Duration) error {
+func runFleet(ctx context.Context, addr, journalDir, traceDir string, resume, watch bool, leaseTTL time.Duration) error {
 	s, err := fleet.NewServer(addr, fleet.Config{
 		JournalDir: journalDir,
 		TraceDir:   traceDir,
 		Resume:     resume,
 		LeaseTTL:   leaseTTL,
+		Watch:      watch,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("fleet coordinator listening on %s (control surface: http://%s/v1/campaigns, metrics: /metrics)\n",
 		s.Addr(), s.Addr())
+	if watch {
+		fmt.Printf("watch plane on: stream http://%s/v1/watch or run fuzztop -addr %s\n", s.Addr(), s.Addr())
+	}
 	<-ctx.Done()
 	fmt.Println("fleet coordinator shutting down")
 	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

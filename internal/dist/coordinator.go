@@ -52,6 +52,18 @@ type CoordConfig struct {
 	// responses). Leave unset for deterministic fixed-budget runs.
 	StopAtPoints       int
 	StopWhenAllCovered bool
+
+	// OnPublish, when set, observes every applied coverage publish:
+	// the rank, its delta sequence (0 for full-snapshot publishes and
+	// final reports), the rank's cumulative vectors, and the global
+	// frontier point count after the merge. The fleet's watch plane
+	// synthesizes interval samples from it. Must not block.
+	OnPublish func(rank int, seq uint64, vectors uint64, points int)
+	// OnSolve, when set, observes every solver result folded into the
+	// shared plan cache: the solving rank, the target (cluster graph,
+	// node), the outcome string, and the solve wall time. Must not
+	// block.
+	OnSolve func(rank, graph, to int, outcome string, ns int64)
 }
 
 // Coordinator hosts one distributed campaign over HTTP: the thin wire

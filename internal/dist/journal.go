@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/prof"
+	"repro/internal/watch"
 )
 
 // The coordinator journal is an append-only JSONL file recording the
@@ -40,7 +41,7 @@ const defaultCompactBytes = 1 << 20
 // journalRecord is one JSONL line. Kind selects which payload fields
 // are meaningful.
 type journalRecord struct {
-	Kind string `json:"kind"` // "campaign" | "report"
+	Kind string `json:"kind"` // "campaign" | "report" | "alert"
 
 	// kind == "campaign"
 	CampaignID string        `json:"campaign_id,omitempty"`
@@ -53,6 +54,12 @@ type journalRecord struct {
 	Coverage *CovWire         `json:"coverage,omitempty"`
 	Events   []obs.Event      `json:"events,omitempty"`
 	Ledger   *prof.RankLedger `json:"ledger,omitempty"`
+
+	// kind == "alert" — a watch-engine alert raised against this
+	// campaign. Alerts are durable: a resumed coordinator re-seeds its
+	// health engine from them so the same condition deduplicates
+	// instead of re-raising, and re-folds them into the fresh trace.
+	Alert *watch.Alert `json:"alert,omitempty"`
 }
 
 // journal is the append side. Writes are fsynced per record — rank
@@ -69,6 +76,10 @@ type journal struct {
 
 	campaign *journalRecord
 	reports  map[int]*journalRecord
+	// alerts are live records in append order: every alert ID is part
+	// of the campaign's durable state (dedup across restarts), so
+	// compaction keeps them all.
+	alerts []*journalRecord
 }
 
 func openJournal(path string, compactBytes int64) (*journal, error) {
@@ -102,6 +113,10 @@ func (j *journal) seed(st *journalState) {
 	for rank, rec := range st.Reports {
 		j.reports[rank] = rec
 	}
+	for i := range st.Alerts {
+		a := st.Alerts[i]
+		j.alerts = append(j.alerts, &journalRecord{Kind: "alert", Alert: &a})
+	}
 }
 
 func (j *journal) append(rec journalRecord) error {
@@ -128,6 +143,9 @@ func (j *journal) append(rec journalRecord) error {
 	case "report":
 		r := rec
 		j.reports[rec.Rank] = &r
+	case "alert":
+		r := rec
+		j.alerts = append(j.alerts, &r)
 	}
 	return j.maybeCompactLocked()
 }
@@ -165,6 +183,11 @@ func (j *journal) maybeCompactLocked() error {
 	sort.Ints(ranks)
 	for _, rank := range ranks {
 		if err := add(j.reports[rank]); err != nil {
+			return err
+		}
+	}
+	for _, rec := range j.alerts {
+		if err := add(rec); err != nil {
 			return err
 		}
 	}
@@ -226,6 +249,7 @@ type journalState struct {
 	Name       string
 	Spec       *CampaignSpec
 	Reports    map[int]*journalRecord // rank -> last report record
+	Alerts     []watch.Alert          // journaled alerts, append order, ID-deduped
 }
 
 // replayJournal loads a journal written by a previous coordinator
@@ -243,6 +267,7 @@ func replayJournal(path string) (*journalState, error) {
 		return nil, fmt.Errorf("dist: open journal for replay: %w", err)
 	}
 	defer f.Close()
+	seenAlerts := map[string]bool{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 256<<20)
 	for sc.Scan() {
@@ -265,6 +290,11 @@ func replayJournal(path string) (*journalState, error) {
 			if rec.Report != nil && rec.Coverage != nil {
 				r := rec
 				st.Reports[rec.Rank] = &r
+			}
+		case "alert":
+			if rec.Alert != nil && rec.Alert.ID != "" && !seenAlerts[rec.Alert.ID] {
+				seenAlerts[rec.Alert.ID] = true
+				st.Alerts = append(st.Alerts, *rec.Alert)
 			}
 		}
 	}

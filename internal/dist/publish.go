@@ -16,10 +16,13 @@ import (
 // acknowledged and returns — no HTTP on the hot path. A background
 // flusher ships the accumulated delta (plus any queued cache stores)
 // every flushInterval, or sooner when flushEvery publishes have
-// coalesced. Empty deltas are never sent, which is where the wire
-// reduction comes from: most interval boundaries unlock no new
-// coverage, and under the synchronous protocol each one still paid a
-// full cumulative snapshot round trip.
+// coalesced. Deltas that carry neither new coverage nor vector
+// progress are never sent, which is where the wire reduction comes
+// from: under the synchronous protocol every interval boundary paid a
+// full cumulative snapshot round trip. Progress-only deltas (empty
+// coverage, advanced vector count) DO ship, at the count cadence, so
+// the coordinator's watch plane keeps receiving samples while
+// coverage plateaus.
 //
 // Correctness does not depend on delivery: the frontier is a
 // trajectory-neutral sink, the final report ships the full cumulative
@@ -43,7 +46,8 @@ type batchPublisher struct {
 	base     *cov.CFGCov // coverage the coordinator has acked
 	pend     *cov.CFGCov // delta accumulated since the last flush
 	pendVecs uint64
-	dirty    bool
+	dirty    bool // pend holds unshipped coverage points
+	prog     bool // vectors advanced since the last shipped delta
 	pubs     int
 	stores   []CacheStore
 	drops    int
@@ -145,9 +149,15 @@ func (p *batchPublisher) enqueuePublish(cv *cov.CFGCov, vectors uint64) {
 	}
 	if vectors > p.pendVecs {
 		p.pendVecs = vectors
+		p.prog = true
 	}
 	p.pubs++
-	full := p.dirty && p.pubs >= p.flushEvery
+	// Coverage plateaus must still surface on the coordinator: a
+	// progress-only delta (empty coverage, advanced vector count) ships
+	// at the same count cadence as a dirty one, so the watch plane's
+	// stall detector sees flat samples instead of silence. Cost is one
+	// small batch per flushEvery intervals while saturated.
+	full := (p.dirty || p.prog) && p.pubs >= p.flushEvery
 	if full {
 		p.pubs = 0
 	}
@@ -195,18 +205,19 @@ func (p *batchPublisher) run() {
 // the pending one and the error is surfaced at the next Sync.
 func (p *batchPublisher) flush() {
 	p.mu.Lock()
-	if (!p.dirty && len(p.stores) == 0) || p.err != nil {
+	if (!p.dirty && !p.prog && len(p.stores) == 0) || p.err != nil {
 		p.mu.Unlock()
 		return
 	}
 	var pubs []PublishDelta
 	var inflight *cov.CFGCov
-	if p.dirty {
+	if p.dirty || p.prog {
 		p.seq++
 		pubs = []PublishDelta{{Seq: p.seq, Vectors: p.pendVecs, Delta: CovToWire(p.pend)}}
 		inflight = p.pend
 		p.pend = bareCovLike(inflight)
 		p.dirty = false
+		p.prog = false
 		p.pubs = 0
 	}
 	stores := p.stores
@@ -222,6 +233,7 @@ func (p *batchPublisher) flush() {
 		if inflight != nil {
 			p.pend.Merge(inflight)
 			p.dirty = true
+			p.prog = true
 		}
 		if p.err == nil && p.ctx.Err() == nil {
 			p.err = err

@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/prof"
+	"repro/internal/watch"
 )
 
 // CampaignState is one campaign's complete coordinator-side state
@@ -45,6 +46,14 @@ type CampaignState struct {
 	doneCh   chan struct{}
 	ended    bool
 	solverNS int64
+
+	// alertIDs dedups journaled watch alerts (seeded from replay);
+	// replayedAlerts are the prior incarnation's alerts in journal
+	// order. alertsClosed is set when finalization begins so no alert
+	// span can land after the trace's campaign_end.
+	alertIDs       map[string]bool
+	replayedAlerts []watch.Alert
+	alertsClosed   bool
 
 	finalOnce sync.Once
 	finalRep  *par.Report
@@ -120,6 +129,7 @@ func NewCampaignState(c CoordConfig) (*CampaignState, error) {
 		done:       map[int]*rankResult{},
 		pubSeq:     map[int]uint64{},
 		vectors:    map[int]uint64{},
+		alertIDs:   map[string]bool{},
 		doneCh:     make(chan struct{}),
 	}
 	cs.fr = par.NewFrontier(len(part.Graphs), edgesTotal, c.Spec.Workers,
@@ -151,6 +161,10 @@ func NewCampaignState(c CoordConfig) (*CampaignState, error) {
 		if len(cs.done) == c.Spec.Workers {
 			cs.ended = true
 			close(cs.doneCh)
+		}
+		cs.replayedAlerts = replayed.Alerts
+		for _, a := range replayed.Alerts {
+			cs.alertIDs[a.ID] = true
 		}
 	}
 	if c.JournalPath != "" {
@@ -202,6 +216,72 @@ func (cs *CampaignState) addSolverNS(ns int64) {
 	cs.mu.Lock()
 	cs.solverNS += ns
 	cs.mu.Unlock()
+}
+
+// ---- watch-alert durability ----
+
+// AppendAlert journals one watch alert (fsynced, like rank reports —
+// an alert the operator acted on must not vanish in a crash) and folds
+// it into the campaign trace as a typed span. Idempotent by alert ID:
+// a condition re-derived after a resume whose alert was already
+// journaled is a no-op, which is exactly what makes alert IDs stable
+// across kill -9 + -resume.
+func (cs *CampaignState) AppendAlert(a watch.Alert) error {
+	cs.mu.Lock()
+	if cs.alertIDs[a.ID] {
+		cs.mu.Unlock()
+		return nil
+	}
+	cs.alertIDs[a.ID] = true
+	cs.mu.Unlock()
+	if err := cs.jr.append(journalRecord{Kind: "alert", Alert: &a}); err != nil {
+		return err
+	}
+	cs.EmitAlertSpan(a)
+	return nil
+}
+
+// EmitAlertSpan folds one alert into the campaign trace. It holds the
+// state mutex while emitting and finalize marks alertsClosed under the
+// same mutex before it emits campaign_end, so an alert span can never
+// land after the trace's terminal event.
+func (cs *CampaignState) EmitAlertSpan(a watch.Alert) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.alertsClosed {
+		return
+	}
+	cs.cfg.Obs.AlertSpan(a.ID, a.Rule, a.Severity, a.Msg)
+}
+
+// ReplayedAlerts returns the alerts recovered from the journal on
+// resume, in journal order — the fleet seeds its health engine and the
+// fresh trace from them.
+func (cs *CampaignState) ReplayedAlerts() []watch.Alert {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make([]watch.Alert, len(cs.replayedAlerts))
+	copy(out, cs.replayedAlerts)
+	return out
+}
+
+// DeadRanks returns the ranks whose lease has expired without a
+// report — the watch sweep's dead-rank feed. A rank with no lease at
+// all is not dead, just unclaimed.
+func (cs *CampaignState) DeadRanks() []int {
+	now := time.Now()
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	var out []int
+	for r := 0; r < cs.spec.Workers; r++ {
+		if cs.done[r] != nil {
+			continue
+		}
+		if l := cs.leases[r]; l != nil && now.After(l.expires) {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // ---- wire-request state machine ----
@@ -303,6 +383,9 @@ func (cs *CampaignState) Publish(req PublishRequest) PublishResponse {
 		cs.vectors[req.Rank] = req.Vectors
 	}
 	cs.mu.Unlock()
+	if cs.cfg.OnPublish != nil {
+		cs.cfg.OnPublish(req.Rank, 0, req.Vectors, cs.fr.Points())
+	}
 	return PublishResponse{OK: true, Stop: cs.fr.ShouldStop()}
 }
 
@@ -335,6 +418,9 @@ func (cs *CampaignState) ApplyBatch(req BatchRequest) BatchResponse {
 			cs.vectors[req.Rank] = p.Vectors
 		}
 		cs.mu.Unlock()
+		if cs.cfg.OnPublish != nil {
+			cs.cfg.OnPublish(req.Rank, p.Seq, p.Vectors, cs.fr.Points())
+		}
 	}
 	cs.mu.Lock()
 	if applied > cs.pubSeq[req.Rank] {
@@ -352,6 +438,10 @@ func (cs *CampaignState) ApplyBatch(req BatchRequest) BatchResponse {
 		}
 		cs.cache.Store(KeyFromWire(s.Key), v)
 		cs.addSolverNS(v.Stats.BlastNS + v.Stats.SolveNS)
+		if cs.cfg.OnSolve != nil {
+			cs.cfg.OnSolve(req.Rank, s.Key.Graph, s.Key.To, s.Value.Stats.Outcome,
+				v.Stats.BlastNS+v.Stats.SolveNS)
+		}
 	}
 
 	resp.AckSeq = applied
@@ -378,6 +468,16 @@ func (cs *CampaignState) Cache(req CacheRequest) (CacheResponse, *HTTPError) {
 		}
 		cs.cache.Store(KeyFromWire(req.Key), v)
 		cs.addSolverNS(v.Stats.BlastNS + v.Stats.SolveNS)
+		if cs.cfg.OnSolve != nil {
+			// The cache RPC carries no rank; the originating lane is
+			// 1-based, so lane-1 recovers the rank (0 when unstamped).
+			rank := 0
+			if req.Value.OriginWorker > 0 {
+				rank = req.Value.OriginWorker - 1
+			}
+			cs.cfg.OnSolve(rank, req.Key.Graph, req.Key.To, req.Value.Stats.Outcome,
+				v.Stats.BlastNS+v.Stats.SolveNS)
+		}
 		return CacheResponse{}, nil
 	default:
 		return CacheResponse{}, &HTTPError{Code: 400, Msg: fmt.Sprintf("unknown cache op %q", req.Op)}
@@ -425,6 +525,10 @@ func (cs *CampaignState) Report(req ReportRequest) (ReportResponse, *HTTPError) 
 		cs.addSolverNS(ns)
 	}
 
+	if cs.cfg.OnPublish != nil {
+		cs.cfg.OnPublish(req.Rank, 0, rep.Vectors, cs.fr.Points())
+	}
+
 	cs.mu.Lock()
 	cs.done[req.Rank] = &rankResult{report: &rep, cov: cv, events: req.Events, ledger: req.Ledger}
 	delete(cs.leases, req.Rank)
@@ -453,6 +557,9 @@ func (cs *CampaignState) Finalize(interrupted bool) (*par.Report, error) {
 
 func (cs *CampaignState) finalize(interrupted bool) (*par.Report, error) {
 	cs.mu.Lock()
+	// From here on the trace is closing: campaign_end must be the
+	// lane's last event, so no further alert span may be emitted.
+	cs.alertsClosed = true
 	ranks := make([]int, 0, len(cs.done))
 	for r := 0; r < cs.spec.Workers; r++ {
 		if cs.done[r] != nil {
@@ -551,6 +658,14 @@ type Status struct {
 	Done       bool   `json:"done"`
 	SolverNS   int64  `json:"solver_ns"`
 	UptimeNS   int64  `json:"uptime_ns"`
+
+	// Watch-engine health annotation, populated by hosts running the
+	// streaming watch plane (Watched marks the fields as live — a
+	// 0 score on an unwatched campaign means "not scored").
+	Watched      bool `json:"watched,omitempty"`
+	HealthScore  int  `json:"health_score,omitempty"`
+	AlertsActive int  `json:"alerts_active,omitempty"`
+	AlertsTotal  int  `json:"alerts_total,omitempty"`
 }
 
 // Status snapshots the campaign's progress.

@@ -134,6 +134,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if c.queuedBytes.Load()+n > s.quota.QueueBytes {
 		c.c429.Inc()
+		s.cRejBatches.Inc()
+		s.cRejBytes.Add(n)
 		write429(w, "campaign ingest queue over byte budget")
 		return
 	}
@@ -142,6 +144,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	case c.queue <- in:
 	default:
 		c.c429.Inc()
+		s.cRejBatches.Inc()
+		s.cRejBytes.Add(n)
 		write429(w, "campaign ingest queue full")
 		return
 	}
@@ -269,10 +273,12 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, st)
 }
 
-// handleMetrics exports every campaign's registry under a
+// handleMetrics exports the fleet-level admission instruments
+// (unlabeled) followed by every campaign's registry under a
 // campaign="<name>" label on one endpoint.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	_ = obs.WritePrometheusLabeled(w, s.fleetReg, nil)
 	for _, c := range s.campaignsSorted() {
 		_ = obs.WritePrometheusLabeled(w, c.reg, map[string]string{"campaign": c.name})
 	}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/watch"
 )
 
 // nameRE validates campaign names: they become journal file names and
@@ -114,6 +115,20 @@ type Config struct {
 	// DrainDelay artificially slows each campaign's queue drainer —
 	// a test hook for forcing 429 backpressure deterministically.
 	DrainDelay time.Duration
+
+	// Watch enables the streaming health plane: the deterministic
+	// health engine, journaled alerts, /v1/watch SSE, and the periodic
+	// sweep. Disabled (the default), the fleet runs byte-identically to
+	// a watch-less build — no hooks installed, no extra goroutine, no
+	// extra metrics on /metrics beyond the always-on admission
+	// counters.
+	Watch bool
+	// WatchRules tunes the health engine's thresholds (zero fields take
+	// watch.Rules defaults). Ignored unless Watch is set.
+	WatchRules watch.Rules
+	// SweepInterval paces the watch sweep (default 500ms) — a test
+	// hook, like DrainDelay.
+	SweepInterval time.Duration
 }
 
 // CreateRequest is the body of POST /v1/campaigns.
@@ -169,6 +184,21 @@ type campaign struct {
 	cDropped *obs.Counter
 	hBytes   *obs.Histogram // delta-batch sizes (request bytes)
 	hDeltas  *obs.Histogram // publishes coalesced per batch
+
+	// watch is the fleet's health engine when the watch plane is
+	// enabled, nil otherwise — the nil check is what keeps a disabled
+	// fleet's status and /metrics output byte-identical to a watch-less
+	// build. The gauges live on the campaign's own registry, so they
+	// export under its campaign="<name>" label.
+	watch   *watch.Engine
+	gHealth *obs.Gauge   // watch_health_score
+	gAlerts *obs.Gauge   // watch_alerts_active
+	cAlerts *obs.Counter // watch_alerts_total
+
+	// sampleIdx counts synthesized watch samples per rank — the sample
+	// ordinal alert IDs embed. Lazily initialized under sampleMu.
+	sampleMu  sync.Mutex
+	sampleIdx map[int]int
 }
 
 // ingest is one queued batch plus its response rendezvous. resp is
@@ -198,6 +228,24 @@ type Server struct {
 	quitOnce sync.Once
 	wg       sync.WaitGroup
 
+	// Watch plane (bus is always constructed so Subscribe/Close are
+	// nil-safe; watch is nil unless Config.Watch).
+	watch     *watch.Engine
+	bus       *watch.Bus
+	watchQuit chan struct{}
+	watchOnce sync.Once
+	sweepWG   sync.WaitGroup
+
+	// fleetReg holds fleet-level (unlabeled) instruments: the
+	// admission-rejection counters and the hosted-campaign gauge.
+	// Always on — admission control predates the watch plane.
+	fleetReg      *obs.Registry
+	cRejCampaigns *obs.Counter // fleet_admission_rejected_campaigns_total
+	cRejRanks     *obs.Counter // fleet_admission_rejected_ranks_total
+	cRejBatches   *obs.Counter // fleet_admission_rejected_batches_total
+	cRejBytes     *obs.Counter // fleet_admission_rejected_bytes_total
+	gHosted       *obs.Gauge   // fleet_campaigns_hosted
+
 	ln  net.Listener
 	srv *http.Server
 }
@@ -208,11 +256,24 @@ type Server struct {
 // after a fleet restart find their campaigns already live.
 func NewServer(addr string, cfg Config) (*Server, error) {
 	s := &Server{
-		cfg:   cfg,
-		quota: cfg.Quota.withDefaults(),
-		camps: map[string]*campaign{},
-		quit:  make(chan struct{}),
-		start: time.Now(),
+		cfg:       cfg,
+		quota:     cfg.Quota.withDefaults(),
+		camps:     map[string]*campaign{},
+		quit:      make(chan struct{}),
+		watchQuit: make(chan struct{}),
+		bus:       watch.NewBus(),
+		start:     time.Now(),
+	}
+	s.fleetReg = obs.NewRegistry()
+	s.cRejCampaigns = s.fleetReg.Counter("fleet_admission_rejected_campaigns_total")
+	s.cRejRanks = s.fleetReg.Counter("fleet_admission_rejected_ranks_total")
+	s.cRejBatches = s.fleetReg.Counter("fleet_admission_rejected_batches_total")
+	s.cRejBytes = s.fleetReg.Counter("fleet_admission_rejected_bytes_total")
+	s.gHosted = s.fleetReg.Gauge("fleet_campaigns_hosted")
+	if cfg.Watch {
+		// The engine must exist before journal resume: re-admitted
+		// campaigns seed it with their replayed alerts.
+		s.watch = watch.NewEngine(cfg.WatchRules)
 	}
 	if cfg.TraceDir != "" {
 		if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
@@ -245,8 +306,14 @@ func NewServer(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/campaigns", s.handleCampaigns)
 	mux.HandleFunc("/v1/campaigns/", s.handleCampaign)
 	mux.HandleFunc("/v1/fleet", s.handleFleet)
+	mux.HandleFunc("/v1/watch", s.handleWatch)
+	mux.HandleFunc("/v1/watch/snapshot", s.handleWatchSnapshot)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if cfg.Watch {
+		s.sweepWG.Add(1)
+		go s.sweep()
+	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
@@ -292,9 +359,11 @@ func (s *Server) resumeJournals() error {
 // "rejected" from "broken" — both are its own problem, not ours.
 func (s *Server) admit(req CreateRequest, resume bool) (*campaign, *dist.HTTPError) {
 	if !nameRE.MatchString(req.Name) {
+		s.cRejCampaigns.Inc()
 		return nil, &dist.HTTPError{Code: 400, Msg: fmt.Sprintf("invalid campaign name %q (want %s)", req.Name, nameRE)}
 	}
 	if req.Spec.Workers > s.quota.MaxWorkers {
+		s.cRejRanks.Inc()
 		return nil, &dist.HTTPError{Code: 400, Msg: fmt.Sprintf(
 			"campaign %q wants %d ranks; quota allows %d", req.Name, req.Spec.Workers, s.quota.MaxWorkers)}
 	}
@@ -306,6 +375,7 @@ func (s *Server) admit(req CreateRequest, resume bool) (*campaign, *dist.HTTPErr
 	}
 	if len(s.camps) >= s.quota.MaxCampaigns {
 		s.mu.Unlock()
+		s.cRejCampaigns.Inc()
 		return nil, &dist.HTTPError{Code: 429, Msg: fmt.Sprintf(
 			"fleet at capacity (%d campaigns); cancel one or retry later", s.quota.MaxCampaigns)}
 	}
@@ -321,6 +391,11 @@ func (s *Server) admit(req CreateRequest, resume bool) (*campaign, *dist.HTTPErr
 		oo.Tracer = obs.NewJSONLTracer(f)
 	}
 	o := obs.New(oo)
+	// The watch hooks capture c by reference: it is assigned below,
+	// before the campaign becomes reachable (the mutex-guarded install
+	// publishes the write to every handler and the drain goroutine), so
+	// no hook ever observes it nil.
+	var c *campaign
 	cc := dist.CoordConfig{
 		Spec:               req.Spec,
 		Name:               req.Name,
@@ -329,6 +404,14 @@ func (s *Server) admit(req CreateRequest, resume bool) (*campaign, *dist.HTTPErr
 		Obs:                o,
 		StopAtPoints:       req.StopAtPoints,
 		StopWhenAllCovered: req.StopWhenAllCovered,
+	}
+	if s.watch != nil {
+		cc.OnPublish = func(rank int, seq uint64, vectors uint64, points int) {
+			s.watchPublish(c, rank, seq, vectors, points)
+		}
+		cc.OnSolve = func(rank, graph, to int, outcome string, ns int64) {
+			s.watchSolve(c, rank, graph, to, outcome, ns)
+		}
 	}
 	if s.cfg.JournalDir != "" {
 		cc.JournalPath = filepath.Join(s.cfg.JournalDir, req.Name+".jsonl")
@@ -340,7 +423,7 @@ func (s *Server) admit(req CreateRequest, resume bool) (*campaign, *dist.HTTPErr
 		return nil, &dist.HTTPError{Code: 400, Msg: err.Error()}
 	}
 
-	c := &campaign{
+	c = &campaign{
 		name:     req.Name,
 		cs:       cs,
 		reg:      reg,
@@ -354,6 +437,14 @@ func (s *Server) admit(req CreateRequest, resume bool) (*campaign, *dist.HTTPErr
 		hBytes:   reg.Histogram("fleet_batch_bytes", batchSizeBounds),
 		hDeltas:  reg.Histogram("fleet_batch_publishes", deltaCountBounds),
 	}
+	if s.watch != nil {
+		// Watch instruments register only when the plane is on, so a
+		// disabled fleet's /metrics output is unchanged.
+		c.watch = s.watch
+		c.gHealth = reg.Gauge("watch_health_score")
+		c.gAlerts = reg.Gauge("watch_alerts_active")
+		c.cAlerts = reg.Counter("watch_alerts_total")
+	}
 
 	s.mu.Lock()
 	if s.camps[req.Name] != nil {
@@ -364,14 +455,19 @@ func (s *Server) admit(req CreateRequest, resume bool) (*campaign, *dist.HTTPErr
 	}
 	if len(s.camps) >= s.quota.MaxCampaigns {
 		s.mu.Unlock()
+		s.cRejCampaigns.Inc()
 		cs.CloseJournal()
 		_ = o.Close()
 		return nil, &dist.HTTPError{Code: 429, Msg: fmt.Sprintf(
 			"fleet at capacity (%d campaigns); cancel one or retry later", s.quota.MaxCampaigns)}
 	}
 	s.camps[req.Name] = c
+	s.gHosted.Set(int64(len(s.camps)))
 	s.mu.Unlock()
 
+	if s.watch != nil {
+		s.seedWatchAlerts(c)
+	}
 	s.wg.Add(1)
 	go s.drain(c)
 	return c, nil
@@ -440,7 +536,7 @@ func (s *Server) lookup(name string) (*campaign, *dist.HTTPError) {
 
 // status snapshots one campaign.
 func (c *campaign) status() CampaignStatus {
-	return CampaignStatus{
+	st := CampaignStatus{
 		Status:      c.cs.Status(),
 		QueueDepth:  len(c.queue),
 		QueueBytes:  c.queuedBytes.Load(),
@@ -450,6 +546,14 @@ func (c *campaign) status() CampaignStatus {
 		Cancelled:   c.cancelled.Load(),
 		BudgetStop:  c.budgetStop.Load(),
 	}
+	if c.watch != nil {
+		h := c.watch.Health(c.name)
+		st.Watched = true
+		st.HealthScore = h.Score
+		st.AlertsActive = len(h.Alerts)
+		st.AlertsTotal = h.AlertsTotal
+	}
+	return st
 }
 
 // campaignsSorted snapshots the campaign set in name order.
@@ -519,12 +623,16 @@ func (s *Server) leaseTTL() time.Duration {
 	return 5 * time.Second
 }
 
-// Shutdown drains the HTTP server, stops the drainers, finalizes
-// every completed campaign (flushing its merged trace), and closes
-// every journal. Handlers parked on their campaign's drainer finish
-// first (Shutdown waits for in-flight requests), so no queued batch
-// is left unanswered.
+// Shutdown stops the watch plane, drains the HTTP server, stops the
+// drainers, finalizes every completed campaign (flushing its merged
+// trace), and closes every journal. The watch plane goes down FIRST:
+// closing the bus closes every subscriber channel, which is what makes
+// a parked /v1/watch stream return — otherwise http.Server.Shutdown
+// would wait on it forever. Handlers parked on their campaign's
+// drainer still finish (Shutdown waits for in-flight requests), so no
+// queued batch is left unanswered.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopWatch()
 	err := s.srv.Shutdown(ctx)
 	s.quitOnce.Do(func() { close(s.quit) })
 	s.wg.Wait()

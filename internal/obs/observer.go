@@ -36,6 +36,21 @@ type CacheRef struct {
 	OriginSpan   string
 }
 
+// WatchSink receives streaming telemetry at interval boundaries and
+// solver completions — the feed for a live health engine
+// (internal/watch). Implementations must be safe for concurrent use
+// and must not block: they run on the fuzzing hot path. A nil sink is
+// the disabled state and costs nothing (pinned by test).
+type WatchSink interface {
+	// WatchSample delivers one completed interval's sample (the same
+	// shape as the Series ring's points).
+	WatchSample(p SeriesPoint)
+	// WatchSolve delivers one solver dispatch: the emitting lane, the
+	// targeted cluster graph and edge, the outcome ("sat"/"unsat"),
+	// the solve wall time, and the campaign-clock timestamp.
+	WatchSolve(lane, graph, to int, outcome string, durNS, tns int64)
+}
+
 // CurvePoint is one live coverage-curve sample.
 type CurvePoint struct {
 	Vectors uint64 `json:"vectors"`
@@ -79,6 +94,10 @@ type Options struct {
 	// fresh DefaultSeriesCap ring. ForWorker lanes share their base
 	// observer's ring.
 	Series *Series
+	// Watch streams interval samples and solve completions to a live
+	// health engine; nil (the default) disables the stream at zero
+	// cost. ForWorker lanes share their base observer's sink.
+	Watch WatchSink
 }
 
 // Observer is the engine-facing telemetry facade: a metrics registry
@@ -92,6 +111,7 @@ type Observer struct {
 	origin int64
 	worker int
 	series *Series
+	watch  WatchSink
 
 	mu    sync.Mutex
 	curve []CurvePoint
@@ -162,7 +182,7 @@ func New(opts Options) *Observer {
 	if series == nil {
 		series = NewSeries(0)
 	}
-	o := &Observer{reg: reg, tracer: opts.Tracer, now: now, worker: opts.Worker, series: series, intervalIdx: -1}
+	o := &Observer{reg: reg, tracer: opts.Tracer, now: now, worker: opts.Worker, series: series, watch: opts.Watch, intervalIdx: -1}
 	o.origin = now()
 	p := func(name string) string { return opts.Prefix + name }
 	o.cIntervals = reg.Counter(p("fuzz_intervals"))
@@ -219,6 +239,7 @@ func (o *Observer) ForWorker(id int) *Observer {
 		Prefix:   fmt.Sprintf("w%d_", id),
 		Worker:   id,
 		Series:   o.series,
+		Watch:    o.watch,
 	})
 	w.origin = o.origin // timestamps align with the campaign origin
 	return w
@@ -364,16 +385,26 @@ func (o *Observer) IntervalStart(vectors uint64, points int) {
 	if o == nil {
 		return
 	}
-	if o.spansOn() {
+	if o.spansOn() || o.watch != nil {
+		// The interval index feeds both span IDs and watch samples, so
+		// it advances whenever either consumer is live.
 		o.spanMu.Lock()
 		o.intervalIdx++
 		o.spanSeq = 0
-		o.ivSpan = fmt.Sprintf("w%d.i%d", o.worker, o.intervalIdx)
-		o.ivStartNS = o.Now()
-		o.ivStartVec = vectors
+		if o.spansOn() {
+			o.ivSpan = fmt.Sprintf("w%d.i%d", o.worker, o.intervalIdx)
+			o.ivStartNS = o.Now()
+			o.ivStartVec = vectors
+		}
 		o.spanMu.Unlock()
 	}
-	o.emit(&Event{TNS: o.Now(), Type: EvIntervalStart, Vectors: vectors, Points: points})
+	if o.tracer != nil {
+		// Guarded at the call site: the Event literal escapes into the
+		// tracer interface, so constructing it unconditionally would
+		// heap-allocate even with tracing off — and this is the per-
+		// interval hot path, pinned zero-alloc when disabled.
+		o.emit(&Event{TNS: o.Now(), Type: EvIntervalStart, Vectors: vectors, Points: points})
+	}
 }
 
 // IntervalEnd records one completed fuzz interval and its wall time,
@@ -412,7 +443,21 @@ func (o *Observer) IntervalEnd(vectors uint64, points int, durNS int64) {
 			Plans: o.cPlans.Value(),
 		})
 	}
-	o.emit(&Event{TNS: o.Now(), Type: EvIntervalEnd, Vectors: vectors, Points: points, DurNS: durNS})
+	if o.watch != nil {
+		o.spanMu.Lock()
+		interval := o.intervalIdx
+		o.spanMu.Unlock()
+		o.watch.WatchSample(SeriesPoint{
+			TNS: o.Now(), Worker: o.worker, Interval: interval,
+			Vectors: vectors, Points: points,
+			Solves: o.cSolves.Value(), Sat: o.cSat.Value(),
+			CacheHits: o.cCacheHit.Value(), CacheMisses: o.cCacheMiss.Value(),
+			Plans: o.cPlans.Value(),
+		})
+	}
+	if o.tracer != nil { // call-site guard: see IntervalStart
+		o.emit(&Event{TNS: o.Now(), Type: EvIntervalEnd, Vectors: vectors, Points: points, DurNS: durNS})
+	}
 }
 
 // Stagnation records a Th-interval coverage stall triggering symbolic
@@ -506,15 +551,20 @@ func (o *Observer) SolverDispatch(graph, edge int, vectors uint64, points int, s
 			Cache: cache.State, OriginWorker: cache.OriginWorker, OriginSpan: cache.OriginSpan,
 		})
 	}
-	o.emit(&Event{
-		TNS: o.Now(), Type: EvSolverDisp, Vectors: vectors, Points: points,
-		Graph: graph, Edge: edge, Outcome: st.Outcome,
-		Conflicts: st.Conflicts, Decisions: st.Decisions, Propagations: st.Propagations,
-		Restarts: st.Restarts, Clauses: st.Clauses, Vars: st.Vars,
-		BlastNS: st.BlastNS, SolveNS: st.SolveNS, DurNS: st.BlastNS + st.SolveNS,
-		SlicedVars: st.SlicedVars, Infeasible: st.Infeasible,
-		Span: span,
-	})
+	if o.tracer != nil { // call-site guard: see IntervalStart
+		o.emit(&Event{
+			TNS: o.Now(), Type: EvSolverDisp, Vectors: vectors, Points: points,
+			Graph: graph, Edge: edge, Outcome: st.Outcome,
+			Conflicts: st.Conflicts, Decisions: st.Decisions, Propagations: st.Propagations,
+			Restarts: st.Restarts, Clauses: st.Clauses, Vars: st.Vars,
+			BlastNS: st.BlastNS, SolveNS: st.SolveNS, DurNS: st.BlastNS + st.SolveNS,
+			SlicedVars: st.SlicedVars, Infeasible: st.Infeasible,
+			Span: span,
+		})
+	}
+	if o.watch != nil {
+		o.watch.WatchSolve(o.worker, graph, edge, st.Outcome, st.BlastNS+st.SolveNS, o.Now())
+	}
 	return span
 }
 
@@ -550,6 +600,21 @@ func (o *Observer) PlanApplied(graph, edge int, vectors uint64, points, gained i
 		}
 	}
 	o.emit(&Event{TNS: o.Now(), Type: EvPlanApplied, Vectors: vectors, Points: points, Graph: graph, Edge: edge, Span: span})
+}
+
+// AlertSpan emits one typed alert span into the trace, parented on the
+// lane's campaign root. Alert IDs are deterministic (internal/watch
+// derives them from campaign, rule, lane, and interval — never from a
+// clock), so golden traces stay stable and a resume's re-emission
+// deduplicates by ID in offline analyses. No-op without a tracer.
+func (o *Observer) AlertSpan(id, rule, severity, msg string) {
+	if o == nil || !o.spansOn() {
+		return
+	}
+	o.emit(&Event{
+		TNS: o.Now(), Type: EvSpan, Span: id, Parent: o.RootSpan(),
+		Kind: SpanAlert, Rule: rule, Severity: severity, Msg: msg,
+	})
 }
 
 // Rollback records one checkpoint re-entry; mode is "snapshot" or

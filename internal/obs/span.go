@@ -17,6 +17,7 @@ var spanParents = map[string][]string{
 	SpanSolve:     {SpanStagnate, SpanInterval},
 	SpanPlanApply: {SpanSolve},
 	SpanCovDelta:  {SpanPlanApply},
+	SpanAlert:     {SpanCampaign},
 }
 
 // SpanSummary digests a trace's span tree after validation.

@@ -38,6 +38,11 @@ const (
 	SpanSolve     = "solve"
 	SpanPlanApply = "plan_apply"
 	SpanCovDelta  = "coverage_delta"
+	// SpanAlert is a watch-engine alert folded into the trace: a
+	// campaign-level health event (stalled lane, dead rank, budget
+	// burn) hanging directly off the campaign root. Its ID is the
+	// deterministic alert ID, not a w<lane>.i<i>.s<s> child ID.
+	SpanAlert = "alert"
 )
 
 // knownEvents is the trace schema's closed event-type set.
@@ -53,7 +58,7 @@ var knownEvents = map[string]bool{
 var knownSpanKinds = map[string]bool{
 	SpanCampaign: true, SpanInterval: true, SpanStimBatch: true,
 	SpanStagnate: true, SpanSolve: true, SpanPlanApply: true,
-	SpanCovDelta: true,
+	SpanCovDelta: true, SpanAlert: true,
 }
 
 // Event is one typed trace record. Every event carries the monotonic
@@ -123,6 +128,12 @@ type Event struct {
 	OriginSpan   string `json:"origin_span,omitempty"`
 	// Gained is the coverage-tuple delta of a coverage_delta span.
 	Gained int `json:"gained,omitempty"`
+
+	// Alert-span fields (kind "alert"): the violated watch rule, its
+	// severity ("warn"/"crit"), and the operator-facing message.
+	Rule     string `json:"rule,omitempty"`
+	Severity string `json:"severity,omitempty"`
+	Msg      string `json:"msg,omitempty"`
 }
 
 // Tracer receives typed events. Implementations must be safe for

@@ -1,0 +1,107 @@
+package watch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBusFanout(t *testing.T) {
+	b := NewBus()
+	s1 := b.Subscribe(8)
+	s2 := b.Subscribe(8)
+	b.Publish(Update{Type: UpdateAlert, Campaign: "c"})
+	for i, s := range []*Sub{s1, s2} {
+		u := <-s.C
+		if u.Campaign != "c" {
+			t.Fatalf("sub %d got %+v", i, u)
+		}
+	}
+	s1.Close()
+	b.Publish(Update{Type: UpdateAlert, Campaign: "d"})
+	if u := <-s2.C; u.Campaign != "d" {
+		t.Fatalf("s2 got %+v", u)
+	}
+	select {
+	case u, ok := <-s1.C:
+		if ok {
+			t.Fatalf("closed sub received %+v", u)
+		}
+	default:
+		t.Fatal("closed sub channel still open")
+	}
+	if n := b.Subscribers(); n != 1 {
+		t.Fatalf("subscribers = %d", n)
+	}
+}
+
+// TestBusSlowSubscriberDrops pins the drop accounting: a subscriber
+// that never drains loses exactly the overflow, on both its own
+// counter and the bus total, and a healthy subscriber loses nothing.
+func TestBusSlowSubscriberDrops(t *testing.T) {
+	b := NewBus()
+	slow := b.Subscribe(4)   // deliberately tiny, never drained
+	fast := b.Subscribe(128) // drained after the publishes
+	const total = 20
+	for i := 0; i < total; i++ {
+		b.Publish(Update{Type: UpdateSample, Campaign: "c"})
+	}
+	if got := slow.Dropped(); got != total-4 {
+		t.Fatalf("slow.Dropped = %d, want %d", got, total-4)
+	}
+	if got := fast.Dropped(); got != 0 {
+		t.Fatalf("fast.Dropped = %d, want 0", got)
+	}
+	if got := b.Dropped(); got != total-4 {
+		t.Fatalf("bus.Dropped = %d, want %d", got, total-4)
+	}
+	// The slow subscriber's buffer still holds the first 4 updates —
+	// drops are tail drops, not corruption.
+	for i := 0; i < 4; i++ {
+		if u := <-slow.C; u.Type != UpdateSample {
+			t.Fatalf("buffered update %d = %+v", i, u)
+		}
+	}
+	for i := 0; i < total; i++ {
+		<-fast.C
+	}
+}
+
+func TestBusCloseSemantics(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe(1)
+	b.Close()
+	if _, ok := <-s.C; ok {
+		t.Fatal("subscriber channel not closed by bus Close")
+	}
+	// Publish after Close is a silent no-op; Close is idempotent.
+	b.Publish(Update{Type: UpdateAlert})
+	b.Close()
+	// Subscribe after Close yields an already-closed channel.
+	late := b.Subscribe(1)
+	if _, ok := <-late.C; ok {
+		t.Fatal("post-close subscription channel open")
+	}
+	late.Close() // must not panic
+	s.Close()    // must not double-close
+}
+
+// TestBusConcurrentPublishClose exercises publishers racing Close —
+// run under -race in CI.
+func TestBusConcurrentPublishClose(t *testing.T) {
+	b := NewBus()
+	for i := 0; i < 4; i++ {
+		b.Subscribe(2)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Publish(Update{Type: UpdateSample})
+			}
+		}()
+	}
+	b.Close()
+	wg.Wait()
+}

@@ -1,0 +1,283 @@
+package watch
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// testRules keeps detector thresholds small so tests stay short.
+func testRules() Rules {
+	return Rules{
+		StallIntervals: 3,
+		SolveBaseline:  2,
+		SolveEWMAAlpha: 0.5,
+		SolveRegress:   2.0,
+		UnsatChurn:     2,
+		QueueSatPct:    0.5,
+		Rate429:        5,
+		BudgetBurnPct:  0.5,
+	}
+}
+
+func sample(lane, interval, points int) obs.SeriesPoint {
+	return obs.SeriesPoint{TNS: int64(interval) * 1000, Worker: lane, Interval: interval, Vectors: uint64(interval) * 10, Points: points}
+}
+
+func TestAlertIDShape(t *testing.T) {
+	got := AlertID("camp0", RuleCoverageStall, 2, 7)
+	if got != "camp0/coverage_stall/r2/i7" {
+		t.Fatalf("AlertID = %q", got)
+	}
+}
+
+func TestCoverageStall(t *testing.T) {
+	e := NewEngine(testRules())
+	// First sample is a baseline, then three flat intervals fire.
+	var fired []Alert
+	for i := 0; i < 4; i++ {
+		fired = append(fired, e.ObserveSample("c", sample(1, i, 50))...)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("want 1 stall alert, got %v", fired)
+	}
+	a := fired[0]
+	if a.Rule != RuleCoverageStall || a.Lane != 1 || a.Interval != 3 {
+		t.Fatalf("unexpected alert %+v", a)
+	}
+	if a.ID != "c/coverage_stall/r1/i3" {
+		t.Fatalf("alert ID = %q", a.ID)
+	}
+	// Still flat: the condition is already open, no re-raise.
+	if more := e.ObserveSample("c", sample(1, 4, 50)); len(more) != 0 {
+		t.Fatalf("re-raised while condition open: %v", more)
+	}
+	// Progress clears; a second stall episode mints a fresh ID.
+	if more := e.ObserveSample("c", sample(1, 5, 60)); len(more) != 0 {
+		t.Fatalf("alert on progress: %v", more)
+	}
+	if h := e.Health("c"); len(h.Alerts) != 0 || h.Score != 100 {
+		t.Fatalf("condition not cleared: %+v", h)
+	}
+	var second []Alert
+	for i := 6; i < 10; i++ {
+		second = append(second, e.ObserveSample("c", sample(1, i, 60))...)
+	}
+	if len(second) != 1 || second[0].ID != "c/coverage_stall/r1/i8" {
+		t.Fatalf("second episode = %v", second)
+	}
+}
+
+func TestSolveRegressAndChurn(t *testing.T) {
+	e := NewEngine(testRules())
+	// Baseline: two 100ns solves (sat, distinct targets — no churn).
+	e.ObserveSolve("c", 0, 0, 1, "sat", 100, 1)
+	e.ObserveSolve("c", 0, 0, 2, "sat", 100, 2)
+	// One huge solve: EWMA = 0.5*10000 + 0.5*100 = 5050 > 2*100.
+	got := e.ObserveSolve("c", 0, 0, 3, "sat", 10000, 3)
+	if len(got) != 1 || got[0].Rule != RuleSolveRegress {
+		t.Fatalf("want solve_regress, got %v", got)
+	}
+	if got[0].ID != "c/solve_regress/r0/i2" {
+		t.Fatalf("regress ID = %q", got[0].ID)
+	}
+	// While firing: no duplicate.
+	if more := e.ObserveSolve("c", 0, 0, 4, "sat", 10000, 4); len(more) != 0 {
+		t.Fatalf("duplicate regress: %v", more)
+	}
+
+	// UNSAT churn: same target twice in a row.
+	if more := e.ObserveSolve("c", 1, 5, 9, "unsat", 10, 5); len(more) != 0 {
+		t.Fatalf("premature churn: %v", more)
+	}
+	got = e.ObserveSolve("c", 1, 5, 9, "unsat", 10, 6)
+	if len(got) != 1 || got[0].Rule != RuleUnsatChurn || got[0].ID != "c/unsat_churn/r0/i0" {
+		t.Fatalf("want churn alert, got %v", got)
+	}
+	// SAT on the target resets the run and clears the condition; the
+	// next churn episode takes occurrence ordinal 1.
+	e.ObserveSolve("c", 1, 5, 9, "sat", 10, 7)
+	e.ObserveSolve("c", 1, 5, 9, "unsat", 10, 8)
+	got = e.ObserveSolve("c", 1, 5, 9, "unsat", 10, 9)
+	if len(got) != 1 || got[0].ID != "c/unsat_churn/r0/i1" {
+		t.Fatalf("second churn episode = %v", got)
+	}
+}
+
+func TestObserveOps(t *testing.T) {
+	e := NewEngine(testRules())
+	// Queue at half capacity fires queue_sat (threshold 0.5*10=5).
+	got := e.ObserveOps("c", OpsSample{QueueDepth: 5, QueueCap: 10, TNS: 1})
+	if len(got) != 1 || got[0].Rule != RuleQueueSat || got[0].ID != "c/queue_sat/r0/i0" {
+		t.Fatalf("want queue_sat, got %v", got)
+	}
+	// Draining clears it; saturating again mints ordinal 1.
+	e.ObserveOps("c", OpsSample{QueueDepth: 0, QueueCap: 10, TNS: 2})
+	got = e.ObserveOps("c", OpsSample{QueueDepth: 9, QueueCap: 10, TNS: 3})
+	if len(got) != 1 || got[0].ID != "c/queue_sat/r0/i1" {
+		t.Fatalf("second queue_sat = %v", got)
+	}
+
+	// 429 rate: the first sweep only establishes the cumulative
+	// baseline, so a pre-existing count never alerts by itself.
+	e2 := NewEngine(testRules())
+	if got := e2.ObserveOps("c", OpsSample{Rejected429: 100, TNS: 1}); len(got) != 0 {
+		t.Fatalf("first sweep fired on baseline: %v", got)
+	}
+	got = e2.ObserveOps("c", OpsSample{Rejected429: 105, TNS: 2})
+	if len(got) != 1 || got[0].Rule != RuleRate429 || got[0].Value != 5 {
+		t.Fatalf("want rate_429 delta 5, got %v", got)
+	}
+
+	// Budget burn escalates warn -> crit as distinct alerts.
+	e3 := NewEngine(testRules())
+	got = e3.ObserveOps("c", OpsSample{SolverNS: 60, BudgetNS: 100, TNS: 1})
+	if len(got) != 1 || got[0].Rule != RuleBudgetBurn || got[0].Severity != SevWarn {
+		t.Fatalf("want burn warn, got %v", got)
+	}
+	if more := e3.ObserveOps("c", OpsSample{SolverNS: 70, BudgetNS: 100, TNS: 2}); len(more) != 0 {
+		t.Fatalf("warn re-raised: %v", more)
+	}
+	got = e3.ObserveOps("c", OpsSample{SolverNS: 120, BudgetNS: 100, TNS: 3})
+	if len(got) != 1 || got[0].Severity != SevCrit || got[0].ID != "c/budget_burn/r0/i1" {
+		t.Fatalf("want burn crit ordinal 1, got %v", got)
+	}
+}
+
+func TestRankDeadLifecycle(t *testing.T) {
+	e := NewEngine(testRules())
+	got := e.RankDead("c", 2, 10)
+	if len(got) != 1 || got[0].ID != "c/rank_dead/r2/i0" || got[0].Severity != SevCrit {
+		t.Fatalf("want rank_dead crit, got %v", got)
+	}
+	// Repeated sweeps over the same expired lease are idempotent.
+	if more := e.RankDead("c", 2, 11); len(more) != 0 {
+		t.Fatalf("death re-raised: %v", more)
+	}
+	// A sample from the rank (replacement worker) revives it...
+	e.ObserveSample("c", sample(2, 0, 10))
+	if h := e.Health("c"); len(h.Alerts) != 0 {
+		t.Fatalf("death condition not cleared by revival: %+v", h)
+	}
+	// ...and a second death takes the next per-rank ordinal.
+	got = e.RankDead("c", 2, 12)
+	if len(got) != 1 || got[0].ID != "c/rank_dead/r2/i1" {
+		t.Fatalf("second death = %v", got)
+	}
+}
+
+func TestSeedDedupsAndAdvancesOrdinals(t *testing.T) {
+	e := NewEngine(testRules())
+	e.Seed(Alert{ID: "c/rank_dead/r1/i0", Campaign: "c", Rule: RuleRankDead, Lane: 1, Interval: 0})
+	// The same death re-derived after a restart deduplicates: the
+	// condition opens (it shows in health) but no alert is re-raised.
+	if got := e.RankDead("c", 1, 5); len(got) != 0 {
+		t.Fatalf("seeded death re-raised: %v", got)
+	}
+	h := e.Health("c")
+	if len(h.Alerts) != 1 || h.Alerts[0].ID != "c/rank_dead/r1/i0" {
+		t.Fatalf("seeded condition missing from health: %+v", h)
+	}
+	if h.AlertsTotal != 1 {
+		t.Fatalf("AlertsTotal = %d", h.AlertsTotal)
+	}
+	// Revive and re-kill: the ordinal was advanced past the seed.
+	e.ObserveSample("c", sample(1, 0, 10))
+	got := e.RankDead("c", 1, 6)
+	if len(got) != 1 || got[0].ID != "c/rank_dead/r1/i1" {
+		t.Fatalf("post-seed death = %v", got)
+	}
+	// Seeding an ops-rule alert advances its occurrence ordinal too.
+	e.Seed(Alert{ID: "c/queue_sat/r0/i3", Campaign: "c", Rule: RuleQueueSat, Lane: 0, Interval: 3})
+	got = e.ObserveOps("c", OpsSample{QueueDepth: 9, QueueCap: 10, TNS: 7})
+	if len(got) != 1 || got[0].ID != "c/queue_sat/r0/i4" {
+		t.Fatalf("post-seed queue_sat = %v", got)
+	}
+}
+
+func TestHealthScoring(t *testing.T) {
+	e := NewEngine(testRules())
+	if h := e.Health("unknown"); h.Score != 100 {
+		t.Fatalf("unknown campaign score = %d", h.Score)
+	}
+	e.ObserveOps("c", OpsSample{QueueDepth: 9, QueueCap: 10, TNS: 1}) // warn -10
+	e.RankDead("c", 0, 2)                                             // crit -30
+	h := e.Health("c")
+	if h.Score != 60 {
+		t.Fatalf("score = %d, want 60", h.Score)
+	}
+	if len(h.Alerts) != 2 || h.Alerts[0].ID >= h.Alerts[1].ID {
+		t.Fatalf("alerts not ID-sorted: %+v", h.Alerts)
+	}
+	// Enough crits floor at 0.
+	for r := 1; r < 6; r++ {
+		e.RankDead("c", r, 3)
+	}
+	if h := e.Health("c"); h.Score != 0 {
+		t.Fatalf("floored score = %d", h.Score)
+	}
+	// Done scores clean regardless of open conditions.
+	e.ObserveOps("c", OpsSample{Done: true, TNS: 4})
+	h = e.Health("c")
+	if h.Score != 100 || len(h.Alerts) != 0 || !h.Done {
+		t.Fatalf("done health = %+v", h)
+	}
+	if h.AlertsTotal != 7 {
+		t.Fatalf("done AlertsTotal = %d", h.AlertsTotal)
+	}
+}
+
+// TestEngineDeterministic drives two engines through the same
+// observation script and requires identical alerts in identical order
+// — the property that makes alert IDs stable across reruns.
+func TestEngineDeterministic(t *testing.T) {
+	run := func() []Alert {
+		e := NewEngine(testRules())
+		var out []Alert
+		for i := 0; i < 6; i++ {
+			out = append(out, e.ObserveSample("a", sample(0, i, 10))...)
+			out = append(out, e.ObserveSample("a", sample(1, i, 10+i))...)
+		}
+		for i := 0; i < 4; i++ {
+			out = append(out, e.ObserveSolve("a", 0, 2, 3, "unsat", 100, int64(i))...)
+		}
+		out = append(out, e.ObserveOps("a", OpsSample{QueueDepth: 8, QueueCap: 10, Rejected429: 0, TNS: 50})...)
+		out = append(out, e.ObserveOps("a", OpsSample{QueueDepth: 8, QueueCap: 10, Rejected429: 9, SolverNS: 90, BudgetNS: 100, TNS: 60})...)
+		out = append(out, e.RankDead("a", 3, 70)...)
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical runs diverged:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("script raised no alerts; test is vacuous")
+	}
+	seen := map[string]bool{}
+	for _, al := range a {
+		if seen[al.ID] {
+			t.Fatalf("duplicate alert ID %s", al.ID)
+		}
+		seen[al.ID] = true
+	}
+}
+
+func TestSnapshotAllSorted(t *testing.T) {
+	e := NewEngine(testRules())
+	e.ObserveSample("zeta", sample(0, 0, 1))
+	e.ObserveSample("alpha", sample(0, 0, 1))
+	e.ObserveSample("mid", sample(0, 0, 1))
+	snap := e.SnapshotAll()
+	if len(snap.Campaigns) != 3 {
+		t.Fatalf("campaigns = %d", len(snap.Campaigns))
+	}
+	for i, want := range []string{"alpha", "mid", "zeta"} {
+		if snap.Campaigns[i].Campaign != want {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, snap.Campaigns[i].Campaign, want)
+		}
+	}
+	if len(snap.Campaigns[0].Series) != 1 {
+		t.Fatalf("series missing from snapshot: %+v", snap.Campaigns[0])
+	}
+}

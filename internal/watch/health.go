@@ -1,0 +1,461 @@
+package watch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// OpsSample is one operational sweep observation for a campaign: queue
+// occupancy, cumulative admission rejections, and solver-budget spend.
+// The fleet's watch sweep feeds one per campaign per tick.
+type OpsSample struct {
+	QueueDepth  int
+	QueueCap    int
+	Rejected429 int64 // cumulative
+	SolverNS    int64 // cumulative solver wall time
+	BudgetNS    int64 // quota; 0 = unlimited
+	Done        bool
+	TNS         int64
+}
+
+// CampaignHealth is one campaign's scored health snapshot.
+type CampaignHealth struct {
+	Campaign string `json:"campaign"`
+	// Score is 100 minus penalties for currently-firing conditions
+	// (warn −10, crit −30), floored at 0. A completed campaign scores
+	// clean: its conditions no longer need an operator.
+	Score int  `json:"score"`
+	Done  bool `json:"done,omitempty"`
+	// Alerts are the currently-firing alerts, ID-sorted.
+	Alerts []Alert `json:"alerts,omitempty"`
+	// AlertsTotal counts every alert ever raised (including cleared
+	// and journal-seeded ones).
+	AlertsTotal int `json:"alerts_total"`
+	// Series is the per-interval sample ring, oldest-first.
+	Series []obs.SeriesPoint `json:"series,omitempty"`
+}
+
+// Snapshot is the whole-fleet health document (campaign-name sorted).
+type Snapshot struct {
+	Campaigns []CampaignHealth `json:"campaigns"`
+}
+
+// laneState tracks one lane's coverage-stall detector.
+type laneState struct {
+	seen       bool
+	lastPoints int
+	stallRun   int
+}
+
+// churnState tracks one CFG target's consecutive-UNSAT run.
+type churnState struct {
+	run int
+}
+
+// targetKey identifies a CFG solve target.
+type targetKey struct {
+	graph, to int
+}
+
+// condition is one currently-firing rule episode: the alert that
+// opened it plus its live severity.
+type condition struct {
+	alert Alert
+}
+
+// campState is one campaign's detector state.
+type campState struct {
+	name   string
+	series *obs.Series
+	lanes  map[int]*laneState
+	churn  map[targetKey]*churnState
+	conds  map[string]*condition // condition key -> firing episode
+	fired  map[string]bool       // alert-ID dedup (includes seeded)
+	occ    map[string]int        // per-rule occurrence ordinals (ops rules)
+	deaths map[int]int           // per-rank death ordinals
+	dead   map[int]bool          // per-rank currently-dead flag
+
+	solveCount  int
+	baselineSum int64
+	baselineNS  float64 // mean of the first SolveBaseline solves
+	ewmaNS      float64
+
+	seen429 bool
+	last429 int64
+	total   int // alerts ever raised
+	done    bool
+}
+
+// Engine is the deterministic health scorer. All methods are safe for
+// concurrent use; every Observe* call returns the alerts it newly
+// raised (nil when none) so the caller can journal, trace, and fan
+// them out. The engine itself has no side effects and no clock.
+type Engine struct {
+	mu    sync.Mutex
+	rules Rules
+	camps map[string]*campState
+}
+
+// NewEngine builds an engine with the given rules (zero value = defaults).
+func NewEngine(rules Rules) *Engine {
+	return &Engine{rules: rules.withDefaults(), camps: map[string]*campState{}}
+}
+
+// Rules returns the engine's effective (defaulted) rule set.
+func (e *Engine) Rules() Rules { return e.rules }
+
+func (e *Engine) camp(name string) *campState {
+	c := e.camps[name]
+	if c == nil {
+		c = &campState{
+			name:   name,
+			series: obs.NewSeries(0),
+			lanes:  map[int]*laneState{},
+			churn:  map[targetKey]*churnState{},
+			conds:  map[string]*condition{},
+			fired:  map[string]bool{},
+			occ:    map[string]int{},
+			deaths: map[int]int{},
+			dead:   map[int]bool{},
+		}
+		e.camps[name] = c
+	}
+	return c
+}
+
+// fire opens (or refreshes) a condition episode and returns the alert
+// if its ID is new — an ID seeded from a journal replay re-arms the
+// condition without re-raising the alert. Callers hold e.mu.
+func (c *campState) fire(condKey string, a Alert) *Alert {
+	a.ID = AlertID(a.Campaign, a.Rule, a.Lane, a.Interval)
+	c.conds[condKey] = &condition{alert: a}
+	if c.fired[a.ID] {
+		return nil
+	}
+	c.fired[a.ID] = true
+	c.total++
+	return &a
+}
+
+func (c *campState) clear(condKey string) {
+	delete(c.conds, condKey)
+}
+
+// ObserveSample feeds one interval-boundary sample (lane = p.Worker)
+// into the stall detector and the campaign's sample ring. A sample
+// from a rank marked dead clears its rank_dead condition — coverage is
+// flowing again.
+func (e *Engine) ObserveSample(campaign string, p obs.SeriesPoint) []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.camp(campaign)
+	c.series.Add(p)
+	lane := p.Worker
+	if c.dead[lane] {
+		c.dead[lane] = false
+		c.clear(fmt.Sprintf("dead/r%d", lane))
+	}
+	l := c.lanes[lane]
+	if l == nil {
+		l = &laneState{}
+		c.lanes[lane] = l
+	}
+	var out []Alert
+	if !l.seen {
+		l.seen = true
+		l.lastPoints = p.Points
+		return nil
+	}
+	key := fmt.Sprintf("stall/r%d", lane)
+	if p.Points > l.lastPoints {
+		l.lastPoints = p.Points
+		l.stallRun = 0
+		c.clear(key)
+		return nil
+	}
+	l.stallRun++
+	if l.stallRun >= e.rules.StallIntervals && c.conds[key] == nil {
+		if a := c.fire(key, Alert{
+			Campaign: campaign, Rule: RuleCoverageStall, Lane: lane, Interval: p.Interval,
+			Severity: SevWarn, TNS: p.TNS,
+			Value: float64(l.stallRun), Threshold: float64(e.rules.StallIntervals),
+			Msg: fmt.Sprintf("lane %d coverage flat for %d intervals at %d points", lane, l.stallRun, p.Points),
+		}); a != nil {
+			out = append(out, *a)
+		}
+	}
+	return out
+}
+
+// ObserveSolve feeds one solver result: EWMA latency regression
+// against the campaign's own early baseline, plus per-target UNSAT
+// churn. lane is the solving rank; graph/to locate the CFG target.
+func (e *Engine) ObserveSolve(campaign string, lane, graph, to int, outcome string, ns int64, tns int64) []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.camp(campaign)
+	var out []Alert
+
+	c.solveCount++
+	if c.solveCount <= e.rules.SolveBaseline {
+		c.baselineSum += ns
+		if c.solveCount == e.rules.SolveBaseline {
+			c.baselineNS = float64(c.baselineSum) / float64(e.rules.SolveBaseline)
+			c.ewmaNS = c.baselineNS
+		}
+	} else if c.baselineNS > 0 {
+		a := e.rules.SolveEWMAAlpha
+		c.ewmaNS = a*float64(ns) + (1-a)*c.ewmaNS
+		threshold := e.rules.SolveRegress * c.baselineNS
+		if c.ewmaNS > threshold {
+			if c.conds["regress"] == nil {
+				if al := c.fire("regress", Alert{
+					Campaign: campaign, Rule: RuleSolveRegress, Lane: 0, Interval: c.solveCount - 1,
+					Severity: SevWarn, TNS: tns,
+					Value: c.ewmaNS, Threshold: threshold,
+					Msg: fmt.Sprintf("EWMA solve latency %.0fns is %.1fx the campaign baseline %.0fns",
+						c.ewmaNS, c.ewmaNS/c.baselineNS, c.baselineNS),
+				}); al != nil {
+					out = append(out, *al)
+				}
+			}
+		} else {
+			c.clear("regress")
+		}
+	}
+
+	tk := targetKey{graph: graph, to: to}
+	ck := fmt.Sprintf("churn/g%d.t%d", graph, to)
+	if outcome == "unsat" {
+		ch := c.churn[tk]
+		if ch == nil {
+			ch = &churnState{}
+			c.churn[tk] = ch
+		}
+		ch.run++
+		if ch.run >= e.rules.UnsatChurn && c.conds[ck] == nil {
+			ord := c.occ[RuleUnsatChurn]
+			c.occ[RuleUnsatChurn]++
+			if al := c.fire(ck, Alert{
+				Campaign: campaign, Rule: RuleUnsatChurn, Lane: 0, Interval: ord,
+				Severity: SevWarn, TNS: tns,
+				Value: float64(ch.run), Threshold: float64(e.rules.UnsatChurn),
+				Msg: fmt.Sprintf("target g%d.t%d came back UNSAT %d times in a row (lane %d)", graph, to, ch.run, lane),
+			}); al != nil {
+				out = append(out, *al)
+			}
+		}
+	} else {
+		if ch := c.churn[tk]; ch != nil {
+			ch.run = 0
+		}
+		c.clear(ck)
+	}
+	return out
+}
+
+// ObserveOps feeds one operational sweep sample: queue saturation,
+// per-sweep 429 rate, and budget burn. Marks the campaign done when
+// the sample says so (a done campaign scores clean).
+func (e *Engine) ObserveOps(campaign string, s OpsSample) []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.camp(campaign)
+	c.done = s.Done
+	var out []Alert
+
+	if s.QueueCap > 0 {
+		threshold := e.rules.QueueSatPct * float64(s.QueueCap)
+		if float64(s.QueueDepth) >= threshold {
+			if c.conds["queue"] == nil {
+				ord := c.occ[RuleQueueSat]
+				c.occ[RuleQueueSat]++
+				if a := c.fire("queue", Alert{
+					Campaign: campaign, Rule: RuleQueueSat, Lane: 0, Interval: ord,
+					Severity: SevWarn, TNS: s.TNS,
+					Value: float64(s.QueueDepth), Threshold: threshold,
+					Msg: fmt.Sprintf("ingest queue at %d/%d batches", s.QueueDepth, s.QueueCap),
+				}); a != nil {
+					out = append(out, *a)
+				}
+			}
+		} else {
+			c.clear("queue")
+		}
+	}
+
+	delta := s.Rejected429 - c.last429
+	if !c.seen429 {
+		c.seen429 = true
+		delta = 0
+	}
+	c.last429 = s.Rejected429
+	if delta >= e.rules.Rate429 {
+		if c.conds["429"] == nil {
+			ord := c.occ[RuleRate429]
+			c.occ[RuleRate429]++
+			if a := c.fire("429", Alert{
+				Campaign: campaign, Rule: RuleRate429, Lane: 0, Interval: ord,
+				Severity: SevWarn, TNS: s.TNS,
+				Value: float64(delta), Threshold: float64(e.rules.Rate429),
+				Msg: fmt.Sprintf("%d publishes rejected with 429 in one sweep window", delta),
+			}); a != nil {
+				out = append(out, *a)
+			}
+		}
+	} else {
+		c.clear("429")
+	}
+
+	if s.BudgetNS > 0 {
+		frac := float64(s.SolverNS) / float64(s.BudgetNS)
+		sev := ""
+		if frac >= 1 {
+			sev = SevCrit
+		} else if frac >= e.rules.BudgetBurnPct {
+			sev = SevWarn
+		}
+		cur := c.conds["burn"]
+		if sev != "" && (cur == nil || cur.alert.Severity != sev) {
+			ord := c.occ[RuleBudgetBurn]
+			c.occ[RuleBudgetBurn]++
+			if a := c.fire("burn", Alert{
+				Campaign: campaign, Rule: RuleBudgetBurn, Lane: 0, Interval: ord,
+				Severity: sev, TNS: s.TNS,
+				Value: frac, Threshold: e.rules.BudgetBurnPct,
+				Msg: fmt.Sprintf("solver budget %.0f%% consumed (%dns of %dns)", 100*frac, s.SolverNS, s.BudgetNS),
+			}); a != nil {
+				out = append(out, *a)
+			}
+		}
+	}
+	return out
+}
+
+// RankDead records a lease-expiry death for a rank. It fires once per
+// death episode — repeated sweeps over the same expired lease are
+// idempotent — and a later sample from the rank (a replacement worker)
+// clears the condition so a second death fires a fresh alert.
+func (e *Engine) RankDead(campaign string, rank int, tns int64) []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.camp(campaign)
+	if c.dead[rank] {
+		return nil
+	}
+	c.dead[rank] = true
+	ord := c.deaths[rank]
+	c.deaths[rank]++
+	if a := c.fire(fmt.Sprintf("dead/r%d", rank), Alert{
+		Campaign: campaign, Rule: RuleRankDead, Lane: rank, Interval: ord,
+		Severity: SevCrit, TNS: tns,
+		Msg: fmt.Sprintf("rank %d lease expired without a report (death %d)", rank, ord+1),
+	}); a != nil {
+		return []Alert{*a}
+	}
+	return nil
+}
+
+// Seed installs a journal-replayed alert's identity so the same
+// condition re-derived after a restart deduplicates instead of
+// re-raising, and advances the deterministic ordinals past it so the
+// next genuine episode mints a fresh ID.
+func (e *Engine) Seed(a Alert) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.camp(a.Campaign)
+	if c.fired[a.ID] {
+		return
+	}
+	c.fired[a.ID] = true
+	c.total++
+	switch a.Rule {
+	case RuleRankDead:
+		if a.Interval+1 > c.deaths[a.Lane] {
+			c.deaths[a.Lane] = a.Interval + 1
+		}
+		// The rank is still dead as far as the journal knows: re-open
+		// the episode so the sweep's re-derived RankDead dedups instead
+		// of minting a fresh ordinal, and so the alert stays active
+		// until a revival sample clears it.
+		c.dead[a.Lane] = true
+		c.conds[fmt.Sprintf("dead/r%d", a.Lane)] = &condition{alert: a}
+	case RuleUnsatChurn, RuleQueueSat, RuleRate429, RuleBudgetBurn:
+		if a.Interval+1 > c.occ[a.Rule] {
+			c.occ[a.Rule] = a.Interval + 1
+		}
+	}
+}
+
+// healthLocked builds one campaign's snapshot. Callers hold e.mu.
+func (c *campState) healthLocked() CampaignHealth {
+	h := CampaignHealth{
+		Campaign:    c.name,
+		Score:       scoreFull,
+		Done:        c.done,
+		AlertsTotal: c.total,
+		Series:      c.series.Points(),
+	}
+	if c.done {
+		return h
+	}
+	keys := make([]string, 0, len(c.conds))
+	for k := range c.conds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cond := c.conds[k]
+		h.Alerts = append(h.Alerts, cond.alert)
+		if cond.alert.Severity == SevCrit {
+			h.Score -= penaltyCrit
+		} else {
+			h.Score -= penaltyWarn
+		}
+	}
+	if h.Score < scoreMinimum {
+		h.Score = scoreMinimum
+	}
+	sort.Slice(h.Alerts, func(i, j int) bool { return h.Alerts[i].ID < h.Alerts[j].ID })
+	return h
+}
+
+// Health snapshots one campaign (zero-value snapshot for an unknown name).
+func (e *Engine) Health(campaign string) CampaignHealth {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.camps[campaign]
+	if c == nil {
+		return CampaignHealth{Campaign: campaign, Score: scoreFull}
+	}
+	return c.healthLocked()
+}
+
+// SnapshotAll snapshots every campaign, name-sorted.
+func (e *Engine) SnapshotAll() Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.camps))
+	for name := range e.camps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := Snapshot{Campaigns: make([]CampaignHealth, 0, len(names))}
+	for _, name := range names {
+		out.Campaigns = append(out.Campaigns, e.camps[name].healthLocked())
+	}
+	return out
+}
+
+// Series exposes a campaign's sample ring (nil for an unknown name).
+func (e *Engine) Series(campaign string) *obs.Series {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c := e.camps[campaign]; c != nil {
+		return c.series
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package watch
+
+import "repro/internal/obs"
+
+// Sink adapts one campaign's obs.WatchSink hooks onto an Engine and an
+// optional Bus: interval samples feed the stall detector and stream to
+// subscribers, solver completions feed the latency and churn
+// detectors, and newly raised alerts flow to OnAlert (journal, trace
+// span, gauges — the caller's side effects) before the bus.
+type Sink struct {
+	Campaign string
+	Engine   *Engine
+	Bus      *Bus
+	// OnAlert, when set, receives every newly raised alert before it
+	// is published to the bus.
+	OnAlert func(Alert)
+}
+
+var _ obs.WatchSink = (*Sink)(nil)
+
+// WatchSample implements obs.WatchSink.
+func (s *Sink) WatchSample(p obs.SeriesPoint) {
+	alerts := s.Engine.ObserveSample(s.Campaign, p)
+	if s.Bus != nil {
+		s.Bus.Publish(Update{Type: UpdateSample, Campaign: s.Campaign, Sample: &SamplePayload{
+			TNS: p.TNS, Lane: p.Worker, Interval: p.Interval, Vectors: p.Vectors, Points: p.Points,
+		}})
+	}
+	s.raise(alerts)
+}
+
+// WatchSolve implements obs.WatchSink.
+func (s *Sink) WatchSolve(lane, graph, to int, outcome string, durNS, tns int64) {
+	s.raise(s.Engine.ObserveSolve(s.Campaign, lane, graph, to, outcome, durNS, tns))
+}
+
+func (s *Sink) raise(alerts []Alert) {
+	for _, a := range alerts {
+		if s.OnAlert != nil {
+			s.OnAlert(a)
+		}
+		if s.Bus != nil {
+			al := a
+			s.Bus.Publish(Update{Type: UpdateAlert, Campaign: s.Campaign, Alert: &al})
+		}
+	}
+}

@@ -46,12 +46,13 @@ import (
 // order: they produce reports, traces, cost ledgers, or solver queries
 // that must be identical across runs.
 var rangemapPkgs = map[string]bool{
-	"internal/cfg":  true,
-	"internal/core": true,
-	"internal/uvm":  true,
-	"internal/par":  true,
-	"internal/dist": true,
-	"internal/prof": true,
+	"internal/cfg":   true,
+	"internal/core":  true,
+	"internal/uvm":   true,
+	"internal/par":   true,
+	"internal/dist":  true,
+	"internal/prof":  true,
+	"internal/watch": true,
 }
 
 // timenowPkgs are the pure packages: nothing in them may read the wall
@@ -66,6 +67,7 @@ var timenowPkgs = map[string]bool{
 	"internal/hdl":      true,
 	"internal/lint":     true,
 	"internal/analysis": true,
+	"internal/watch":    true,
 }
 
 // globalrandPkgs is the union: shared global randomness is a
